@@ -1,0 +1,459 @@
+// Package permodyssey's root benchmark harness regenerates every table
+// and figure of the paper's evaluation (go test -bench=. -benchmem).
+// Each Benchmark prints its table once (via b.Logf on -v, or silently
+// validates it) and then measures the cost of recomputing the analysis
+// from the shared crawl dataset. The crawl itself is performed once per
+// process over a deterministic synthetic web.
+package permodyssey
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"permodyssey/internal/analysis"
+	"permodyssey/internal/browser"
+	"permodyssey/internal/core"
+	"permodyssey/internal/crawler"
+	"permodyssey/internal/origin"
+	"permodyssey/internal/permissions"
+	"permodyssey/internal/policy"
+	"permodyssey/internal/store"
+	"permodyssey/internal/synthweb"
+)
+
+const (
+	benchSites = 1500
+	benchSeed  = 20240823 // the paper's crawl began August 23, 2024
+)
+
+var (
+	benchOnce sync.Once
+	benchDS   *store.Dataset
+	benchErr  error
+)
+
+// benchDataset crawls the shared synthetic web once.
+func benchDataset(b *testing.B) *analysis.Analysis {
+	b.Helper()
+	benchOnce.Do(func() {
+		cfg := synthweb.DefaultConfig()
+		cfg.NumSites = benchSites
+		cfg.Seed = benchSeed
+		srv := synthweb.NewServer(cfg)
+		srv.StallTime = 300 * time.Millisecond
+		if benchErr = srv.Start(); benchErr != nil {
+			return
+		}
+		defer srv.Close()
+		br := browser.New(browser.NewHTTPFetcher(srv.Client(0)), browser.DefaultOptions())
+		c := crawler.New(br, crawler.Config{Workers: 24, PerSiteTimeout: 150 * time.Millisecond})
+		var targets []crawler.Target
+		for _, s := range srv.Sites() {
+			targets = append(targets, crawler.Target{Rank: s.Rank, URL: s.URL()})
+		}
+		benchDS = c.Crawl(context.Background(), targets)
+		fmt.Fprintf(os.Stderr, "[bench] crawled %d sites: %v\n", benchSites, benchDS.FailureCounts())
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return analysis.New(benchDS)
+}
+
+// printOnce emits a table to stderr exactly once per benchmark name.
+var printed sync.Map
+
+func printOnce(name, table string) {
+	if _, loaded := printed.LoadOrStore(name, true); !loaded {
+		fmt.Fprintf(os.Stderr, "\n[bench %s]\n%s\n", name, table)
+	}
+}
+
+// BenchmarkTable1_CameraInterplay evaluates the eight header × allow
+// configurations of Table 1 through the policy engine.
+func BenchmarkTable1_CameraInterplay(b *testing.B) {
+	exampleOrg := origin.MustParse("https://example.org")
+	iframeCom := origin.MustParse("https://iframe.com")
+	cases := []struct{ header, allow string }{
+		{"", ""}, {"", "camera"},
+		{"camera=()", "camera"}, {"camera=(self)", "camera"},
+		{"camera=(*)", ""}, {"camera=(*)", "camera"},
+		{`camera=(self "https://iframe.com")`, "camera"},
+		{`camera=("https://iframe.com")`, "camera"},
+	}
+	var table string
+	for i, tc := range cases {
+		var declared policy.Policy
+		if tc.header != "" {
+			declared, _, _ = policy.ParsePermissionsPolicy(tc.header)
+		}
+		top := policy.NewTopLevel(exampleOrg, declared)
+		allow, _ := policy.ParseAllowAttr(tc.allow)
+		frame := policy.NewSubframe(top, policy.FrameSpec{
+			SrcOrigin: iframeCom, DocumentOrigin: iframeCom, Allow: allow,
+		}, policy.SpecActual)
+		table += fmt.Sprintf("#%d header=%-38q allow=%-8q top=%v iframe=%v\n",
+			i+1, tc.header, tc.allow, top.Allowed("camera"), frame.Allowed("camera"))
+	}
+	printOnce(b.Name(), table)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, tc := range cases {
+			var declared policy.Policy
+			if tc.header != "" {
+				declared, _, _ = policy.ParsePermissionsPolicy(tc.header)
+			}
+			top := policy.NewTopLevel(exampleOrg, declared)
+			allow, _ := policy.ParseAllowAttr(tc.allow)
+			frame := policy.NewSubframe(top, policy.FrameSpec{
+				SrcOrigin: iframeCom, DocumentOrigin: iframeCom, Allow: allow,
+			}, policy.SpecActual)
+			_ = frame.Allowed("camera")
+		}
+	}
+}
+
+// BenchmarkTable2_Characteristics regenerates the permission
+// characteristics examples.
+func BenchmarkTable2_Characteristics(b *testing.B) {
+	names := []string{"camera", "geolocation", "gamepad", "notifications", "push"}
+	var table string
+	for _, n := range names {
+		p, _ := permissions.Lookup(n)
+		table += fmt.Sprintf("%-14s powerful=%-5v policy-controlled=%-5v default=%s\n",
+			n, p.Powerful, p.PolicyControlled(), p.Default)
+	}
+	printOnce(b.Name(), table)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, n := range names {
+			if _, ok := permissions.Lookup(n); !ok {
+				b.Fatal("missing permission")
+			}
+		}
+	}
+}
+
+func BenchmarkTable3_TopEmbeds(b *testing.B) {
+	a := benchDataset(b)
+	rows, total := a.Table3TopEmbeds(10)
+	printOnce(b.Name(), analysis.RenderTable3(rows, total).String())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Table3TopEmbeds(10)
+	}
+}
+
+func BenchmarkTable4_Invocations(b *testing.B) {
+	a := benchDataset(b)
+	rows, totalRow, _ := a.Table4Invocations(10)
+	printOnce(b.Name(), analysis.RenderTable4(rows, totalRow).String())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Table4Invocations(10)
+	}
+}
+
+func BenchmarkTable5_StatusChecks(b *testing.B) {
+	a := benchDataset(b)
+	rows, totalRow, _ := a.Table5StatusChecks(10)
+	printOnce(b.Name(), analysis.RenderTable5(rows, totalRow).String())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Table5StatusChecks(10)
+	}
+}
+
+func BenchmarkTable6_Static(b *testing.B) {
+	a := benchDataset(b)
+	rows, totalRow, _ := a.Table6Static(10)
+	printOnce(b.Name(), analysis.RenderTable6(rows, totalRow).String())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Table6Static(10)
+	}
+}
+
+func BenchmarkTable7_DelegatedEmbeds(b *testing.B) {
+	a := benchDataset(b)
+	rows, total := a.Table7DelegatedEmbeds(10)
+	printOnce(b.Name(), analysis.RenderTable7(rows, total).String())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Table7DelegatedEmbeds(10)
+	}
+}
+
+func BenchmarkTable8_DelegatedPermissions(b *testing.B) {
+	a := benchDataset(b)
+	rows, totalRow := a.Table8DelegatedPermissions(10)
+	printOnce(b.Name(), analysis.RenderTable8(rows, totalRow).String())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Table8DelegatedPermissions(10)
+	}
+}
+
+func BenchmarkTable9_HeaderDirectives(b *testing.B) {
+	a := benchDataset(b)
+	rows, totalRow, _ := a.Table9HeaderDirectives(10)
+	printOnce(b.Name(), analysis.RenderTable9(rows, totalRow).String())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Table9HeaderDirectives(10)
+	}
+}
+
+func BenchmarkFigure2_Adoption(b *testing.B) {
+	a := benchDataset(b)
+	printOnce(b.Name(), analysis.RenderFigure2(a.Figure2Adoption()).String())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Figure2Adoption()
+	}
+}
+
+func BenchmarkTable10_Overpermissioned(b *testing.B) {
+	a := benchDataset(b)
+	cfg := analysis.DefaultOverPermissionConfig()
+	rows, total := a.OverPermissioned(cfg, 10)
+	printOnce(b.Name(), analysis.RenderTable10(rows, total).String())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.OverPermissioned(cfg, 10)
+	}
+}
+
+// BenchmarkTable11_SpecIssue probes the local-scheme inheritance bug in
+// both specification modes.
+func BenchmarkTable11_SpecIssue(b *testing.B) {
+	out, err := core.RenderSpecIssue("https://example.org", "https://attacker.example")
+	if err != nil {
+		b.Fatal(err)
+	}
+	printOnce(b.Name(), out)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, mode := range []policy.SpecMode{policy.SpecActual, policy.SpecExpected} {
+			if _, err := core.ProbeSpecIssue("https://example.org", "https://attacker.example", mode); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkTable12_ManualValidation runs the Appendix A.3 interaction
+// experiment (3 populations, no-interaction vs interaction pass).
+func BenchmarkTable12_ManualValidation(b *testing.B) {
+	cfg := synthweb.DefaultConfig()
+	cfg.NumSites = 300
+	cfg.Seed = benchSeed + 1
+	cfg.UnreachableRate, cfg.TimeoutRate, cfg.EphemeralRate, cfg.MinorRate = 0, 0, 0, 0
+	v := core.ValidationExperiment{Web: cfg, SitesPerExperiment: 15}
+	rows, err := v.Run(context.Background())
+	if err != nil {
+		b.Fatal(err)
+	}
+	printOnce(b.Name(), core.RenderValidation(rows))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := v.Run(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMisconfigurations(b *testing.B) {
+	a := benchDataset(b)
+	s := a.Misconfigurations()
+	printOnce(b.Name(), fmt.Sprintf(
+		"frames with header: %d; syntax-invalid: %d (top %d / emb %d); by kind: %v\nsemantic misconfig websites: top %d, embedded %d\n",
+		s.FramesWithHeader, s.SyntaxErrorFrames, s.SyntaxErrorTopLevel, s.SyntaxErrorEmbedded,
+		s.ByKind, s.SemanticMisconfigWebsites, s.SemanticMisconfigEmbedded))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Misconfigurations()
+	}
+}
+
+func BenchmarkDelegationDirectives(b *testing.B) {
+	a := benchDataset(b)
+	printOnce(b.Name(), analysis.RenderDirectiveShares(a.DelegationDirectives()).String())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.DelegationDirectives()
+	}
+}
+
+func BenchmarkFailureTaxonomy(b *testing.B) {
+	a := benchDataset(b)
+	printOnce(b.Name(), analysis.RenderFailures(a.FailureTaxonomy()).String())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.FailureTaxonomy()
+	}
+}
+
+// ---- Ablations (DESIGN.md design-choice studies) ----
+
+// BenchmarkAblationHybridDetection compares the three detection methods
+// (static-only / dynamic-only / hybrid) on the shared dataset — the
+// design rationale of §3.1.1.
+func BenchmarkAblationHybridDetection(b *testing.B) {
+	a := benchDataset(b)
+	_, _, usum := a.Table4Invocations(0)
+	_, _, ssum := a.Table6Static(0)
+	hy := a.SummaryHybrid()
+	printOnce(b.Name(), fmt.Sprintf(
+		"dynamic-only: %d websites\nstatic-only:  %d websites\nhybrid:       %d websites (+%d over dynamic alone)\n",
+		usum.WithAnyInvocation, ssum.Websites, hy.AnyActivity, hy.AnyActivity-usum.WithAnyInvocation))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.SummaryHybrid()
+	}
+}
+
+// BenchmarkAblationLazyScroll crawls a small population with and
+// without lazy-iframe scrolling, measuring the frame-coverage loss the
+// paper's scrolling design avoids.
+func BenchmarkAblationLazyScroll(b *testing.B) {
+	cfg := synthweb.DefaultConfig()
+	cfg.NumSites = 200
+	cfg.Seed = benchSeed + 2
+	cfg.UnreachableRate, cfg.TimeoutRate, cfg.EphemeralRate, cfg.MinorRate = 0, 0, 0, 0
+	run := func(scroll bool) int {
+		srv := synthweb.NewServer(cfg)
+		if err := srv.Start(); err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+		opts := browser.DefaultOptions()
+		opts.ScrollLazyIframes = scroll
+		br := browser.New(browser.NewHTTPFetcher(srv.Client(0)), opts)
+		c := crawler.New(br, crawler.Config{Workers: 16, PerSiteTimeout: 300 * time.Millisecond})
+		var targets []crawler.Target
+		for _, s := range srv.Sites() {
+			targets = append(targets, crawler.Target{Rank: s.Rank, URL: s.URL()})
+		}
+		ds := c.Crawl(context.Background(), targets)
+		frames := 0
+		for _, r := range ds.Successful() {
+			frames += len(r.Page.Frames)
+		}
+		return frames
+	}
+	withScroll := run(true)
+	withoutScroll := run(false)
+	printOnce(b.Name(), fmt.Sprintf(
+		"frames with lazy-scrolling: %d\nframes without:             %d (%.1f%% coverage loss)\n",
+		withScroll, withoutScroll, 100*float64(withScroll-withoutScroll)/float64(withScroll)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run(true)
+	}
+}
+
+// BenchmarkAblationOverpermissionThreshold sweeps the §5 prevalence
+// threshold, showing the paper's 5% choice sits on a stable plateau.
+func BenchmarkAblationOverpermissionThreshold(b *testing.B) {
+	a := benchDataset(b)
+	var table string
+	for _, th := range []float64{0.01, 0.05, 0.20, 0.50, 0.90} {
+		cfg := analysis.OverPermissionConfig{Threshold: th, MinInclusions: 3}
+		rows, total := a.OverPermissioned(cfg, 0)
+		table += fmt.Sprintf("threshold %4.0f%%: %3d widgets flagged, %4d affected websites\n",
+			th*100, len(rows), total)
+	}
+	printOnce(b.Name(), table)
+	cfg := analysis.DefaultOverPermissionConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.OverPermissioned(cfg, 0)
+	}
+}
+
+// BenchmarkAblationFirstOccurrenceDedup quantifies the first-occurrence
+// rule of §4.1: raw invocation counts versus deduplicated contexts.
+func BenchmarkAblationFirstOccurrenceDedup(b *testing.B) {
+	a := benchDataset(b)
+	_, totalRow, _ := a.Table4Invocations(0)
+	raw := 0
+	for _, rec := range benchDS.Successful() {
+		for _, f := range rec.Page.Frames {
+			raw += len(f.Invocations)
+		}
+	}
+	printOnce(b.Name(), fmt.Sprintf(
+		"raw invocation records:        %d\nfirst-occurrence contexts:     %d (%.1fx inflation avoided)\n",
+		raw, totalRow.TotalContexts, float64(raw)/float64(max(1, totalRow.TotalContexts))))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Table4Invocations(0)
+	}
+}
+
+// BenchmarkAblationInternalLinks measures the coverage the paper's
+// landing-page-only scope gives up (§6.1): crawl the same population
+// with and without internal-link following and compare the permissions
+// discovered.
+func BenchmarkAblationInternalLinks(b *testing.B) {
+	cfg := synthweb.DefaultConfig()
+	cfg.NumSites = 250
+	cfg.Seed = benchSeed + 4
+	cfg.UnreachableRate, cfg.TimeoutRate, cfg.EphemeralRate, cfg.MinorRate = 0, 0, 0, 0
+	run := func(follow int) *store.Dataset {
+		srv := synthweb.NewServer(cfg)
+		if err := srv.Start(); err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+		br := browser.New(browser.NewHTTPFetcher(srv.Client(0)), browser.DefaultOptions())
+		c := crawler.New(br, crawler.Config{Workers: 16, PerSiteTimeout: 5 * time.Second, FollowInternalLinks: follow})
+		var targets []crawler.Target
+		for _, s := range srv.Sites() {
+			targets = append(targets, crawler.Target{Rank: s.Rank, URL: s.URL()})
+		}
+		return c.Crawl(context.Background(), targets)
+	}
+	withLinks := run(3)
+	gain := analysis.New(withLinks).InternalPages()
+	printOnce(b.Name(), fmt.Sprintf(
+		"internal pages visited on %d sites; %d sites gained permissions only visible there (%v)\n",
+		gain.SitesWithInternalPages, gain.SitesWithNewPermissions, gain.PermissionsGained))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run(0)
+	}
+}
+
+// BenchmarkFullPipeline measures a complete small measurement
+// (generate → serve → crawl → analyze), the end-to-end cost unit.
+func BenchmarkFullPipeline(b *testing.B) {
+	opts := core.DefaultMeasurementOptions()
+	opts.Web.NumSites = 100
+	opts.Web.Seed = benchSeed + 3
+	opts.Crawl.Workers = 16
+	opts.Crawl.PerSiteTimeout = 200 * time.Millisecond
+	opts.StallTime = 400 * time.Millisecond
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := core.Run(context.Background(), opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(m.Dataset.Records) != 100 {
+			b.Fatal("short crawl")
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

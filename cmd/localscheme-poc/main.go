@@ -1,0 +1,21 @@
+// Command localscheme-poc reproduces the specification issue of §6.2 /
+// Table 11 (W3C webappsec-permissions-policy issue 552): local-scheme
+// documents do not inherit their parent's declared Permissions-Policy,
+// so a page declaring camera=(self) can be bypassed by a data: iframe
+// that re-delegates camera to an arbitrary third party.
+//
+// Usage:
+//
+//	localscheme-poc
+//	localscheme-poc -top https://bank.example -attacker https://evil.example
+package main
+
+import (
+	"os"
+
+	"permodyssey/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.PoC(os.Args[1:], os.Stdout, os.Stderr))
+}

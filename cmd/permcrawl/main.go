@@ -1,0 +1,22 @@
+// Command permcrawl runs the full measurement: it generates a synthetic
+// web calibrated to the paper's population, serves it on loopback,
+// crawls every site with the mini browser, and stores the dataset as
+// JSON lines for permreport to analyze.
+//
+// Usage:
+//
+//	permcrawl -sites 20000 -seed 1 -workers 32 -out crawl.jsonl
+//	permcrawl -sites 2000 -interact -out crawl-interactive.jsonl
+//	permcrawl -sites 2000 -follow-links 3 -out crawl-deep.jsonl
+package main
+
+import (
+	"context"
+	"os"
+
+	"permodyssey/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Crawl(context.Background(), os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,20 @@
+// Command permreport regenerates the paper's tables and figures from a
+// stored crawl dataset (produced by permcrawl).
+//
+// Usage:
+//
+//	permreport -in crawl.jsonl            # full report, all tables
+//	permreport -in crawl.jsonl -table 9   # a single table
+//	permreport -in crawl.jsonl -json      # machine-readable
+//	permreport -in crawl.jsonl -html      # self-contained HTML page
+package main
+
+import (
+	"os"
+
+	"permodyssey/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Report(os.Args[1:], os.Stdout, os.Stderr))
+}

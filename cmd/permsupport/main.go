@@ -1,0 +1,23 @@
+// Command permsupport prints the caniuse-style permission support
+// matrix (the paper's website tool, Appendix A.6): per-permission
+// classification (policy-controlled / powerful / default allowlist) and
+// per-engine API/policy support, plus the historical change tracker and
+// a surface fingerprinter.
+//
+// Usage:
+//
+//	permsupport
+//	permsupport -chromium 100 -firefox 100 -safari 15
+//	permsupport -changes chromium -from 80 -to 127
+//	permsupport -identify camera,geolocation,...   # whose surface is this?
+package main
+
+import (
+	"os"
+
+	"permodyssey/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Support(os.Args[1:], os.Stdout, os.Stderr))
+}

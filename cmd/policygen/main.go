@@ -1,0 +1,23 @@
+// Command policygen generates Permissions-Policy headers (the paper's
+// header-generator website, Appendix A.7): disable everything, disable
+// only powerful permissions, or a least-privilege header derived from a
+// list of used permissions.
+//
+// Usage:
+//
+//	policygen -mode disable-all
+//	policygen -mode disable-powerful -browser chromium -version 120
+//	policygen -mode from-usage -used camera,geolocation -delegate camera=https://meet.example
+//	policygen -mode disable-powerful -report-only
+//	policygen -allow camera,microphone    # minimal iframe allow attribute
+package main
+
+import (
+	"os"
+
+	"permodyssey/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Gen(os.Args[1:], os.Stdout, os.Stderr))
+}

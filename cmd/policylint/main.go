@@ -1,0 +1,25 @@
+// Command policylint lints Permissions-Policy / Feature-Policy header
+// values and iframe allow attributes, reporting the misconfiguration
+// classes the paper found in the wild (§4.3.3): syntax errors that drop
+// the whole header (Feature-Policy syntax, misplaced commas),
+// unrecognized tokens, unquoted origins, contradictory directives and
+// url directives lacking self.
+//
+// Usage:
+//
+//	policylint -header "camera=(), geolocation=(self)"
+//	policylint -header "camera 'none'"             # FP syntax → dropped
+//	policylint -feature-policy "camera 'self'"
+//	policylint -allow "camera *; microphone"
+//	policylint -embedded -header "ch-ua=*"
+package main
+
+import (
+	"os"
+
+	"permodyssey/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Lint(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,72 @@
+// Headeradvisor is the paper's second developer tool (§6.3): it crawls
+// a website including an interaction pass (like a developer clicking
+// through the site), observes every permission the site and its iframes
+// actually use — including ones gated behind clicks — and suggests the
+// least-privilege Permissions-Policy header and allow attributes.
+//
+//	go run ./examples/headeradvisor
+package main
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+
+	"permodyssey/internal/browser"
+	"permodyssey/internal/core"
+)
+
+func main() {
+	page := func(body string, headers map[string]string) *browser.Response {
+		h := http.Header{}
+		for k, v := range headers {
+			h.Set(k, v)
+		}
+		return &browser.Response{Status: 200, Header: h, Body: body}
+	}
+	// A storefront: geolocation behind a "stores near me" button,
+	// checkout iframe using payment, maps iframe using geolocation.
+	fetcher := browser.MapFetcher{
+		"https://store.example/": page(`
+			<html><body>
+			<div id="near-me"></div>
+			<script>
+			document.getElementById('near-me').addEventListener('click', function () {
+				navigator.geolocation.getCurrentPosition(function (p) {});
+			});
+			</script>
+			<iframe src="https://pay.example/checkout" allow="payment; camera"></iframe>
+			<iframe src="https://maps.example/embed" allow="geolocation *"></iframe>
+			</body></html>`,
+			map[string]string{"Permissions-Policy": "fullscreen=*"}),
+		"https://pay.example/checkout": page(
+			`<script>var r = new PaymentRequest([], {}); r.canMakePayment();</script>`, nil),
+		"https://maps.example/embed": page(
+			`<script>navigator.geolocation.getCurrentPosition(function (p) {}, function () {});</script>`, nil),
+	}
+
+	rec := &core.Recommender{Fetcher: fetcher, Interact: true}
+	out, err := rec.Recommend(context.Background(), "https://store.example/")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "headeradvisor:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println("== Header advisor: store.example ==")
+	fmt.Println("\npermissions observed in use:", out.UsedPermissions)
+	fmt.Println("\nsuggested Permissions-Policy header:")
+	fmt.Println(" ", out.Header)
+	fmt.Println("\nper-iframe delegation advice:")
+	for _, fa := range out.FrameAdvice {
+		fmt.Printf("  %s\n    current:   allow=%q\n    suggested: allow=%q\n",
+			fa.FrameURL, fa.CurrentAllow, fa.SuggestedAllow)
+		if len(fa.UnusedDelegations) > 0 {
+			fmt.Printf("    unused: %v\n", fa.UnusedDelegations)
+		}
+	}
+	fmt.Println("\nfindings (deployed config broader than ideal):")
+	for _, f := range out.Findings {
+		fmt.Println("  -", f)
+	}
+}

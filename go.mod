@@ -1,0 +1,3 @@
+module permodyssey
+
+go 1.22

@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNestedDelegations(t *testing.T) {
+	a := New(dataset(t))
+	s := a.NestedDelegations()
+	t.Logf("nested: %+v", s)
+	if s.DeepFrames == 0 {
+		t.Fatal("the synthetic web nests frames (safeframe creatives)")
+	}
+	if s.DeepDelegated == 0 {
+		t.Fatal("nested delegations must appear")
+	}
+	if s.WebsitesWithChains == 0 {
+		t.Fatal("≥2-hop delegation chains must appear")
+	}
+	if s.ChainsByPermission["attribution-reporting"] == 0 {
+		t.Errorf("ad chains flow attribution-reporting: %v", s.ChainsByPermission)
+	}
+}
+
+func TestDelegatedEmbedPrevalence(t *testing.T) {
+	a := New(dataset(t))
+	tiers := a.DelegatedEmbedPrevalence([]int{1, 5, 25})
+	if len(tiers) != 3 {
+		t.Fatalf("tiers: %v", tiers)
+	}
+	// Monotone decreasing with threshold — the paper's head/tail shape
+	// (34 sites ≥100 websites, only 13 ≥1,000).
+	if !(tiers[0].Sites >= tiers[1].Sites && tiers[1].Sites >= tiers[2].Sites) {
+		t.Errorf("prevalence must decrease with threshold: %v", tiers)
+	}
+	if tiers[0].Sites == 0 || tiers[2].Sites == 0 {
+		t.Errorf("tiers empty: %v", tiers)
+	}
+	if tiers[0].Sites == tiers[2].Sites {
+		t.Errorf("long tail missing: %v", tiers)
+	}
+}
+
+func TestReportOnlyAdoption(t *testing.T) {
+	a := New(dataset(t))
+	s := a.ReportOnly()
+	t.Logf("report-only: %+v", s)
+	if s.WithReportOnly == 0 {
+		t.Fatal("report-only headers must appear in the population")
+	}
+	if s.WithReportOnly >= s.Documents/10 {
+		t.Errorf("report-only should be rare: %d of %d", s.WithReportOnly, s.Documents)
+	}
+	if s.AlsoEnforcing == 0 {
+		t.Error("report-only adopters in this population also enforce")
+	}
+	if s.EndpointsSeen == 0 {
+		t.Error("report-to endpoints must be extracted")
+	}
+}
+
+func TestHTMLReport(t *testing.T) {
+	a := New(dataset(t))
+	out := a.HTML(10)
+	for _, want := range []string{
+		"<!DOCTYPE html>", "Table 3", "Table 4", "Figure 2",
+		"Tables 10/13", "Delegation purposes", "livechatinc.com",
+	} {
+		if !containsStr(out, want) {
+			t.Errorf("HTML report missing %q", want)
+		}
+	}
+	if len(out) < 5000 {
+		t.Errorf("HTML report too short: %d bytes", len(out))
+	}
+}
+
+func containsStr(haystack, needle string) bool {
+	return len(haystack) >= len(needle) && strings.Contains(haystack, needle)
+}
+
+func TestEmbeddedHeaders(t *testing.T) {
+	a := New(dataset(t))
+	s := a.EmbeddedHeaders(10)
+	t.Logf("embedded headers: docs=%d disable=%.1f%% self=%.1f%% all=%.1f%% powerful=%.1f%%",
+		s.Documents, s.DisablePct, s.SelfPct, s.AllPct, s.PowerfulDirectivePct)
+	if s.Documents == 0 {
+		t.Fatal("embedded documents serve headers (ad/video widgets)")
+	}
+	// §4.3.2: the most prevalent embedded directives are UA Client-Hints
+	// features, and the '*' share is far higher than at top level.
+	if len(s.TopFeatures) == 0 {
+		t.Fatal("no embedded features")
+	}
+	foundCH := false
+	for _, f := range s.TopFeatures[:min(4, len(s.TopFeatures))] {
+		if strings.HasPrefix(f.Site, "ch-ua") {
+			foundCH = true
+		}
+	}
+	if !foundCH {
+		t.Errorf("UA-CH features must top the embedded ranking: %+v", s.TopFeatures[:min(4, len(s.TopFeatures))])
+	}
+	if s.AllPct < 20 {
+		t.Errorf("embedded '*' share %.1f%% too low (paper 30.73%%)", s.AllPct)
+	}
+	// Powerful directives are a much smaller share embedded than the
+	// top-level header content (paper 26.30%% vs 56.29%%).
+	_, _, topStats := a.Table9HeaderDirectives(0)
+	_ = topStats
+	if s.PowerfulDirectivePct > 50 {
+		t.Errorf("embedded powerful-directive share %.1f%% implausibly high", s.PowerfulDirectivePct)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"encoding/json"
+
+	"permodyssey/internal/policy"
+	"permodyssey/internal/store"
+)
+
+// ReportData is the machine-readable form of every table and figure —
+// the open-data artifact accompanying the measurement (the paper
+// commits to making results publicly available, criterion C15).
+type ReportData struct {
+	Websites     int                        `json:"websites"`
+	TotalRecords int                        `json:"total_records"`
+	Failures     map[store.FailureClass]int `json:"failures"`
+	Frames       FrameStats                 `json:"frames"`
+	Table3       []SiteCount                `json:"table3_top_embeds"`
+	Table3Total  int                        `json:"table3_total_any_site"`
+	Table4       []UsageRow                 `json:"table4_invocations"`
+	Table4Total  UsageRow                   `json:"table4_total"`
+	Usage        UsageSummary               `json:"usage_summary"`
+	Table5       []CheckRow                 `json:"table5_status_checks"`
+	Table5Total  CheckRow                   `json:"table5_total"`
+	Checks       CheckStats                 `json:"check_stats"`
+	Table6       []StaticRow                `json:"table6_static"`
+	Table6Total  StaticRow                  `json:"table6_total"`
+	Static       StaticSummary              `json:"static_summary"`
+	Hybrid       HybridSummary              `json:"hybrid_summary"`
+	Delegation   DelegationSummary          `json:"delegation_summary"`
+	Table7       []SiteCount                `json:"table7_delegated_embeds"`
+	Table7Total  int                        `json:"table7_total_any_site"`
+	Table8       []DelegatedPermissionRow   `json:"table8_delegated_permissions"`
+	Table8Total  DelegatedPermissionRow     `json:"table8_total"`
+	Directives   DirectiveShares            `json:"delegation_directives"`
+	Adoption     AdoptionStats              `json:"figure2_adoption"`
+	Table9       []DirectiveBreadthRow      `json:"table9_header_directives"`
+	Table9Total  DirectiveBreadthRow        `json:"table9_total"`
+	HeaderStats  HeaderContentStats         `json:"header_content"`
+	Misconfig    MisconfigStats             `json:"misconfigurations"`
+	Table10      []OverPermissionRow        `json:"table10_overpermissioned"`
+	Table10Total int                        `json:"table10_total_affected"`
+	Wildcards    []WildcardRisk             `json:"wildcard_risks"`
+	Nested       NestedDelegationStats      `json:"nested_delegations"`
+	Prevalence   []PrevalenceTier           `json:"delegated_embed_prevalence"`
+	ReportOnlyH  ReportOnlyStats            `json:"report_only"`
+	IssueKinds   map[policy.IssueKind]int   `json:"issue_kinds"`
+	Purposes     []PurposeRow               `json:"delegation_purposes"`
+	Exposure     LocalSchemeExposure        `json:"local_scheme_exposure"`
+	EmbeddedHdr  EmbeddedHeaderStats        `json:"embedded_headers"`
+	InternalGain InternalPageGain           `json:"internal_page_gain"`
+}
+
+// ReportData computes every table into one structure.
+func (a *Analysis) ReportData(topN int) ReportData {
+	d := ReportData{
+		Websites:     a.Websites(),
+		TotalRecords: a.TotalRecords(),
+		Failures:     a.FailureTaxonomy(),
+		Frames:       a.Frames(),
+	}
+	d.Table3, d.Table3Total = a.Table3TopEmbeds(topN)
+	d.Table4, d.Table4Total, d.Usage = a.Table4Invocations(topN)
+	d.Table5, d.Table5Total, d.Checks = a.Table5StatusChecks(topN)
+	d.Table6, d.Table6Total, d.Static = a.Table6Static(topN)
+	d.Hybrid = a.SummaryHybrid()
+	d.Delegation = a.SummaryDelegation()
+	d.Table7, d.Table7Total = a.Table7DelegatedEmbeds(topN)
+	d.Table8, d.Table8Total = a.Table8DelegatedPermissions(topN)
+	d.Directives = a.DelegationDirectives()
+	d.Adoption = a.Figure2Adoption()
+	d.Table9, d.Table9Total, d.HeaderStats = a.Table9HeaderDirectives(topN)
+	d.Misconfig = a.Misconfigurations()
+	d.IssueKinds = d.Misconfig.ByKind
+	d.Table10, d.Table10Total = a.OverPermissioned(DefaultOverPermissionConfig(), topN)
+	d.Wildcards = a.WildcardRisks()
+	d.Nested = a.NestedDelegations()
+	d.Prevalence = a.DelegatedEmbedPrevalence([]int{1, 10, 50, 100})
+	d.ReportOnlyH = a.ReportOnly()
+	d.Purposes = a.DelegationsByPurpose()
+	d.Exposure = a.SpecIssueExposure()
+	d.EmbeddedHdr = a.EmbeddedHeaders(topN)
+	d.InternalGain = a.InternalPages()
+	return d
+}
+
+// JSON renders the report data as indented JSON.
+func (a *Analysis) JSON(topN int) ([]byte, error) {
+	return json.MarshalIndent(a.ReportData(topN), "", "  ")
+}

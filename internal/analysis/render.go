@@ -1,0 +1,359 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"permodyssey/internal/policy"
+	"permodyssey/internal/store"
+)
+
+// Table is a renderable text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// String renders the table with aligned columns.
+func (t Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f%%", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f%%", v) }
+func d(v int) string      { return fmt.Sprintf("%d", v) }
+
+// RenderTable3 renders the top external embeds.
+func RenderTable3(rows []SiteCount, total int) Table {
+	t := Table{
+		Title:   "Table 3: Top External Embedded Documents Site",
+		Headers: []string{"Embedded Document Site", "# Websites including"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{r.Site, d(r.Count)})
+	}
+	t.Rows = append(t.Rows, []string{"Total (any site)", d(total)})
+	return t
+}
+
+// RenderTable4 renders the dynamic invocation ranking.
+func RenderTable4(rows []UsageRow, total UsageRow) Table {
+	t := Table{
+		Title:   "Table 4: Top Permissions Used Across Top-Level and Embedded Contexts",
+		Headers: []string{"Permission", "Top-Level (1P/3P)", "Embedded (1P/3P)", "Total Contexts"},
+	}
+	mk := func(r UsageRow) []string {
+		return []string{
+			r.Name,
+			fmt.Sprintf("%d (%s/%s)", r.TopContexts, f2(r.Top1PPct), f2(r.Top3PPct)),
+			fmt.Sprintf("%d (%s/%s)", r.EmbContexts, f2(r.Emb1PPct), f2(r.Emb3PPct)),
+			d(r.TotalContexts),
+		}
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, mk(r))
+	}
+	t.Rows = append(t.Rows, mk(total))
+	return t
+}
+
+// RenderTable5 renders the status-check ranking.
+func RenderTable5(rows []CheckRow, total CheckRow) Table {
+	t := Table{
+		Title:   "Table 5: Top Permission's Status Checked",
+		Headers: []string{"Permission", "% Checked From Embedded", "# Top-Level Websites"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{r.Name, f2(r.EmbeddedPct), d(r.Websites)})
+	}
+	t.Rows = append(t.Rows, []string{total.Name, f2(total.EmbeddedPct), d(total.Websites)})
+	return t
+}
+
+// RenderTable6 renders the static-detection ranking.
+func RenderTable6(rows []StaticRow, total StaticRow) Table {
+	t := Table{
+		Title:   "Table 6: Top Statically Detected Permissions",
+		Headers: []string{"Permission", "% Functionality in Embedded", "# Top-Level Websites"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{r.Name, f2(r.EmbeddedPct), d(r.Websites)})
+	}
+	t.Rows = append(t.Rows, []string{total.Name, f2(total.EmbeddedPct), d(total.Websites)})
+	return t
+}
+
+// RenderTable7 renders the delegated-embed ranking.
+func RenderTable7(rows []SiteCount, total int) Table {
+	t := Table{
+		Title:   "Table 7: Top External Embedded Documents with Delegated Permissions",
+		Headers: []string{"Embedded Document Site", "# Top-Level Websites"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{r.Site, d(r.Count)})
+	}
+	t.Rows = append(t.Rows, []string{"Total (any site)", d(total)})
+	return t
+}
+
+// RenderTable8 renders the delegated-permission ranking.
+func RenderTable8(rows []DelegatedPermissionRow, total DelegatedPermissionRow) Table {
+	t := Table{
+		Title:   "Table 8: Top Delegated Permissions to External Embedded Documents",
+		Headers: []string{"Permission", "Delegations", "# Top-Level Websites"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{r.Name, d(r.Delegations), d(r.Websites)})
+	}
+	t.Rows = append(t.Rows, []string{total.Name, d(total.Delegations), d(total.Websites)})
+	return t
+}
+
+var breadthOrder = []policy.Breadth{
+	policy.BreadthDisable, policy.BreadthSelf, policy.BreadthSameOrigin,
+	policy.BreadthSameSite, policy.BreadthThirdParty, policy.BreadthAll,
+}
+
+// RenderTable9 renders header-directive breadths.
+func RenderTable9(rows []DirectiveBreadthRow, total DirectiveBreadthRow) Table {
+	headers := []string{"Permission"}
+	for _, b := range breadthOrder {
+		headers = append(headers, b.String())
+	}
+	headers = append(headers, "# Websites")
+	t := Table{Title: "Table 9: Permissions-Policy header least restrictive directives (top-level)", Headers: headers}
+	mk := func(r DirectiveBreadthRow) []string {
+		row := []string{r.Name}
+		for _, b := range breadthOrder {
+			c := r.Counts[b]
+			row = append(row, fmt.Sprintf("%d (%s)", c, f2(pct(c, r.Websites))))
+		}
+		return append(row, d(r.Websites))
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, mk(r))
+	}
+	sumDirectives := 0
+	for _, b := range breadthOrder {
+		sumDirectives += total.Counts[b]
+	}
+	row := []string{total.Name}
+	for _, b := range breadthOrder {
+		c := total.Counts[b]
+		row = append(row, fmt.Sprintf("%d (%s)", c, f2(pct(c, sumDirectives))))
+	}
+	row = append(row, d(total.Websites))
+	t.Rows = append(t.Rows, row)
+	return t
+}
+
+// RenderFigure2 renders adoption shares as a text "figure".
+func RenderFigure2(s AdoptionStats) Table {
+	return Table{
+		Title:   "Figure 2: Permission Control headers adoption",
+		Headers: []string{"Metric", "Value"},
+		Rows: [][]string{
+			{"Documents analyzed (non-local)", d(s.Documents)},
+			{"Permissions-Policy documents", fmt.Sprintf("%d (%s)", s.PPDocuments, f2(s.PPDocumentsPct))},
+			{"Feature-Policy documents", fmt.Sprintf("%d (%s)", s.FPDocuments, f2(s.FPDocumentsPct))},
+			{"Both headers", d(s.BothDocuments)},
+			{"Permissions-Policy top-level", fmt.Sprintf("%d (%s of top-level)", s.PPTopLevel, f2(s.PPTopLevelPct))},
+			{"Permissions-Policy embedded", fmt.Sprintf("%d (%s of embedded)", s.PPEmbedded, f2(s.PPEmbeddedPct))},
+		},
+	}
+}
+
+// RenderTable10 renders the over-permission ranking.
+func RenderTable10(rows []OverPermissionRow, total int) Table {
+	t := Table{
+		Title:   "Table 10/13: Embedded Documents with Potentially Unused Delegated Permissions",
+		Headers: []string{"Embedded Iframe", "Potentially Unused Permissions", "# Affected Websites"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{r.Site, strings.Join(r.UnusedPermissions, ", "), d(r.AffectedWebsites)})
+	}
+	t.Rows = append(t.Rows, []string{"Total (any iframe)", "", d(total)})
+	return t
+}
+
+// RenderFailures renders the crawl-failure taxonomy.
+func RenderFailures(counts map[store.FailureClass]int) Table {
+	t := Table{
+		Title:   "Crawl outcome taxonomy (§4)",
+		Headers: []string{"Outcome", "Sites"},
+	}
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, string(k))
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		t.Rows = append(t.Rows, []string{k, d(counts[store.FailureClass(k)])})
+	}
+	return t
+}
+
+// RenderDirectiveShares renders §4.2.2's delegation-directive split.
+func RenderDirectiveShares(s DirectiveShares) Table {
+	return Table{
+		Title:   "Delegation directives (§4.2.2)",
+		Headers: []string{"Directive form", "Share"},
+		Rows: [][]string{
+			{"default (src)", f2(s.DefaultSrc)},
+			{"* wildcard", f2(s.Wildcard)},
+			{"explicit 'src'", f2(s.ExplicitSrc)},
+			{"'none'", fmt.Sprintf("%s (%d instances)", f2(s.None), s.NoneCount)},
+			{"single origin", f2(s.SingleOrig)},
+			{"'self'", f2(s.Self)},
+			{"total directives", d(s.Total)},
+		},
+	}
+}
+
+// FullReport renders every table of the evaluation in paper order.
+func (a *Analysis) FullReport() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== Permissions Odyssey — measurement report over %d/%d sites ===\n\n",
+		a.Websites(), a.TotalRecords())
+
+	b.WriteString(RenderFailures(a.FailureTaxonomy()).String())
+	b.WriteByte('\n')
+
+	fs := a.Frames()
+	fmt.Fprintf(&b, "Frames: %d total (%d top-level, %d embedded: %.1f%% local / %.1f%% external)\n",
+		fs.TotalFrames, fs.TopLevelFrames, fs.EmbeddedFrames,
+		pct(fs.LocalEmbedded, fs.EmbeddedFrames), pct(fs.ExternalEmbedded, fs.EmbeddedFrames))
+	fmt.Fprintf(&b, "Websites with iframes: %d (avg %.1f direct iframes)\n\n",
+		fs.WebsitesWithFrame, fs.AvgIframesPerSite)
+
+	t3, t3Total := a.Table3TopEmbeds(10)
+	b.WriteString(RenderTable3(t3, t3Total).String())
+	b.WriteByte('\n')
+
+	t4, t4Total, usum := a.Table4Invocations(10)
+	b.WriteString(RenderTable4(t4, t4Total).String())
+	fmt.Fprintf(&b, "Websites with any invocation: %d (%s); top-level %s; embedded %s; deprecated Feature-Policy API reliance: %d websites\n\n",
+		usum.WithAnyInvocation, f2(pct(usum.WithAnyInvocation, usum.Websites)),
+		f2(pct(usum.WithTopLevelActivity, usum.Websites)),
+		f2(pct(usum.WithEmbeddedActivity, usum.Websites)),
+		usum.DeprecatedAPIWebsites)
+
+	t5, t5Total, cstats := a.Table5StatusChecks(10)
+	b.WriteString(RenderTable5(t5, t5Total).String())
+	fmt.Fprintf(&b, "Status-check websites: %d (top %d / embedded %d); mean %.2f specific permissions checked (max %d)\n\n",
+		cstats.Websites, cstats.AtTopLevel, cstats.InEmbedded, cstats.MeanPerTop, cstats.MaxPerTop)
+
+	t6, t6Total, ssum := a.Table6Static(10)
+	b.WriteString(RenderTable6(t6, t6Total).String())
+	fmt.Fprintf(&b, "Static functionality on %d websites (%s)\n\n",
+		ssum.Websites, f2(pct(ssum.Websites, a.Websites())))
+
+	hy := a.SummaryHybrid()
+	fmt.Fprintf(&b, "Hybrid headline (§4.1.4): %d/%d websites (%s) show any permission-related functionality\n\n",
+		hy.AnyActivity, hy.Websites, f2(pct(hy.AnyActivity, hy.Websites)))
+
+	ds := a.SummaryDelegation()
+	fmt.Fprintf(&b, "Delegation (§4.2): any %s; external %s; third-party %d websites\n\n",
+		f2(pct(ds.AnyDelegation, ds.Websites)), f2(pct(ds.ExternalDelegation, ds.Websites)),
+		ds.ThirdPartyDelegation)
+
+	t7, t7Total := a.Table7DelegatedEmbeds(10)
+	b.WriteString(RenderTable7(t7, t7Total).String())
+	b.WriteByte('\n')
+
+	t8, t8Total := a.Table8DelegatedPermissions(10)
+	b.WriteString(RenderTable8(t8, t8Total).String())
+	b.WriteByte('\n')
+
+	b.WriteString(RenderDirectiveShares(a.DelegationDirectives()).String())
+	b.WriteByte('\n')
+
+	b.WriteString(RenderFigure2(a.Figure2Adoption()).String())
+	b.WriteByte('\n')
+
+	t9, t9Total, hstats := a.Table9HeaderDirectives(10)
+	b.WriteString(RenderTable9(t9, t9Total).String())
+	fmt.Fprintf(&b, "Header content: %d websites declare it, %d parse; avg %.2f permissions (max %d); disable %s / self %s / * %s; powerful tight %s\n\n",
+		hstats.HeaderWebsites, hstats.ParsedWebsites, hstats.AvgPermissions, hstats.MaxPermissions,
+		f2(hstats.DisablePct), f2(hstats.SelfPct), f2(hstats.AllPct), f2(hstats.PowerfulDisableOrSelfPct))
+
+	emb := a.EmbeddedHeaders(5)
+	fmt.Fprintf(&b, "Embedded-document headers (§4.3.2): %d docs; directives disable %s / self %s / * %s; powerful %s; top features:",
+		emb.Documents, f2(emb.DisablePct), f2(emb.SelfPct), f2(emb.AllPct), f2(emb.PowerfulDirectivePct))
+	for _, fcount := range emb.TopFeatures {
+		fmt.Fprintf(&b, " %s(%d)", fcount.Site, fcount.Count)
+	}
+	b.WriteString("\n\n")
+
+	mis := a.Misconfigurations()
+	fmt.Fprintf(&b, "Misconfigurations (§4.3.3): %d frames with header; %d syntax-invalid (top %d / embedded %d); semantic: %d websites top-level, %d embedded\n\n",
+		mis.FramesWithHeader, mis.SyntaxErrorFrames, mis.SyntaxErrorTopLevel, mis.SyntaxErrorEmbedded,
+		mis.SemanticMisconfigWebsites, mis.SemanticMisconfigEmbedded)
+
+	t10, t10Total := a.OverPermissioned(DefaultOverPermissionConfig(), 10)
+	b.WriteString(RenderTable10(t10, t10Total).String())
+	b.WriteByte('\n')
+
+	nested := a.NestedDelegations()
+	fmt.Fprintf(&b, "Nested delegation (extension beyond §4.2's depth-1 scope): %d deep frames, %d delegated; %d websites carry ≥2-hop chains (%d hops of powerful permissions)\n",
+		nested.DeepFrames, nested.DeepDelegated, nested.WebsitesWithChains, nested.PowerfulChains)
+
+	tiers := a.DelegatedEmbedPrevalence([]int{1, 10, 50, 100})
+	b.WriteString("Delegated-embed prevalence (§4.2): ")
+	for i, tier := range tiers {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d sites in ≥%d websites", tier.Sites, tier.MinWebsites)
+	}
+	b.WriteByte('\n')
+
+	ro := a.ReportOnly()
+	fmt.Fprintf(&b, "Report-only mode: %d documents serve Permissions-Policy-Report-Only (%d also enforce; %d distinct endpoints)\n\n",
+		ro.WithReportOnly, ro.AlsoEnforcing, ro.EndpointsSeen)
+
+	b.WriteString("Delegation purposes (§4.2.1 grouping)\n")
+	for _, row := range a.DelegationsByPurpose() {
+		fmt.Fprintf(&b, "  %-28s %3d embed sites on %4d websites\n", row.Purpose, row.Embeds, row.Websites)
+	}
+	exp := a.SpecIssueExposure()
+	fmt.Fprintf(&b, "\nLocal-scheme bypass exposure (§6.2): %d websites restrict a powerful permission to self; %d of them would let an injected data: iframe load (no frame-governing CSP)\n",
+		exp.SelfOnlyPowerful, exp.Exposed)
+	return b.String()
+}

@@ -1,0 +1,37 @@
+package browser
+
+import (
+	"context"
+	"testing"
+)
+
+func BenchmarkVisitPage(b *testing.B) {
+	fetcher := MapFetcher{
+		"https://site.example/": page(`
+			<script src="/app.js"></script>
+			<script>navigator.permissions.query({name: 'notifications'});</script>
+			<iframe src="https://w.example/e" allow="camera; microphone"></iframe>
+			<iframe srcdoc="&lt;p&gt;banner&lt;/p&gt;"></iframe>`, nil),
+		"https://site.example/app.js": {Status: 200, Body: `navigator.getBattery(); document.featurePolicy.allowedFeatures();`},
+		"https://w.example/e": page(
+			`<script>navigator.mediaDevices.getUserMedia({video: true});</script>`, nil),
+	}
+	br := New(fetcher, DefaultOptions())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := br.Visit(context.Background(), "https://site.example/"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseCSP(b *testing.B) {
+	value := "default-src 'self'; script-src 'self' https://cdn.example; frame-src https://youtube.com *.trusted.example data:; object-src 'none'"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := ParseCSP(value)
+		if !c.AllowsFrame("https://youtube.com/embed") {
+			b.Fatal("bad parse")
+		}
+	}
+}

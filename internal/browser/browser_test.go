@@ -1,0 +1,391 @@
+package browser
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+
+	"permodyssey/internal/policy"
+)
+
+func page(body string, headers map[string]string) *Response {
+	h := http.Header{}
+	for k, v := range headers {
+		h.Set(k, v)
+	}
+	return &Response{Status: 200, Header: h, Body: body}
+}
+
+func TestVisitCollectsFramesHeadersScripts(t *testing.T) {
+	fetcher := MapFetcher{
+		"https://site.example/": page(`
+			<html><head>
+			<script src="/app.js"></script>
+			<script>navigator.permissions.query({name: 'notifications'});</script>
+			</head><body>
+			<iframe src="https://widget.example/embed" allow="camera; microphone"></iframe>
+			</body></html>`,
+			map[string]string{"Permissions-Policy": "geolocation=(self)"}),
+		"https://site.example/app.js": {Status: 200, Body: `navigator.getBattery();`},
+		"https://widget.example/embed": page(
+			`<script>navigator.mediaDevices.getUserMedia({video: true});</script>`,
+			map[string]string{"Permissions-Policy": "interest-cohort=()"}),
+	}
+	b := New(fetcher, DefaultOptions())
+	res, err := b.Visit(context.Background(), "https://site.example/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Frames) != 2 {
+		t.Fatalf("frames: %d", len(res.Frames))
+	}
+	top := res.TopFrame()
+	if !top.TopLevel || top.Origin != "https://site.example" || top.Site != "site.example" {
+		t.Errorf("top frame: %+v", top)
+	}
+	if !top.HasPermissionsPolicy || !top.HeaderValid {
+		t.Errorf("top header: %+v", top)
+	}
+	// Dynamic: battery (external 3P-located script... same-site here) and
+	// the notifications query.
+	var apis []string
+	for _, inv := range top.Invocations {
+		apis = append(apis, inv.API)
+	}
+	joined := strings.Join(apis, ",")
+	if !strings.Contains(joined, "navigator.getBattery") || !strings.Contains(joined, "navigator.permissions.query") {
+		t.Errorf("top invocations: %v", apis)
+	}
+	// Static findings should include battery.
+	perms := map[string]bool{}
+	for _, f := range top.StaticFindings {
+		perms[f.Permission] = true
+	}
+	if !perms["battery"] {
+		t.Errorf("static findings: %+v", top.StaticFindings)
+	}
+	// Embedded frame: delegated camera works; its element attrs kept.
+	emb := res.Frames[1]
+	if emb.TopLevel || emb.Depth != 1 || emb.Element.Allow != "camera; microphone" {
+		t.Errorf("embedded frame: %+v", emb)
+	}
+	if len(emb.Invocations) != 1 || emb.Invocations[0].Blocked {
+		t.Errorf("delegated getUserMedia must succeed: %+v", emb.Invocations)
+	}
+	if !emb.HasPermissionsPolicy {
+		t.Error("embedded header must be captured (§3.1.3: every frame)")
+	}
+}
+
+func TestUndelegatedIframeBlocked(t *testing.T) {
+	fetcher := MapFetcher{
+		"https://site.example/": page(`<iframe src="https://widget.example/e"></iframe>`, nil),
+		"https://widget.example/e": page(
+			`<script>navigator.mediaDevices.getUserMedia({video: true}).catch(function(){});</script>`, nil),
+	}
+	b := New(fetcher, DefaultOptions())
+	res, err := b.Visit(context.Background(), "https://site.example/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	emb := res.Frames[1]
+	if len(emb.Invocations) != 1 || !emb.Invocations[0].Blocked {
+		t.Errorf("undelegated camera must be blocked: %+v", emb.Invocations)
+	}
+}
+
+func TestHeaderSyntaxErrorDropsPolicy(t *testing.T) {
+	// Feature-Policy syntax inside Permissions-Policy: header dropped,
+	// defaults apply — so camera still works at top level.
+	fetcher := MapFetcher{
+		"https://site.example/": page(
+			`<script>navigator.mediaDevices.getUserMedia({video:true});</script>`,
+			map[string]string{"Permissions-Policy": "camera 'none'"}),
+	}
+	b := New(fetcher, DefaultOptions())
+	res, err := b.Visit(context.Background(), "https://site.example/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := res.TopFrame()
+	if top.HeaderValid {
+		t.Error("header must be invalid")
+	}
+	if len(top.HeaderIssues) == 0 || top.HeaderIssues[0].Kind != policy.IssueFeaturePolicySyntax {
+		t.Errorf("issues: %v", top.HeaderIssues)
+	}
+	if len(top.Invocations) != 1 || top.Invocations[0].Blocked {
+		t.Error("with the header dropped, the default allowlist applies and camera works")
+	}
+}
+
+func TestFeaturePolicyFallback(t *testing.T) {
+	// A Feature-Policy header (no Permissions-Policy) is still enforced.
+	fetcher := MapFetcher{
+		"https://site.example/": page(
+			`<script>navigator.mediaDevices.getUserMedia({video:true}).catch(function(){});</script>`,
+			map[string]string{"Feature-Policy": "camera 'none'"}),
+	}
+	b := New(fetcher, DefaultOptions())
+	res, err := b.Visit(context.Background(), "https://site.example/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := res.TopFrame()
+	if !top.HasFeaturePolicy || top.HasPermissionsPolicy {
+		t.Errorf("headers: %+v", top)
+	}
+	if len(top.Invocations) != 1 || !top.Invocations[0].Blocked {
+		t.Error("Feature-Policy camera 'none' must block")
+	}
+}
+
+func TestLazyIframeScrolling(t *testing.T) {
+	fetcher := MapFetcher{
+		"https://site.example/": page(
+			`<iframe src="https://widget.example/e" loading="lazy"></iframe>`, nil),
+		"https://widget.example/e": page(`<p>hi</p>`, nil),
+	}
+	withScroll := New(fetcher, DefaultOptions())
+	res, err := withScroll.Visit(context.Background(), "https://site.example/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Frames) != 2 {
+		t.Errorf("with scrolling: %d frames", len(res.Frames))
+	}
+	opts := DefaultOptions()
+	opts.ScrollLazyIframes = false
+	noScroll := New(fetcher, opts)
+	res, err = noScroll.Visit(context.Background(), "https://site.example/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Frames) != 1 {
+		t.Errorf("without scrolling: %d frames", len(res.Frames))
+	}
+}
+
+func TestSrcdocLocalFrame(t *testing.T) {
+	fetcher := MapFetcher{
+		"https://site.example/": page(
+			`<iframe srcdoc="&lt;script&gt;navigator.geolocation.getCurrentPosition(function(){});&lt;/script&gt;" allow="geolocation"></iframe>`, nil),
+	}
+	b := New(fetcher, DefaultOptions())
+	res, err := b.Visit(context.Background(), "https://site.example/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Frames) != 2 {
+		t.Fatalf("frames: %d", len(res.Frames))
+	}
+	local := res.Frames[1]
+	if !local.LocalScheme || local.Origin != "null" {
+		t.Errorf("local frame: %+v", local)
+	}
+	// Local-scheme docs evaluate with the parent's origin: geolocation
+	// (default self) works.
+	if len(local.Invocations) != 1 || local.Invocations[0].Blocked {
+		t.Errorf("srcdoc geolocation: %+v", local.Invocations)
+	}
+}
+
+func TestLocalSchemeAttackEndToEnd(t *testing.T) {
+	// §6.2 Table 11 through the whole browser: example.org declares
+	// camera=(self); a data: iframe re-delegates camera to attacker.com.
+	mkFetcher := func() MapFetcher {
+		return MapFetcher{
+			"https://example.org/": page(
+				`<iframe src="data:text/html,<iframe src='https://attacker.example/x' allow='camera'></iframe>" allow="camera"></iframe>`,
+				map[string]string{"Permissions-Policy": "camera=(self)"}),
+			"https://attacker.example/x": page(
+				`<script>navigator.mediaDevices.getUserMedia({video:true}).catch(function(){});</script>`, nil),
+		}
+	}
+	run := func(mode policy.SpecMode) bool {
+		opts := DefaultOptions()
+		opts.Mode = mode
+		b := New(mkFetcher(), opts)
+		res, err := b.Visit(context.Background(), "https://example.org/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, fr := range res.Frames {
+			if fr.URL == "https://attacker.example/x" {
+				if len(fr.Invocations) != 1 {
+					t.Fatalf("attacker invocations: %+v", fr.Invocations)
+				}
+				return !fr.Invocations[0].Blocked
+			}
+		}
+		t.Fatal("attacker frame not reached")
+		return false
+	}
+	if !run(policy.SpecActual) {
+		t.Error("actual spec: the local-scheme bypass must grant the attacker camera")
+	}
+	if run(policy.SpecExpected) {
+		t.Error("expected behaviour: the parent's camera=(self) must bind the nested delegation")
+	}
+}
+
+func TestCSPFrameSrcBlocksAttack(t *testing.T) {
+	// The paper: the bypass works "when the CSP does not enforce frame
+	// restrictions". With frame-src 'self', the data: frame never loads.
+	fetcher := MapFetcher{
+		"https://example.org/": page(
+			`<iframe src="data:text/html,<b>x</b>" allow="camera"></iframe>`,
+			map[string]string{
+				"Permissions-Policy":      "camera=(self)",
+				"Content-Security-Policy": "frame-src 'self'",
+			}),
+	}
+	b := New(fetcher, DefaultOptions())
+	res, err := b.Visit(context.Background(), "https://example.org/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Frames) != 1 {
+		t.Errorf("CSP must block the data: frame; frames = %d", len(res.Frames))
+	}
+}
+
+func TestInteractionAblation(t *testing.T) {
+	// Permission usage gated behind a click is invisible without
+	// interaction and visible with it (Table 12's comparison).
+	src := `<script>
+	document.body.addEventListener('click', function () {
+		navigator.mediaDevices.getUserMedia({audio: true});
+	});
+	</script>`
+	fetcher := MapFetcher{"https://shop.example/": page(src, nil)}
+
+	plain := New(fetcher, DefaultOptions())
+	res, err := plain.Visit(context.Background(), "https://shop.example/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(res.TopFrame().Invocations); n != 0 {
+		t.Errorf("no-interaction run observed %d invocations", n)
+	}
+	// But static analysis still sees it (the hybrid advantage, A.3).
+	foundStatic := false
+	for _, f := range res.TopFrame().StaticFindings {
+		if f.Permission == "microphone" {
+			foundStatic = true
+		}
+	}
+	if !foundStatic {
+		t.Error("static analysis must find the gated getUserMedia")
+	}
+
+	opts := DefaultOptions()
+	opts.Interact = true
+	interactive := New(fetcher, opts)
+	res, err = interactive.Visit(context.Background(), "https://shop.example/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(res.TopFrame().Invocations); n != 1 {
+		t.Errorf("interaction run observed %d invocations; want 1", n)
+	}
+}
+
+func TestMaxFramesTruncation(t *testing.T) {
+	body := strings.Repeat(`<iframe src="https://w.example/e"></iframe>`, 10)
+	fetcher := MapFetcher{
+		"https://site.example/": page(body, nil),
+		"https://w.example/e":   page("<p>w</p>", nil),
+	}
+	opts := DefaultOptions()
+	opts.MaxFramesPerPage = 4
+	b := New(fetcher, opts)
+	res, err := b.Visit(context.Background(), "https://site.example/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated || len(res.Frames) != 4 {
+		t.Errorf("truncation: %d frames, truncated=%v", len(res.Frames), res.Truncated)
+	}
+}
+
+func TestFrameLoadFailureRecorded(t *testing.T) {
+	fetcher := MapFetcher{
+		"https://site.example/": page(`<iframe src="https://gone.example/x"></iframe>`, nil),
+	}
+	b := New(fetcher, DefaultOptions())
+	res, err := b.Visit(context.Background(), "https://site.example/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Frames) != 2 || res.Frames[1].LoadError == "" {
+		t.Errorf("frame failure: %+v", res.Frames)
+	}
+}
+
+func TestScriptErrorsDoNotAbortPage(t *testing.T) {
+	fetcher := MapFetcher{
+		"https://site.example/": page(`
+		<script>this is not javascript %%%</script>
+		<script>navigator.getBattery();</script>`, nil),
+	}
+	b := New(fetcher, DefaultOptions())
+	res, err := b.Visit(context.Background(), "https://site.example/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := res.TopFrame()
+	if len(top.ScriptErrors) == 0 {
+		t.Error("the broken script must be recorded")
+	}
+	if len(top.Invocations) != 1 {
+		t.Errorf("the healthy script must still run: %+v", top.Invocations)
+	}
+}
+
+func TestCSPParsing(t *testing.T) {
+	c := ParseCSP("default-src 'self'; frame-src https://youtube.com *.trusted.example; script-src 'none'")
+	if !c.Present {
+		t.Fatal("present")
+	}
+	srcs, ok := c.FrameSources()
+	if !ok || len(srcs) != 2 {
+		t.Fatalf("frame sources: %v", srcs)
+	}
+	tests := []struct {
+		url  string
+		want bool
+	}{
+		{"https://youtube.com/embed", true},
+		{"https://sub.trusted.example/w", true},
+		{"https://evil.example/", false},
+		{"data:text/html,x", false},
+	}
+	// frame-src * admits any network URL but NOT data:/blob:.
+	wild := ParseCSP("frame-src *")
+	if !wild.AllowsFrame("https://any.example/") {
+		t.Error("frame-src * must allow network frames")
+	}
+	if wild.AllowsFrame("data:text/html,x") {
+		t.Error("frame-src * must not allow data: frames")
+	}
+	if !ParseCSP("frame-src data:").AllowsFrame("data:text/html,x") {
+		t.Error("explicit data: scheme-source must allow data: frames")
+	}
+	for _, tt := range tests {
+		if got := c.AllowsFrame(tt.url); got != tt.want {
+			t.Errorf("AllowsFrame(%q) = %v; want %v", tt.url, got, tt.want)
+		}
+	}
+	// No CSP at all: everything allowed — the §6.2 precondition.
+	empty := ParseCSP("")
+	if !empty.AllowsFrame("data:text/html,x") {
+		t.Error("absent CSP must allow all frames")
+	}
+	// default-src fallback governs frames.
+	fallback := ParseCSP("default-src 'none'")
+	if fallback.AllowsFrame("https://any.example/") {
+		t.Error("default-src 'none' must block frames")
+	}
+}

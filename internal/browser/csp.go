@@ -1,0 +1,109 @@
+package browser
+
+import (
+	"strings"
+)
+
+// CSP is a minimal Content-Security-Policy model: exactly what the
+// local-scheme attack analysis of §6.2 needs — whether a frame-src (or
+// fallback default-src) directive exists, and whether it would permit
+// framing a given source. A missing frame-src is the precondition the
+// paper identifies for the HTML-injection variant of the attack.
+type CSP struct {
+	// Present reports whether any CSP header was delivered.
+	Present bool
+	// Directives maps directive name → source expressions.
+	Directives map[string][]string
+}
+
+// ParseCSP parses a Content-Security-Policy header value.
+func ParseCSP(value string) CSP {
+	c := CSP{Directives: map[string][]string{}}
+	value = strings.TrimSpace(value)
+	if value == "" {
+		return c
+	}
+	c.Present = true
+	for _, directive := range strings.Split(value, ";") {
+		fields := strings.Fields(directive)
+		if len(fields) == 0 {
+			continue
+		}
+		name := strings.ToLower(fields[0])
+		if _, dup := c.Directives[name]; dup {
+			continue // per CSP, later duplicates are ignored
+		}
+		c.Directives[name] = fields[1:]
+	}
+	return c
+}
+
+// FrameSources returns the source list governing frames (frame-src,
+// falling back to child-src then default-src) and whether any governs.
+func (c CSP) FrameSources() ([]string, bool) {
+	for _, name := range []string{"frame-src", "child-src", "default-src"} {
+		if srcs, ok := c.Directives[name]; ok {
+			return srcs, true
+		}
+	}
+	return nil, false
+}
+
+// AllowsFrame reports whether a frame with the given URL may load.
+// With no governing directive everything is allowed — the gap that
+// makes the local-scheme permission hijack exploitable (§6.2).
+func (c CSP) AllowsFrame(frameURL string) bool {
+	srcs, governed := c.FrameSources()
+	if !governed {
+		return true
+	}
+	localTarget := strings.HasPrefix(strings.ToLower(frameURL), "data:") ||
+		strings.HasPrefix(strings.ToLower(frameURL), "blob:")
+	for _, src := range srcs {
+		switch strings.ToLower(src) {
+		case "'none'":
+			return false
+		case "*":
+			// The CSP wildcard matches network schemes only: data: and
+			// blob: require explicit scheme-sources. This is what makes
+			// frame-src a real mitigation for the §6.2 local-scheme
+			// injection even on permissive policies.
+			if !localTarget {
+				return true
+			}
+		case "'self'":
+			// The caller compares same-origin; approximate by accepting
+			// relative URLs only.
+			if !strings.Contains(frameURL, "://") && !strings.HasPrefix(frameURL, "data:") {
+				return true
+			}
+		case "data:":
+			if strings.HasPrefix(strings.ToLower(frameURL), "data:") {
+				return true
+			}
+		default:
+			if matchCSPSource(src, frameURL) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// matchCSPSource matches host-source expressions like
+// https://example.com, *.example.com or example.com.
+func matchCSPSource(src, frameURL string) bool {
+	u := strings.TrimPrefix(strings.TrimPrefix(frameURL, "https://"), "http://")
+	host := u
+	if i := strings.IndexAny(host, "/:"); i >= 0 {
+		host = host[:i]
+	}
+	s := strings.TrimPrefix(strings.TrimPrefix(src, "https://"), "http://")
+	if i := strings.IndexAny(s, "/:"); i >= 0 {
+		s = s[:i]
+	}
+	if strings.HasPrefix(s, "*.") {
+		return strings.HasSuffix(host, s[1:]) && host != s[2:]
+	}
+	return host == s
+}

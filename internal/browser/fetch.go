@@ -1,0 +1,111 @@
+// Package browser implements the miniature headless browser the
+// measurement pipeline drives: it fetches documents over real HTTP,
+// captures the response headers of every frame at any depth (§3.1.3),
+// parses the HTML, extracts iframe attributes (§3.1.2), executes
+// scripts against the instrumented Web-API surface (dynamic analysis),
+// runs the static analyzer over every loaded script, triggers
+// lazy-loaded iframes the way the crawler scrolls to them (§3.2), and
+// optionally simulates user interaction (Appendix A.3).
+package browser
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// Response is a fetched document or script.
+type Response struct {
+	Status   int
+	Header   http.Header
+	Body     string
+	FinalURL string // after redirects
+}
+
+// Fetcher retrieves resources. The crawler plugs in an HTTP client
+// whose dialer is pointed at the synthetic web; tests plug in maps.
+type Fetcher interface {
+	Fetch(ctx context.Context, rawURL string) (*Response, error)
+}
+
+// HTTPFetcher fetches over net/http.
+type HTTPFetcher struct {
+	Client *http.Client
+	// MaxBodyBytes caps response bodies (default 4 MiB).
+	MaxBodyBytes int64
+	// UserAgent is sent with every request.
+	UserAgent string
+}
+
+// NewHTTPFetcher builds a fetcher with sane crawl defaults.
+func NewHTTPFetcher(client *http.Client) *HTTPFetcher {
+	if client == nil {
+		client = &http.Client{Timeout: 60 * time.Second}
+	}
+	return &HTTPFetcher{
+		Client:       client,
+		MaxBodyBytes: 4 << 20,
+		UserAgent:    "Mozilla/5.0 (X11; Linux x86_64) Chrome/127.0.0.0 permodyssey-crawler",
+	}
+}
+
+// Fetch implements Fetcher.
+func (f *HTTPFetcher) Fetch(ctx context.Context, rawURL string) (*Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rawURL, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("User-Agent", f.UserAgent)
+	resp, err := f.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	limit := f.MaxBodyBytes
+	if limit <= 0 {
+		limit = 4 << 20
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, limit))
+	if err != nil {
+		return nil, fmt.Errorf("reading %s: %w", rawURL, err)
+	}
+	return &Response{
+		Status:   resp.StatusCode,
+		Header:   resp.Header,
+		Body:     string(body),
+		FinalURL: resp.Request.URL.String(),
+	}, nil
+}
+
+// MapFetcher serves canned responses; for tests and examples.
+type MapFetcher map[string]*Response
+
+// Fetch implements Fetcher.
+func (m MapFetcher) Fetch(_ context.Context, rawURL string) (*Response, error) {
+	if r, ok := m[rawURL]; ok {
+		if r.FinalURL == "" {
+			cp := *r
+			cp.FinalURL = rawURL
+			return &cp, nil
+		}
+		return r, nil
+	}
+	return nil, fmt.Errorf("map fetcher: no entry for %q", rawURL)
+}
+
+// resolveURL resolves ref against base, returning "" on failure.
+func resolveURL(base, ref string) string {
+	b, err := url.Parse(base)
+	if err != nil {
+		return ""
+	}
+	r, err := url.Parse(strings.TrimSpace(ref))
+	if err != nil {
+		return ""
+	}
+	return b.ResolveReference(r).String()
+}

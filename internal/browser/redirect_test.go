@@ -1,0 +1,102 @@
+package browser
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestRedirectedFrameLosesSrcDelegation runs the §4.2.2 redirect
+// semantics through a REAL HTTP server with a 302: allow="camera"
+// (default 'src') must not survive a cross-origin redirect, while
+// allow="camera *" must.
+func TestRedirectedFrameLosesSrcDelegation(t *testing.T) {
+	mux := http.NewServeMux()
+	var base string
+	attackerBody := `<script>navigator.mediaDevices.getUserMedia({video:true}).catch(function(){});</script>`
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.URL.Path == "/top-src":
+			w.Write([]byte(`<iframe src="` + base + `/widget" allow="camera"></iframe>`))
+		case r.URL.Path == "/top-wild":
+			w.Write([]byte(`<iframe src="` + base + `/widget" allow="camera *"></iframe>`))
+		case r.URL.Path == "/widget":
+			// The widget host redirects to "another origin" (same test
+			// server, but 127.0.0.1 vs localhost yields distinct origins).
+			http.Redirect(w, r, strings.Replace(base, "127.0.0.1", "localhost", 1)+"/attacker", http.StatusFound)
+		case r.URL.Path == "/attacker":
+			w.Write([]byte(attackerBody))
+		default:
+			http.NotFound(w, r)
+		}
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	base = srv.URL
+
+	fetch := NewHTTPFetcher(srv.Client())
+	b := New(fetch, DefaultOptions())
+
+	visit := func(path string) (blocked bool) {
+		page, err := b.Visit(context.Background(), base+path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range page.EmbeddedFrames() {
+			if !strings.Contains(f.FinalURL, "/attacker") {
+				continue
+			}
+			if f.URL == f.FinalURL {
+				t.Fatalf("frame was not redirected: %+v", f)
+			}
+			if len(f.Invocations) != 1 {
+				t.Fatalf("invocations: %+v", f.Invocations)
+			}
+			return f.Invocations[0].Blocked
+		}
+		t.Fatal("attacker frame not found")
+		return false
+	}
+
+	if !visit("/top-src") {
+		t.Error("'src' delegation must NOT survive the cross-origin redirect")
+	}
+	if visit("/top-wild") {
+		t.Error("wildcard delegation MUST survive the redirect (the §5.2 hijack risk)")
+	}
+}
+
+// TestHTTPFetcherLimitsBody ensures oversized bodies are truncated
+// rather than ballooning memory.
+func TestHTTPFetcherLimitsBody(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(make([]byte, 1<<20))
+	}))
+	defer srv.Close()
+	f := NewHTTPFetcher(srv.Client())
+	f.MaxBodyBytes = 1024
+	resp, err := f.Fetch(context.Background(), srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Body) != 1024 {
+		t.Errorf("body length %d; want capped at 1024", len(resp.Body))
+	}
+}
+
+func TestResolveURL(t *testing.T) {
+	tests := []struct{ base, ref, want string }{
+		{"https://a.example/page/", "w.js", "https://a.example/page/w.js"},
+		{"https://a.example/page", "/w.js", "https://a.example/w.js"},
+		{"https://a.example/", "https://b.example/x", "https://b.example/x"},
+		{"https://a.example/", "//c.example/y", "https://c.example/y"},
+		{"https://a.example/", "  /spaced.js ", "https://a.example/spaced.js"},
+	}
+	for _, tt := range tests {
+		if got := resolveURL(tt.base, tt.ref); got != tt.want {
+			t.Errorf("resolveURL(%q, %q) = %q; want %q", tt.base, tt.ref, got, tt.want)
+		}
+	}
+}

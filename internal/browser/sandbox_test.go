@@ -1,0 +1,96 @@
+package browser
+
+import (
+	"context"
+	"testing"
+)
+
+// TestSandboxedFrameOpaqueOrigin: sandbox without allow-same-origin
+// forces an opaque origin — no allowlist entry matches it, so even an
+// explicit camera delegation fails.
+func TestSandboxedFrameOpaqueOrigin(t *testing.T) {
+	body := `<script>navigator.mediaDevices.getUserMedia({video:true}).catch(function(){});</script>`
+	fetcher := MapFetcher{
+		"https://site.example/": page(`
+			<iframe src="https://w.example/a" allow="camera" sandbox="allow-scripts"></iframe>
+			<iframe src="https://w.example/a" allow="camera" sandbox="allow-scripts allow-same-origin"></iframe>
+			<iframe src="https://w.example/a" allow="camera"></iframe>`, nil),
+		"https://w.example/a": page(body, nil),
+	}
+	b := New(fetcher, DefaultOptions())
+	res, err := b.Visit(context.Background(), "https://site.example/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Frames) != 4 {
+		t.Fatalf("frames: %d", len(res.Frames))
+	}
+	sandboxed := res.Frames[1]
+	if sandboxed.Origin != "null" {
+		t.Errorf("sandboxed frame origin = %q; want null", sandboxed.Origin)
+	}
+	if len(sandboxed.Invocations) != 1 || !sandboxed.Invocations[0].Blocked {
+		t.Errorf("sandboxed frame camera must be blocked: %+v", sandboxed.Invocations)
+	}
+	sameOrigin := res.Frames[2]
+	if sameOrigin.Origin == "null" {
+		t.Error("allow-same-origin must keep the real origin")
+	}
+	if len(sameOrigin.Invocations) != 1 || sameOrigin.Invocations[0].Blocked {
+		t.Errorf("allow-same-origin + delegation must work: %+v", sameOrigin.Invocations)
+	}
+	plain := res.Frames[3]
+	if len(plain.Invocations) != 1 || plain.Invocations[0].Blocked {
+		t.Errorf("unsandboxed delegated frame must work: %+v", plain.Invocations)
+	}
+}
+
+// TestBareSandboxFullyRestricts: sandbox="" (present, empty) also
+// yields an opaque origin.
+func TestBareSandboxFullyRestricts(t *testing.T) {
+	fetcher := MapFetcher{
+		"https://site.example/": page(`<iframe src="https://w.example/a" allow="camera" sandbox></iframe>`, nil),
+		"https://w.example/a":   page(`<script>navigator.mediaDevices.getUserMedia({video:true}).catch(function(){});</script>`, nil),
+	}
+	b := New(fetcher, DefaultOptions())
+	res, err := b.Visit(context.Background(), "https://site.example/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := res.Frames[1]
+	if fr.Origin != "null" || len(fr.Invocations) != 1 || !fr.Invocations[0].Blocked {
+		t.Errorf("bare sandbox: %+v", fr)
+	}
+}
+
+// TestXFrameOptions: framed documents can refuse framing via
+// X-Frame-Options, independently of Permissions Policy.
+func TestXFrameOptions(t *testing.T) {
+	fetcher := MapFetcher{
+		"https://site.example/": page(`
+			<iframe src="https://deny.example/w"></iframe>
+			<iframe src="https://sameorigin.example/w"></iframe>
+			<iframe src="https://site.example/own"></iframe>`, nil),
+		"https://deny.example/w":       page("<p>x</p>", map[string]string{"X-Frame-Options": "DENY"}),
+		"https://sameorigin.example/w": page("<p>x</p>", map[string]string{"X-Frame-Options": "SAMEORIGIN"}),
+		"https://site.example/own":     page("<p>x</p>", map[string]string{"X-Frame-Options": "sameorigin"}),
+	}
+	b := New(fetcher, DefaultOptions())
+	res, err := b.Visit(context.Background(), "https://site.example/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byURL := map[string]FrameResult{}
+	for _, f := range res.EmbeddedFrames() {
+		byURL[f.URL] = f
+	}
+	if e := byURL["https://deny.example/w"].LoadError; e == "" {
+		t.Error("DENY must block framing")
+	}
+	if e := byURL["https://sameorigin.example/w"].LoadError; e == "" {
+		t.Error("SAMEORIGIN must block cross-origin framing")
+	}
+	if e := byURL["https://site.example/own"].LoadError; e != "" {
+		t.Errorf("SAMEORIGIN must allow same-origin framing: %q", e)
+	}
+}

@@ -1,0 +1,99 @@
+package cli
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"permodyssey/internal/core"
+	"permodyssey/internal/policy"
+	"permodyssey/internal/store"
+)
+
+// Crawl is the permcrawl command.
+func Crawl(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("permcrawl", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	sites := fs.Int("sites", 5000, "number of synthetic sites to generate and crawl")
+	seed := fs.Int64("seed", 1, "population seed (crawls are reproducible per seed)")
+	workers := fs.Int("workers", 32, "parallel crawlers (the paper used 40)")
+	timeout := fs.Duration("timeout", 2*time.Second, "per-site hard deadline")
+	out := fs.String("out", "crawl.jsonl", "output dataset path")
+	interact := fs.Bool("interact", false, "fire click/load handlers (Appendix A.3 manual mode)")
+	noLazy := fs.Bool("no-lazy-scroll", false, "do not scroll lazy iframes (ablation)")
+	expected := fs.Bool("expected-spec", false, "use the fixed local-scheme inheritance instead of the spec as written")
+	report := fs.Bool("report", false, "print the full analysis report after the crawl")
+	follow := fs.Int("follow-links", 0, "visit up to N same-site internal pages per site (lifts the §6.1 landing-page limitation)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	opts := core.DefaultMeasurementOptions()
+	opts.Web.NumSites = *sites
+	opts.Web.Seed = *seed
+	opts.Crawl.Workers = *workers
+	opts.Crawl.PerSiteTimeout = *timeout
+	opts.Crawl.FollowInternalLinks = *follow
+	opts.StallTime = 2 * *timeout
+	opts.BrowserOpts.Interact = *interact
+	opts.BrowserOpts.ScrollLazyIframes = !*noLazy
+	if *expected {
+		opts.BrowserOpts.Mode = policy.SpecExpected
+	}
+	opts.Log = stderr
+	last := 0
+	opts.Crawl.Progress = func(done, total int) {
+		if total > 0 && done*10/total != last {
+			last = done * 10 / total
+			fmt.Fprintf(stderr, "  %d%% (%d/%d)\n", last*10, done, total)
+		}
+	}
+
+	// Stream each record to disk the moment its visit completes (C14),
+	// rather than holding everything until the end of the crawl.
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(stderr, "permcrawl:", err)
+		return 1
+	}
+	bw := bufio.NewWriter(f)
+	enc := json.NewEncoder(bw)
+	var sinkErr error
+	opts.Crawl.Sink = func(rec store.SiteRecord) {
+		if err := enc.Encode(rec); err != nil && sinkErr == nil {
+			sinkErr = err
+		}
+	}
+
+	m, err := core.Run(ctx, opts)
+	if err != nil {
+		f.Close()
+		fmt.Fprintln(stderr, "permcrawl:", err)
+		return 1
+	}
+	if err := bw.Flush(); err == nil {
+		err = f.Close()
+		if sinkErr != nil {
+			err = sinkErr
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, "permcrawl: saving:", err)
+			return 1
+		}
+	} else {
+		f.Close()
+		fmt.Fprintln(stderr, "permcrawl: saving:", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "dataset written to %s (%d records, %s)\n",
+		*out, len(m.Dataset.Records), m.Elapsed.Round(time.Millisecond))
+	if *report {
+		fmt.Fprintln(stdout, m.Report())
+	}
+	return 0
+}

@@ -1,0 +1,9 @@
+package cli
+
+import "permodyssey/internal/permissions"
+
+// permissionSurface returns the Chromium 127 supported-permission list
+// for fingerprint-identification tests.
+func permissionSurface() []string {
+	return permissions.SupportedPermissions(permissions.Chromium, 127)
+}

@@ -1,0 +1,282 @@
+package core
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"permodyssey/internal/browser"
+	"permodyssey/internal/permissions"
+	"permodyssey/internal/policy"
+)
+
+func TestRunEndToEnd(t *testing.T) {
+	opts := DefaultMeasurementOptions()
+	opts.Web.NumSites = 120
+	opts.Web.Seed = 3
+	opts.Crawl.Workers = 16
+	opts.Crawl.PerSiteTimeout = 200 * time.Millisecond
+	opts.StallTime = 400 * time.Millisecond
+	m, err := Run(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Dataset.Records) != 120 {
+		t.Fatalf("records: %d", len(m.Dataset.Records))
+	}
+	report := m.Report()
+	for _, want := range []string{"Table 4", "Figure 2", "Table 10/13"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestGenerateDisableAll(t *testing.T) {
+	header, err := Generate(GeneratorInput{Mode: DisableAll, Browser: permissions.Chromium, Version: 127})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, issues, err := policy.ParsePermissionsPolicy(header)
+	if err != nil {
+		t.Fatalf("generated header does not parse: %v", err)
+	}
+	if policy.HasBlockingIssue(issues) {
+		t.Fatalf("issues: %v", issues)
+	}
+	// Every directive must be a full disable.
+	for _, d := range p.Directives {
+		if !d.Allowlist.None() {
+			t.Errorf("%s not disabled: %+v", d.Feature, d.Allowlist)
+		}
+	}
+	// It must cover every supported policy-controlled permission — the
+	// configuration no measured website achieved (§4.3.1).
+	covered := map[string]bool{}
+	for _, d := range p.Directives {
+		covered[d.Feature] = true
+	}
+	for _, name := range permissions.SupportedPermissions(permissions.Chromium, 127) {
+		if perm, _ := permissions.Lookup(name); !perm.PolicyControlled() {
+			continue
+		}
+		if !covered[name] {
+			t.Errorf("supported permission %s not covered", name)
+		}
+	}
+	if covered["notifications"] {
+		t.Error("notifications is not policy-controlled; must not appear")
+	}
+}
+
+func TestGenerateDisablePowerful(t *testing.T) {
+	header, err := Generate(GeneratorInput{Mode: DisablePowerful, Browser: permissions.Chromium, Version: 127})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _, err := policy.ParsePermissionsPolicy(header)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range p.Directives {
+		perm, ok := permissions.Lookup(d.Feature)
+		if !ok || !perm.Powerful {
+			t.Errorf("non-powerful %s in DisablePowerful header", d.Feature)
+		}
+	}
+	if _, ok := p.Get("camera"); !ok {
+		t.Error("camera must be disabled")
+	}
+	if _, ok := p.Get("gamepad"); ok {
+		t.Error("gamepad is not powerful; must be left at default")
+	}
+}
+
+func TestGenerateFromUsage(t *testing.T) {
+	header, err := Generate(GeneratorInput{
+		Mode:            FromUsage,
+		Browser:         permissions.Chromium,
+		Version:         127,
+		UsedPermissions: []string{"geolocation", "camera"},
+		DelegatedTo:     map[string][]string{"camera": {"https://meet.example"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, issues, err := policy.ParsePermissionsPolicy(header)
+	if err != nil || policy.HasBlockingIssue(issues) {
+		t.Fatalf("header: %v / %v", err, issues)
+	}
+	cam, _ := p.Get("camera")
+	if !cam.Self || len(cam.Origins) != 1 || cam.Origins[0] != "https://meet.example" {
+		t.Errorf("camera: %+v", cam)
+	}
+	geo, _ := p.Get("geolocation")
+	if !geo.Self || len(geo.Origins) != 0 {
+		t.Errorf("geolocation: %+v", geo)
+	}
+	mic, ok := p.Get("microphone")
+	if !ok || !mic.None() {
+		t.Errorf("unused microphone must be disabled: %+v ok=%v", mic, ok)
+	}
+	// Older browser: fewer directives.
+	old, err := Generate(GeneratorInput{Mode: DisableAll, Browser: permissions.Chromium, Version: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(old, "=") >= strings.Count(header, "=") {
+		t.Error("Chromium 80 header must cover fewer permissions than 127")
+	}
+	// Unknown permission rejected.
+	if _, err := Generate(GeneratorInput{Mode: FromUsage, UsedPermissions: []string{"bogus"}}); err == nil {
+		t.Error("unknown permission must be rejected")
+	}
+}
+
+func TestGenerateReportOnly(t *testing.T) {
+	value, err := GenerateReportOnly(GeneratorInput{Mode: DisablePowerful, Browser: permissions.Chromium, Version: 127}, "violations")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, eps, issues, err := policy.ParseReportOnly(value)
+	if err != nil {
+		t.Fatalf("generated report-only header invalid: %v", err)
+	}
+	if policy.HasBlockingIssue(issues) {
+		t.Fatalf("issues: %v", issues)
+	}
+	if _, ok := p.Get("camera"); !ok {
+		t.Error("camera directive missing")
+	}
+	if eps["camera"] != "violations" {
+		t.Errorf("camera endpoint: %q", eps["camera"])
+	}
+	// Every directive must carry the endpoint.
+	if len(eps) != len(p.Directives) {
+		t.Errorf("endpoints on %d of %d directives", len(eps), len(p.Directives))
+	}
+}
+
+func TestGenerateAllowAttr(t *testing.T) {
+	attr, err := GenerateAllowAttr([]string{"microphone", "camera", "camera"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attr != "camera; microphone" {
+		t.Errorf("attr = %q", attr)
+	}
+	if _, err := GenerateAllowAttr([]string{"notifications"}); err == nil {
+		t.Error("non-policy-controlled permission must be rejected")
+	}
+	if _, err := GenerateAllowAttr([]string{"nope"}); err == nil {
+		t.Error("unknown permission must be rejected")
+	}
+}
+
+func TestProbeSpecIssueBothModes(t *testing.T) {
+	actual, err := ProbeSpecIssue("https://example.org", "https://attacker.example", policy.SpecActual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expected, err := ProbeSpecIssue("https://example.org", "https://attacker.example", policy.SpecExpected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table 11: local doc allowed in both rows; third party differs.
+	if !actual.LocalHasCamera || !expected.LocalHasCamera {
+		t.Error("local-scheme document must have camera in both modes")
+	}
+	if !actual.ThirdPartyHasCamera {
+		t.Error("actual spec: third party must gain camera (the bug)")
+	}
+	if expected.ThirdPartyHasCamera {
+		t.Error("expected behaviour: third party must stay blocked")
+	}
+	out, err := RenderSpecIssue("https://example.org", "https://attacker.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Table 11") || !strings.Contains(out, "ALLOWED") {
+		t.Errorf("render: %q", out)
+	}
+}
+
+func TestSupportTable(t *testing.T) {
+	out := SupportTable(nil)
+	for _, want := range []string{"camera", "notifications", "Chromium", "Firefox", "Safari", "PP=yes", "PP=no"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("support table missing %q", want)
+		}
+	}
+	changes := SupportChanges(permissions.Chromium, 88, 90)
+	if !strings.Contains(changes, "interest-cohort") {
+		t.Errorf("changes: %q", changes)
+	}
+}
+
+func TestRecommender(t *testing.T) {
+	page := func(body string, headers map[string]string) *browser.Response {
+		h := http.Header{}
+		for k, v := range headers {
+			h.Set(k, v)
+		}
+		return &browser.Response{Status: 200, Header: h, Body: body}
+	}
+	fetcher := browser.MapFetcher{
+		"https://shop.example/": page(`
+			<script>navigator.geolocation.getCurrentPosition(function(){});</script>
+			<iframe src="https://chat.example/widget" allow="camera *; microphone *; clipboard-read"></iframe>
+			<iframe src="https://pay.example/checkout" allow="payment"></iframe>`, nil),
+		"https://chat.example/widget": page(`<script>var nothing = 1;</script>`, nil),
+		"https://pay.example/checkout": page(
+			`<script>var p = new PaymentRequest([], {}); p.canMakePayment();</script>`, nil),
+	}
+	r := &Recommender{Fetcher: fetcher}
+	rec, err := r.Recommend(context.Background(), "https://shop.example/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// geolocation used by the site itself, payment by the checkout frame.
+	joined := strings.Join(rec.UsedPermissions, ",")
+	if !strings.Contains(joined, "geolocation") || !strings.Contains(joined, "payment") {
+		t.Errorf("used: %v", rec.UsedPermissions)
+	}
+	p, _, err := policy.ParsePermissionsPolicy(rec.Header)
+	if err != nil {
+		t.Fatalf("recommended header: %v", err)
+	}
+	pay, _ := p.Get("payment")
+	if !pay.Self || len(pay.Origins) != 1 || pay.Origins[0] != "https://pay.example" {
+		t.Errorf("payment allowlist: %+v", pay)
+	}
+	cam, ok := p.Get("camera")
+	if !ok || !cam.None() {
+		t.Errorf("camera must be disabled: %+v", cam)
+	}
+	// The chat widget's unused camera/microphone/clipboard-read must be
+	// flagged, and its wildcard called out.
+	var chatAdvice *FrameAdvice
+	for i := range rec.FrameAdvice {
+		if strings.Contains(rec.FrameAdvice[i].FrameURL, "chat.example") {
+			chatAdvice = &rec.FrameAdvice[i]
+		}
+	}
+	if chatAdvice == nil {
+		t.Fatalf("no advice for the chat frame: %+v", rec.FrameAdvice)
+	}
+	unused := strings.Join(chatAdvice.UnusedDelegations, ",")
+	for _, want := range []string{"camera", "microphone", "clipboard-read"} {
+		if !strings.Contains(unused, want) {
+			t.Errorf("unused delegations %v missing %s", chatAdvice.UnusedDelegations, want)
+		}
+	}
+	findings := strings.Join(rec.Findings, "\n")
+	if !strings.Contains(findings, "wildcard") {
+		t.Errorf("wildcard finding missing: %v", rec.Findings)
+	}
+	if !strings.Contains(findings, "no Permissions-Policy header") {
+		t.Errorf("missing-header finding absent: %v", rec.Findings)
+	}
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"permodyssey/internal/permissions"
+	"permodyssey/internal/policy"
+)
+
+// GeneratorMode selects what the header generator emits (the predefined
+// options of the paper's website tool, Appendix A.7).
+type GeneratorMode uint8
+
+const (
+	// DisableAll turns every supported policy-controlled permission off
+	// — the configuration no measured website achieved by hand (§4.3.1:
+	// "none of the websites implement a directive for all supported
+	// policy-controlled permissions").
+	DisableAll GeneratorMode = iota
+	// DisablePowerful turns off only powerful permissions — the tool's
+	// "more common" predefined option.
+	DisablePowerful
+	// FromUsage keeps the permissions actually observed in use (self,
+	// plus the origins they must be delegated to) and disables the rest.
+	FromUsage
+)
+
+// GeneratorInput parameterizes header generation.
+type GeneratorInput struct {
+	Mode GeneratorMode
+	// Browser/Version select the supported-permission list the header
+	// covers; the tool regenerates as browsers change (§6.3).
+	Browser permissions.Browser
+	Version int
+	// UsedPermissions are the permissions the site itself needs
+	// (FromUsage mode).
+	UsedPermissions []string
+	// DelegatedTo maps permission → external origins that need it via
+	// iframes; they are added alongside self, since url directives
+	// lacking self are not allowed (W3C issue 480).
+	DelegatedTo map[string][]string
+}
+
+// Generate produces a Permissions-Policy header value. The result
+// always parses cleanly and lints clean.
+func Generate(in GeneratorInput) (string, error) {
+	if in.Version == 0 {
+		in.Version = 127
+	}
+	supported := permissions.SupportedPermissions(in.Browser, in.Version)
+	used := map[string]bool{}
+	for _, u := range in.UsedPermissions {
+		u = strings.ToLower(strings.TrimSpace(u))
+		if u == "" {
+			continue
+		}
+		if !permissions.Known(u) {
+			return "", fmt.Errorf("generator: unknown permission %q", u)
+		}
+		used[u] = true
+	}
+	var p policy.Policy
+	for _, name := range supported {
+		perm, _ := permissions.Lookup(name)
+		if !perm.PolicyControlled() {
+			continue
+		}
+		var al policy.Allowlist
+		switch in.Mode {
+		case DisableAll:
+			// empty allowlist
+		case DisablePowerful:
+			if !perm.Powerful {
+				continue // leave non-powerful permissions at their default
+			}
+		case FromUsage:
+			if used[name] {
+				al.Self = true
+				origins := append([]string{}, in.DelegatedTo[name]...)
+				sort.Strings(origins)
+				al.Origins = origins
+			}
+		}
+		p.Directives = append(p.Directives, policy.Directive{Feature: name, Allowlist: al})
+	}
+	value := p.HeaderValue()
+	if _, issues, err := policy.ParsePermissionsPolicy(value); err != nil {
+		return "", fmt.Errorf("generator: produced invalid header: %w", err)
+	} else if policy.HasBlockingIssue(issues) {
+		return "", fmt.Errorf("generator: produced blocked header: %v", issues)
+	}
+	return value, nil
+}
+
+// GenerateReportOnly produces a Permissions-Policy-Report-Only header
+// for the same input, with every directive reporting to the named
+// Reporting-Endpoints group — the observe-before-enforce deployment
+// path. The result is validated against the report-only parser.
+func GenerateReportOnly(in GeneratorInput, endpoint string) (string, error) {
+	if endpoint == "" {
+		endpoint = "default"
+	}
+	header, err := Generate(in)
+	if err != nil {
+		return "", err
+	}
+	value := strings.ReplaceAll(header, ", ", ";report-to="+endpoint+", ") +
+		";report-to=" + endpoint
+	if _, eps, _, err := policy.ParseReportOnly(value); err != nil {
+		return "", fmt.Errorf("generator: produced invalid report-only header: %w", err)
+	} else if len(eps) == 0 {
+		return "", fmt.Errorf("generator: report-to parameters were lost")
+	}
+	return value, nil
+}
+
+// GenerateAllowAttr produces the minimal allow attribute delegating
+// exactly the given permissions to the iframe's own src origin (never
+// the wildcard, per the §5.3 recommendation).
+func GenerateAllowAttr(perms []string) (string, error) {
+	var p policy.Policy
+	seen := map[string]bool{}
+	sorted := append([]string{}, perms...)
+	sort.Strings(sorted)
+	for _, name := range sorted {
+		name = strings.ToLower(strings.TrimSpace(name))
+		if name == "" || seen[name] {
+			continue
+		}
+		perm, ok := permissions.Lookup(name)
+		if !ok {
+			return "", fmt.Errorf("generator: unknown permission %q", name)
+		}
+		if !perm.PolicyControlled() {
+			return "", fmt.Errorf("generator: %q is not policy-controlled and cannot be delegated", name)
+		}
+		seen[name] = true
+		p.Directives = append(p.Directives, policy.Directive{
+			Feature:   name,
+			Allowlist: policy.Allowlist{Src: true},
+		})
+	}
+	return p.AllowAttrValue(), nil
+}

@@ -1,0 +1,97 @@
+// Package core is the public face of the reproduction: the end-to-end
+// measurement orchestrator (generate a synthetic web → serve it → crawl
+// it → analyze it → render the paper's tables) and the developer tools
+// the paper ships (§6.3): the Permissions-Policy header generator, the
+// header/attribute linter, the least-privilege recommender, the
+// caniuse-style support table, and the local-scheme specification-issue
+// probe (§6.2).
+package core
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"permodyssey/internal/analysis"
+	"permodyssey/internal/browser"
+	"permodyssey/internal/crawler"
+	"permodyssey/internal/store"
+	"permodyssey/internal/synthweb"
+)
+
+// MeasurementOptions configures a full measurement run.
+type MeasurementOptions struct {
+	// Web is the synthetic-web population configuration.
+	Web synthweb.Config
+	// Crawl tunes the crawler.
+	Crawl crawler.Config
+	// BrowserOpts tunes the mini browser.
+	BrowserOpts browser.Options
+	// StallTime is how long timeout-class sites hang (must exceed the
+	// crawl deadline to be classified as timeouts).
+	StallTime time.Duration
+	// Log, when non-nil, receives progress lines.
+	Log io.Writer
+}
+
+// DefaultMeasurementOptions mirrors the paper's setup, scaled down.
+func DefaultMeasurementOptions() MeasurementOptions {
+	crawlCfg := crawler.DefaultConfig()
+	crawlCfg.PerSiteTimeout = 500 * time.Millisecond
+	return MeasurementOptions{
+		Web:         synthweb.DefaultConfig(),
+		Crawl:       crawlCfg,
+		BrowserOpts: browser.DefaultOptions(),
+		StallTime:   time.Second,
+	}
+}
+
+// Measurement is a completed run.
+type Measurement struct {
+	Dataset  *store.Dataset
+	Analysis *analysis.Analysis
+	Elapsed  time.Duration
+}
+
+// Run executes the full pipeline.
+func Run(ctx context.Context, opts MeasurementOptions) (*Measurement, error) {
+	start := time.Now()
+	logf := func(format string, args ...any) {
+		if opts.Log != nil {
+			fmt.Fprintf(opts.Log, format+"\n", args...)
+		}
+	}
+
+	srv := synthweb.NewServer(opts.Web)
+	if opts.StallTime > 0 {
+		srv.StallTime = opts.StallTime
+	}
+	if err := srv.Start(); err != nil {
+		return nil, fmt.Errorf("starting synthetic web: %w", err)
+	}
+	defer srv.Close()
+	logf("synthetic web: %d sites on %s (seed %d)", opts.Web.NumSites, srv.Addr(), opts.Web.Seed)
+
+	fetcher := browser.NewHTTPFetcher(srv.Client(0))
+	b := browser.New(fetcher, opts.BrowserOpts)
+	c := crawler.New(b, opts.Crawl)
+
+	targets := make([]crawler.Target, 0, opts.Web.NumSites)
+	for _, s := range srv.Sites() {
+		targets = append(targets, crawler.Target{Rank: s.Rank, URL: s.URL()})
+	}
+	logf("crawling %d sites with %d workers...", len(targets), opts.Crawl.Workers)
+	ds := c.Crawl(ctx, targets)
+
+	m := &Measurement{
+		Dataset:  ds,
+		Analysis: analysis.New(ds),
+		Elapsed:  time.Since(start),
+	}
+	logf("crawl finished in %s: %v", m.Elapsed.Round(time.Millisecond), ds.FailureCounts())
+	return m, nil
+}
+
+// Report renders the full paper-style report.
+func (m *Measurement) Report() string { return m.Analysis.FullReport() }

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"permodyssey/internal/browser"
+	"permodyssey/internal/permissions"
+	"permodyssey/internal/policy"
+	"permodyssey/internal/static"
+)
+
+// Recommendation is the output of the §6.3 advisor tool: the
+// least-privilege Permissions-Policy header for a site based on its
+// observed behaviour, per-iframe allow suggestions, and findings where
+// the deployed configuration is broader than the ideal one.
+type Recommendation struct {
+	// Header is the suggested Permissions-Policy value.
+	Header string
+	// UsedPermissions were observed in use by the site itself
+	// (dynamically or statically).
+	UsedPermissions []string
+	// FrameAdvice is per-iframe delegation advice.
+	FrameAdvice []FrameAdvice
+	// Findings are places where the current configuration is broader
+	// than the recommendation.
+	Findings []string
+	// HeaderIssues are linter findings on the deployed header.
+	HeaderIssues []policy.Issue
+}
+
+// FrameAdvice describes the delegation of one embedded frame.
+type FrameAdvice struct {
+	FrameURL string
+	// CurrentAllow is the deployed allow attribute.
+	CurrentAllow string
+	// SuggestedAllow delegates only the permissions the frame used.
+	SuggestedAllow string
+	// UnusedDelegations were granted but never exercised.
+	UnusedDelegations []string
+}
+
+// Recommender drives a browser against a site (optionally with
+// simulated interaction, like the tool's developer-click mode) and
+// derives the recommendation.
+type Recommender struct {
+	Fetcher browser.Fetcher
+	// Interact enables the interaction pass (the paper's tool lets the
+	// developer click through the site).
+	Interact bool
+	// Mode selects the policy semantics (default: the actual spec).
+	Mode policy.SpecMode
+}
+
+// Recommend visits the page and produces the advice.
+func (r *Recommender) Recommend(ctx context.Context, pageURL string) (*Recommendation, error) {
+	opts := browser.DefaultOptions()
+	opts.Interact = r.Interact
+	opts.Mode = r.Mode
+	b := browser.New(r.Fetcher, opts)
+	page, err := b.Visit(ctx, pageURL)
+	if err != nil {
+		return nil, fmt.Errorf("recommender: visiting %s: %w", pageURL, err)
+	}
+	return RecommendFromPage(page)
+}
+
+// RecommendFromPage derives the recommendation from an already-visited
+// page (so the measurement dataset can be reused).
+func RecommendFromPage(page *browser.PageResult) (*Recommendation, error) {
+	top := page.TopFrame()
+	if top == nil {
+		return nil, fmt.Errorf("recommender: no top-level frame")
+	}
+	rec := &Recommendation{HeaderIssues: top.HeaderIssues}
+
+	// Permissions the top-level document itself used.
+	usedTop := map[string]bool{}
+	for _, inv := range top.Invocations {
+		for _, p := range inv.Permissions {
+			if perm, ok := permissions.Lookup(p); ok && perm.PolicyControlled() {
+				usedTop[p] = true
+			}
+		}
+	}
+	for _, p := range static.Permissions(top.StaticFindings) {
+		if perm, ok := permissions.Lookup(p); ok && perm.PolicyControlled() {
+			usedTop[p] = true
+		}
+	}
+
+	// Per-frame usage and delegation advice; delegated-and-used
+	// permissions must stay in the header allowlist for the frame's
+	// origin (header restricting them would break the frame: Table 1
+	// case 4 vs 7).
+	delegatedTo := map[string][]string{}
+	for _, f := range page.EmbeddedFrames() {
+		if f.Depth != 1 {
+			continue
+		}
+		frameUsed := map[string]bool{}
+		for _, inv := range f.Invocations {
+			for _, p := range inv.Permissions {
+				if perm, ok := permissions.Lookup(p); ok && perm.PolicyControlled() {
+					frameUsed[p] = true
+				}
+			}
+		}
+		for _, p := range static.Permissions(f.StaticFindings) {
+			if perm, ok := permissions.Lookup(p); ok && perm.PolicyControlled() {
+				frameUsed[p] = true
+			}
+		}
+		if !f.Element.HasAllow && len(frameUsed) == 0 {
+			continue
+		}
+		current, _ := policy.ParseAllowAttr(f.Element.Allow)
+		var unused []string
+		for _, d := range current.Directives {
+			if !frameUsed[d.Feature] {
+				unused = append(unused, d.Feature)
+			}
+		}
+		sort.Strings(unused)
+		var usedList []string
+		for p := range frameUsed {
+			usedList = append(usedList, p)
+		}
+		sort.Strings(usedList)
+		suggested, err := GenerateAllowAttr(usedList)
+		if err != nil {
+			return nil, err
+		}
+		advice := FrameAdvice{
+			FrameURL:          f.URL,
+			CurrentAllow:      f.Element.Allow,
+			SuggestedAllow:    suggested,
+			UnusedDelegations: unused,
+		}
+		rec.FrameAdvice = append(rec.FrameAdvice, advice)
+		if len(unused) > 0 {
+			rec.Findings = append(rec.Findings, fmt.Sprintf(
+				"frame %s is delegated %s without observed usage — drop them (supply-chain risk, §5)",
+				f.URL, strings.Join(unused, ", ")))
+		}
+		for _, raw := range strings.Split(f.Element.Allow, ";") {
+			feature, kind, ok := policy.ClassifyAllowDirective(raw)
+			if ok && kind == policy.DelegationWildcard {
+				rec.Findings = append(rec.Findings, fmt.Sprintf(
+					"frame %s delegates %s with a wildcard — a redirect keeps the permission; pin the origin (§5.2)",
+					f.URL, feature))
+			}
+		}
+		if !f.LocalScheme && f.Origin != "" {
+			for p := range frameUsed {
+				delegatedTo[p] = append(delegatedTo[p], f.Origin)
+			}
+		}
+	}
+
+	var usedList []string
+	for p := range usedTop {
+		usedList = append(usedList, p)
+	}
+	for p := range delegatedTo {
+		if !usedTop[p] {
+			usedList = append(usedList, p)
+		}
+	}
+	sort.Strings(usedList)
+	rec.UsedPermissions = usedList
+
+	header, err := Generate(GeneratorInput{
+		Mode:            FromUsage,
+		Browser:         permissions.Chromium,
+		Version:         127,
+		UsedPermissions: usedList,
+		DelegatedTo:     delegatedTo,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rec.Header = header
+
+	// Compare against the deployed header: flag breadth regressions.
+	if top.HasPermissionsPolicy && top.HeaderValid {
+		deployed, _, _ := policy.ParsePermissionsPolicy(top.PermissionsPolicyRaw)
+		for _, d := range deployed.Directives {
+			if d.Allowlist.All {
+				rec.Findings = append(rec.Findings, fmt.Sprintf(
+					"header grants %s=* which is broader than needed (and has no restricting effect)", d.Feature))
+			}
+		}
+	} else if top.HasPermissionsPolicy && !top.HeaderValid {
+		rec.Findings = append(rec.Findings,
+			"deployed Permissions-Policy header is syntactically invalid; the browser ignores it entirely (§4.3.3)")
+	} else {
+		rec.Findings = append(rec.Findings,
+			"no Permissions-Policy header deployed; unused powerful features are not opted out (§5.3)")
+	}
+	return rec, nil
+}

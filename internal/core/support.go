@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"permodyssey/internal/permissions"
+)
+
+// SupportTable renders the caniuse-style permission support matrix of
+// Appendix A.6: for every registered permission, whether each engine
+// supports its API and honors it in policies, plus the
+// policy-controlled / powerful classification and default allowlist.
+func SupportTable(versions map[permissions.Browser]int) string {
+	if versions == nil {
+		versions = map[permissions.Browser]int{
+			permissions.Chromium: 127,
+			permissions.Firefox:  128,
+			permissions.Safari:   17,
+		}
+	}
+	var b strings.Builder
+	b.WriteString("Permission support across browsers (API/policy)\n")
+	fmt.Fprintf(&b, "%-30s %-8s %-9s %-8s", "Permission", "Default", "Powerful", "Policy")
+	for _, br := range permissions.Browsers {
+		fmt.Fprintf(&b, " %-14s", fmt.Sprintf("%s %d", br, versions[br]))
+	}
+	b.WriteString("\n")
+	b.WriteString(strings.Repeat("-", 100))
+	b.WriteString("\n")
+	for _, p := range permissions.All() {
+		fmt.Fprintf(&b, "%-30s %-8s %-9s %-8s",
+			p.Name, p.Default, yn(p.Powerful), yn(p.PolicyControlled()))
+		for _, br := range permissions.Browsers {
+			s, ok := permissions.SupportFor(p.Name, br)
+			cell := "-/-"
+			if ok {
+				cell = fmt.Sprintf("%s/%s",
+					yn(s.Supported(versions[br])), yn(s.PolicySupported(versions[br])))
+			}
+			fmt.Fprintf(&b, " %-14s", cell)
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("\nHeader enforcement: ")
+	for i, br := range permissions.Browsers {
+		h := permissions.Headers[br]
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		fmt.Fprintf(&b, "%s PP=%s FP=%s allow=%s", br,
+			yn(h.PermissionsPolicy), yn(h.FeaturePolicy), yn(h.AllowAttribute))
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// SupportChanges renders the historical change tracker for one engine.
+func SupportChanges(b permissions.Browser, from, to int) string {
+	changes := permissions.ChangesBetween(b, from, to)
+	if len(changes) == 0 {
+		return fmt.Sprintf("no support changes in %s (%d, %d]\n", b, from, to)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "support changes in %s (%d, %d]:\n", b, from, to)
+	for _, c := range changes {
+		fmt.Fprintf(&sb, "  %s\n", c)
+	}
+	return sb.String()
+}
+
+func yn(v bool) string {
+	if v {
+		return "yes"
+	}
+	return "no"
+}

@@ -1,0 +1,65 @@
+package crawler
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"permodyssey/internal/browser"
+	"permodyssey/internal/synthweb"
+)
+
+// TestCrawlContextCancellation: cancelling the crawl context stops
+// dispatching new targets; already-dispatched visits drain.
+func TestCrawlContextCancellation(t *testing.T) {
+	cfg := synthweb.DefaultConfig()
+	cfg.NumSites = 200
+	cfg.Seed = 21
+	cfg.UnreachableRate, cfg.TimeoutRate, cfg.EphemeralRate, cfg.MinorRate = 0, 0, 0, 0
+	srv := synthweb.NewServer(cfg)
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	b := browser.New(browser.NewHTTPFetcher(srv.Client(0)), browser.DefaultOptions())
+	c := New(b, Config{Workers: 4, PerSiteTimeout: time.Second})
+	ctx, cancel := context.WithCancel(context.Background())
+
+	var targets []Target
+	for _, s := range srv.Sites() {
+		targets = append(targets, Target{Rank: s.Rank, URL: s.URL()})
+	}
+	done := 0
+	c.Config.Progress = func(d, total int) {
+		done = d
+		if d == 10 {
+			cancel()
+		}
+	}
+	ds := c.Crawl(ctx, targets)
+	if len(ds.Records) >= len(targets) {
+		t.Errorf("cancellation did not stop the crawl: %d records", len(ds.Records))
+	}
+	if len(ds.Records) < 10 {
+		t.Errorf("in-flight work must drain: %d records, %d progress", len(ds.Records), done)
+	}
+}
+
+// TestCrawlEmptyTargets: a crawl over nothing completes immediately.
+func TestCrawlEmptyTargets(t *testing.T) {
+	b := browser.New(browser.MapFetcher{}, browser.DefaultOptions())
+	c := New(b, Config{Workers: 2, PerSiteTimeout: time.Second})
+	ds := c.Crawl(context.Background(), nil)
+	if len(ds.Records) != 0 {
+		t.Errorf("records: %d", len(ds.Records))
+	}
+}
+
+// TestDefaultsApplied: zero-value config fields get sane defaults.
+func TestDefaultsApplied(t *testing.T) {
+	c := New(nil, Config{})
+	if c.Config.Workers <= 0 || c.Config.PerSiteTimeout <= 0 {
+		t.Errorf("defaults not applied: %+v", c.Config)
+	}
+}

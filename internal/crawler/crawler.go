@@ -1,0 +1,218 @@
+// Package crawler runs the measurement at scale: a worker pool of mini
+// browsers with per-site deadlines, the paper's crawl-failure taxonomy
+// (§4), post-visit exclusion of incomplete pages, and immediate result
+// persistence into a dataset.
+//
+// The paper ran 40 parallel Playwright crawlers with a 60s load budget
+// plus 20s settle time and a 90s hard deadline per page; this crawler
+// exposes the same knobs scaled to the synthetic web.
+package crawler
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"permodyssey/internal/browser"
+	"permodyssey/internal/origin"
+	"permodyssey/internal/store"
+)
+
+// Target is one site to visit.
+type Target struct {
+	Rank int
+	URL  string
+}
+
+// Config tunes the crawl.
+type Config struct {
+	// Workers is the number of parallel crawlers (the paper used 40).
+	Workers int
+	// PerSiteTimeout is the hard deadline per page (the paper's 90s).
+	PerSiteTimeout time.Duration
+	// FollowInternalLinks, when positive, visits up to that many
+	// same-site pages linked from the landing page — lifting the
+	// landing-page-only limitation of §6.1. The per-site deadline covers
+	// the landing page plus all internal pages together.
+	FollowInternalLinks int
+	// Progress, when non-nil, receives the number of completed sites.
+	Progress func(done, total int)
+	// Sink, when non-nil, receives each record as soon as its visit
+	// completes (the paper's C14: results are persisted immediately, not
+	// at the end of the crawl). Called from the collector goroutine, in
+	// completion order.
+	Sink func(store.SiteRecord)
+}
+
+// DefaultConfig returns crawl settings scaled for the synthetic web.
+func DefaultConfig() Config {
+	return Config{
+		Workers:        32,
+		PerSiteTimeout: 10 * time.Second,
+	}
+}
+
+// Crawler drives a Browser over a target list.
+type Crawler struct {
+	Browser *browser.Browser
+	Config  Config
+}
+
+// New creates a Crawler.
+func New(b *browser.Browser, cfg Config) *Crawler {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 32
+	}
+	if cfg.PerSiteTimeout <= 0 {
+		cfg.PerSiteTimeout = 10 * time.Second
+	}
+	return &Crawler{Browser: b, Config: cfg}
+}
+
+// Crawl visits every target and returns the dataset, ordered by rank.
+func (c *Crawler) Crawl(ctx context.Context, targets []Target) *store.Dataset {
+	jobs := make(chan Target)
+	results := make(chan store.SiteRecord)
+
+	var wg sync.WaitGroup
+	for i := 0; i < c.Config.Workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range jobs {
+				results <- c.visit(ctx, t)
+			}
+		}()
+	}
+	go func() {
+		defer close(jobs)
+		for _, t := range targets {
+			select {
+			case jobs <- t:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	ds := &store.Dataset{}
+	done := 0
+	for rec := range results {
+		ds.Add(rec)
+		if c.Config.Sink != nil {
+			c.Config.Sink(rec)
+		}
+		done++
+		if c.Config.Progress != nil {
+			c.Config.Progress(done, len(targets))
+		}
+	}
+	sort.Slice(ds.Records, func(i, j int) bool { return ds.Records[i].Rank < ds.Records[j].Rank })
+	return ds
+}
+
+// visit measures one site with the per-site deadline.
+func (c *Crawler) visit(ctx context.Context, t Target) store.SiteRecord {
+	start := time.Now()
+	vctx, cancel := context.WithTimeout(ctx, c.Config.PerSiteTimeout)
+	defer cancel()
+	page, err := c.Browser.Visit(vctx, t.URL)
+	rec := store.SiteRecord{Rank: t.Rank, URL: t.URL, Elapsed: time.Since(start)}
+	if err != nil {
+		rec.Failure = Classify(err)
+		rec.Error = err.Error()
+		return rec
+	}
+	if page.Truncated {
+		// The paper excluded pages whose frame collection was incomplete
+		// ("often occurred due to the presence of numerous included
+		// frames", §4).
+		rec.Failure = store.FailureExcluded
+		rec.Page = page
+		return rec
+	}
+	rec.Page = page
+	if c.Config.FollowInternalLinks > 0 {
+		rec.InternalPages = c.followLinks(vctx, page)
+		rec.Elapsed = time.Since(start)
+	}
+	return rec
+}
+
+// followLinks visits up to FollowInternalLinks same-site pages linked
+// from the landing page. Failures on internal pages are silently
+// skipped: the landing page remains the record of note.
+func (c *Crawler) followLinks(ctx context.Context, page *browser.PageResult) []browser.PageResult {
+	top := page.TopFrame()
+	if top == nil || top.Site == "" {
+		return nil
+	}
+	var out []browser.PageResult
+	seen := map[string]bool{page.URL: true, top.FinalURL: true}
+	for _, link := range page.Links {
+		if len(out) >= c.Config.FollowInternalLinks {
+			break
+		}
+		if seen[link] {
+			continue
+		}
+		seen[link] = true
+		o, err := origin.Parse(link)
+		if err != nil || o.Site() != top.Site {
+			continue // external links stay out of scope
+		}
+		sub, err := c.Browser.Visit(ctx, link)
+		if err != nil || sub.Truncated {
+			continue
+		}
+		out = append(out, *sub)
+	}
+	return out
+}
+
+// Classify maps a visit error to the paper's failure taxonomy.
+func Classify(err error) store.FailureClass {
+	if err == nil {
+		return store.FailureNone
+	}
+	// Deadline: page-load timeout.
+	if errors.Is(err, context.DeadlineExceeded) {
+		return store.FailureTimeout
+	}
+	var ue *url.Error
+	if errors.As(err, &ue) && ue.Timeout() {
+		return store.FailureTimeout
+	}
+	// DNS and connection failures: unreachable.
+	var dnsErr *net.DNSError
+	if errors.As(err, &dnsErr) {
+		return store.FailureUnreachable
+	}
+	var opErr *net.OpError
+	if errors.As(err, &opErr) {
+		return store.FailureUnreachable
+	}
+	msg := err.Error()
+	switch {
+	case errors.Is(err, io.ErrUnexpectedEOF), strings.Contains(msg, "unexpected EOF"),
+		strings.Contains(msg, "EOF"):
+		// The body died mid-read: ephemeral content.
+		return store.FailureEphemeral
+	case strings.Contains(msg, "malformed"):
+		return store.FailureMinor
+	case strings.Contains(msg, "status "):
+		return store.FailureUnreachable
+	default:
+		return store.FailureMinor
+	}
+}

@@ -1,0 +1,232 @@
+package html
+
+import (
+	"strings"
+)
+
+// NodeType discriminates DOM nodes.
+type NodeType uint8
+
+const (
+	DocumentNode NodeType = iota
+	ElementNode
+	TextNode
+	CommentNode
+)
+
+// Node is a lightweight DOM node.
+type Node struct {
+	Type     NodeType
+	Tag      string
+	Attrs    []Attr
+	Text     string
+	Children []*Node
+	Parent   *Node
+}
+
+// Attr returns the value of the named attribute.
+func (n *Node) Attr(name string) (string, bool) {
+	for _, a := range n.Attrs {
+		if a.Key == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// AttrOr returns the attribute value or a default.
+func (n *Node) AttrOr(name, def string) string {
+	if v, ok := n.Attr(name); ok {
+		return v
+	}
+	return def
+}
+
+// HasAttr reports attribute presence (boolean attributes included).
+func (n *Node) HasAttr(name string) bool {
+	_, ok := n.Attr(name)
+	return ok
+}
+
+// voidElements never have children.
+var voidElements = map[string]bool{
+	"area": true, "base": true, "br": true, "col": true, "embed": true,
+	"hr": true, "img": true, "input": true, "link": true, "meta": true,
+	"param": true, "source": true, "track": true, "wbr": true,
+}
+
+// Parse builds a tolerant DOM tree from src. It never fails: malformed
+// markup degrades to a best-effort tree, matching how the crawler must
+// survive the web's tag soup.
+func Parse(src string) *Node {
+	doc := &Node{Type: DocumentNode}
+	stack := []*Node{doc}
+	z := NewTokenizer(src)
+	for {
+		tok := z.Next()
+		switch tok.Type {
+		case EOFToken:
+			return doc
+		case TextToken:
+			if strings.TrimSpace(tok.Text) == "" {
+				continue
+			}
+			top := stack[len(stack)-1]
+			top.Children = append(top.Children, &Node{Type: TextNode, Text: tok.Text, Parent: top})
+		case CommentToken:
+			top := stack[len(stack)-1]
+			top.Children = append(top.Children, &Node{Type: CommentNode, Text: tok.Text, Parent: top})
+		case DoctypeToken:
+			// Ignored: tree shape is what matters.
+		case StartTagToken, SelfClosingTagToken:
+			top := stack[len(stack)-1]
+			el := &Node{Type: ElementNode, Tag: tok.Tag, Attrs: tok.Attrs, Parent: top}
+			top.Children = append(top.Children, el)
+			if tok.Type == StartTagToken && !voidElements[tok.Tag] {
+				stack = append(stack, el)
+			}
+		case EndTagToken:
+			// Pop to the nearest matching open element; ignore strays.
+			for i := len(stack) - 1; i >= 1; i-- {
+				if stack[i].Tag == tok.Tag {
+					stack = stack[:i]
+					break
+				}
+			}
+		}
+	}
+}
+
+// Walk visits every node in document order. Returning false from fn
+// skips the node's children.
+func (n *Node) Walk(fn func(*Node) bool) {
+	if !fn(n) {
+		return
+	}
+	for _, c := range n.Children {
+		c.Walk(fn)
+	}
+}
+
+// FindAll returns every element with the given tag, in document order.
+func (n *Node) FindAll(tag string) []*Node {
+	var out []*Node
+	n.Walk(func(node *Node) bool {
+		if node.Type == ElementNode && node.Tag == tag {
+			out = append(out, node)
+		}
+		return true
+	})
+	return out
+}
+
+// First returns the first element with the given tag, or nil.
+func (n *Node) First(tag string) *Node {
+	var found *Node
+	n.Walk(func(node *Node) bool {
+		if found != nil {
+			return false
+		}
+		if node.Type == ElementNode && node.Tag == tag {
+			found = node
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// InnerText concatenates the text beneath the node.
+func (n *Node) InnerText() string {
+	var b strings.Builder
+	n.Walk(func(node *Node) bool {
+		if node.Type == TextNode {
+			b.WriteString(node.Text)
+		}
+		return true
+	})
+	return b.String()
+}
+
+// IframeAttributes is the paper's predefined list of <iframe> attributes
+// collected for every embedded document (§3.1.2).
+var IframeAttributes = []string{"id", "name", "class", "src", "allow", "sandbox", "srcdoc", "loading"}
+
+// Iframe is one extracted iframe element with the collected attributes.
+type Iframe struct {
+	Src     string
+	Allow   string
+	Sandbox string
+	Srcdoc  string
+	Loading string
+	ID      string
+	Name    string
+	Class   string
+	// HasAllow distinguishes allow="" from no attribute at all.
+	HasAllow bool
+	// HasSrcdoc likewise.
+	HasSrcdoc bool
+	// HasSandbox distinguishes the (fully sandboxing) bare sandbox
+	// attribute from its absence.
+	HasSandbox bool
+}
+
+// Lazy reports whether the iframe is lazy-loaded (loading="lazy"),
+// which the crawler must scroll to in order to trigger loading (§3.2).
+func (f Iframe) Lazy() bool { return strings.EqualFold(f.Loading, "lazy") }
+
+// Iframes extracts all iframe elements from the document.
+func Iframes(doc *Node) []Iframe {
+	var out []Iframe
+	for _, el := range doc.FindAll("iframe") {
+		f := Iframe{
+			Src:     el.AttrOr("src", ""),
+			Allow:   el.AttrOr("allow", ""),
+			Sandbox: el.AttrOr("sandbox", ""),
+			Srcdoc:  el.AttrOr("srcdoc", ""),
+			Loading: el.AttrOr("loading", ""),
+			ID:      el.AttrOr("id", ""),
+			Name:    el.AttrOr("name", ""),
+			Class:   el.AttrOr("class", ""),
+		}
+		f.HasAllow = el.HasAttr("allow")
+		f.HasSrcdoc = el.HasAttr("srcdoc")
+		f.HasSandbox = el.HasAttr("sandbox")
+		out = append(out, f)
+	}
+	return out
+}
+
+// Links extracts the href targets of all anchor elements — the input
+// for beyond-landing-page crawling (the paper's §6.1 limitation).
+func Links(doc *Node) []string {
+	var out []string
+	for _, a := range doc.FindAll("a") {
+		if href, ok := a.Attr("href"); ok && strings.TrimSpace(href) != "" {
+			out = append(out, strings.TrimSpace(href))
+		}
+	}
+	return out
+}
+
+// Script is one extracted script: external (Src set) or inline (Body).
+type Script struct {
+	Src    string
+	Body   string
+	Inline bool
+}
+
+// Scripts extracts all classic scripts from the document. The tokenizer
+// treats <script> as raw text, so inline bodies survive intact even when
+// they contain '<'.
+func Scripts(doc *Node) []Script {
+	var out []Script
+	for _, el := range doc.FindAll("script") {
+		if src, ok := el.Attr("src"); ok && strings.TrimSpace(src) != "" {
+			out = append(out, Script{Src: strings.TrimSpace(src)})
+			continue
+		}
+		out = append(out, Script{Body: el.InnerText(), Inline: true})
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package html
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAttributeEdgeCases(t *testing.T) {
+	tests := []struct {
+		src  string
+		attr string
+		want string
+	}{
+		{`<div data-x = "spaced equals">`, "data-x", "spaced equals"},
+		{`<div a='single "quotes" inside'>`, "a", `single "quotes" inside`},
+		{`<div a=unquoted-value>`, "a", "unquoted-value"},
+		{`<div a="">`, "a", ""},
+		{`<div A="upper key">`, "a", "upper key"},
+		{`<div a="&#x27;quoted&#x27;">`, "a", "'quoted'"},
+	}
+	for _, tt := range tests {
+		doc := Parse(tt.src)
+		div := doc.First("div")
+		if div == nil {
+			t.Fatalf("no div in %q", tt.src)
+		}
+		if got, _ := div.Attr(tt.attr); got != tt.want {
+			t.Errorf("%s: attr %q = %q; want %q", tt.src, tt.attr, got, tt.want)
+		}
+	}
+}
+
+func TestSelfClosingAndNesting(t *testing.T) {
+	doc := Parse(`<div><iframe src="/a"/><p>after</p></div>`)
+	// A self-closing iframe must not swallow the paragraph.
+	p := doc.First("p")
+	if p == nil {
+		t.Fatal("p missing after self-closing iframe")
+	}
+	if len(Iframes(doc)) != 1 {
+		t.Errorf("iframes: %d", len(Iframes(doc)))
+	}
+}
+
+func TestMismatchedCloseTags(t *testing.T) {
+	doc := Parse(`<div><span>text</div></span><p>tail</p>`)
+	if doc.First("p") == nil {
+		t.Error("recovery after mismatched close tags failed")
+	}
+}
+
+func TestScriptWithHTMLLookalikes(t *testing.T) {
+	// Script bodies containing strings that look like tags must stay
+	// intact (only </script> terminates).
+	body := `var markup = "<iframe src='https://x.example'></iframe>"; var done = true;`
+	doc := Parse("<script>" + body + "</script>")
+	scripts := Scripts(doc)
+	if len(scripts) != 1 || !strings.Contains(scripts[0].Body, "</iframe>") {
+		t.Fatalf("scripts: %+v", scripts)
+	}
+	// Crucially, the iframe inside the string must NOT become a frame.
+	if len(Iframes(doc)) != 0 {
+		t.Error("tag-lookalikes inside script bodies leaked into the DOM")
+	}
+}
+
+func TestTitleRawText(t *testing.T) {
+	doc := Parse(`<title>a < b</title><div id="d"></div>`)
+	title := doc.First("title")
+	if title == nil || !strings.Contains(title.InnerText(), "a < b") {
+		t.Errorf("title raw text: %+v", title)
+	}
+	if doc.First("div") == nil {
+		t.Error("parsing must continue after title")
+	}
+}
+
+func TestLinksExtraction(t *testing.T) {
+	doc := Parse(`
+	<a href="/stores">Stores</a>
+	<a href="https://other.example/x">External</a>
+	<a>no href</a>
+	<a href="  /spaced  ">spaced</a>`)
+	links := Links(doc)
+	if len(links) != 3 {
+		t.Fatalf("links: %v", links)
+	}
+	if links[0] != "/stores" || links[2] != "/spaced" {
+		t.Errorf("links: %v", links)
+	}
+}
+
+func TestDeeplyNestedDocument(t *testing.T) {
+	var b strings.Builder
+	for i := 0; i < 200; i++ {
+		b.WriteString("<div>")
+	}
+	b.WriteString(`<iframe src="/deep"></iframe>`)
+	doc := Parse(b.String())
+	if len(Iframes(doc)) != 1 {
+		t.Error("deeply nested iframe lost")
+	}
+}
+
+func TestIframeAttributesListMatchesPaper(t *testing.T) {
+	// §3.1.2's predefined attribute list must be exactly represented.
+	want := []string{"id", "name", "class", "src", "allow", "sandbox", "srcdoc", "loading"}
+	if len(IframeAttributes) != len(want) {
+		t.Fatalf("IframeAttributes = %v", IframeAttributes)
+	}
+	for i, a := range want {
+		if IframeAttributes[i] != a {
+			t.Errorf("attr %d = %q; want %q", i, IframeAttributes[i], a)
+		}
+	}
+}

@@ -1,0 +1,262 @@
+package html
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenizerBasics(t *testing.T) {
+	z := NewTokenizer(`<!DOCTYPE html><html><head><title>Hi</title></head><body class="main">Hello &amp; bye<br/></body></html>`)
+	var types []TokenType
+	var tags []string
+	for {
+		tok := z.Next()
+		if tok.Type == EOFToken {
+			break
+		}
+		types = append(types, tok.Type)
+		tags = append(tags, tok.Tag)
+	}
+	if types[0] != DoctypeToken {
+		t.Errorf("first token: %v", types[0])
+	}
+	joined := strings.Join(tags, ",")
+	if !strings.Contains(joined, "html,head,title") {
+		t.Errorf("tags: %s", joined)
+	}
+}
+
+func TestTokenizerAttributes(t *testing.T) {
+	z := NewTokenizer(`<iframe src="https://a.com/x?a=1&amp;b=2" allow='camera; microphone *' loading=lazy sandbox></iframe>`)
+	tok := z.Next()
+	if tok.Type != StartTagToken || tok.Tag != "iframe" {
+		t.Fatalf("token: %+v", tok)
+	}
+	if v, _ := tok.Attr("src"); v != "https://a.com/x?a=1&b=2" {
+		t.Errorf("src: %q (entity decoding)", v)
+	}
+	if v, _ := tok.Attr("allow"); v != "camera; microphone *" {
+		t.Errorf("allow: %q", v)
+	}
+	if v, _ := tok.Attr("loading"); v != "lazy" {
+		t.Errorf("unquoted value: %q", v)
+	}
+	if _, ok := tok.Attr("sandbox"); !ok {
+		t.Error("boolean attribute missing")
+	}
+	if _, ok := tok.Attr("absent"); ok {
+		t.Error("phantom attribute")
+	}
+}
+
+func TestScriptRawText(t *testing.T) {
+	src := `<script>if (a < b && x > y) { navigator.permissions.query({name: "camera"}); }</script><p>after</p>`
+	doc := Parse(src)
+	scripts := Scripts(doc)
+	if len(scripts) != 1 {
+		t.Fatalf("scripts: %d", len(scripts))
+	}
+	if !strings.Contains(scripts[0].Body, "a < b && x > y") {
+		t.Errorf("script body mangled: %q", scripts[0].Body)
+	}
+	if !strings.Contains(scripts[0].Body, `navigator.permissions.query`) {
+		t.Errorf("script body: %q", scripts[0].Body)
+	}
+	if doc.First("p") == nil {
+		t.Error("parsing must resume after </script>")
+	}
+}
+
+func TestScriptCaseInsensitiveClose(t *testing.T) {
+	doc := Parse(`<SCRIPT>var x = 1;</ScRiPt><div id="d"></div>`)
+	if len(Scripts(doc)) != 1 {
+		t.Error("uppercase script not extracted")
+	}
+	if doc.First("div") == nil {
+		t.Error("close tag case-insensitivity broken")
+	}
+}
+
+func TestExternalAndInlineScripts(t *testing.T) {
+	doc := Parse(`<script src="https://cdn.example/lib.js"></script><script>inline()</script>`)
+	scripts := Scripts(doc)
+	if len(scripts) != 2 {
+		t.Fatalf("scripts: %d", len(scripts))
+	}
+	if scripts[0].Src != "https://cdn.example/lib.js" || scripts[0].Inline {
+		t.Errorf("external script: %+v", scripts[0])
+	}
+	if !scripts[1].Inline || scripts[1].Body != "inline()" {
+		t.Errorf("inline script: %+v", scripts[1])
+	}
+}
+
+func TestIframeExtraction(t *testing.T) {
+	src := `
+	<iframe id="chat" name="lc" class="widget corner" src="https://widget.livechatinc.example/embed"
+	        allow="clipboard-read; microphone *; camera *" loading="lazy"></iframe>
+	<iframe srcdoc="&lt;p&gt;local&lt;/p&gt;" allow=""></iframe>
+	<iframe src="about:blank"></iframe>`
+	frames := Iframes(Parse(src))
+	if len(frames) != 3 {
+		t.Fatalf("frames: %d", len(frames))
+	}
+	f := frames[0]
+	if f.ID != "chat" || f.Name != "lc" || f.Class != "widget corner" {
+		t.Errorf("identity attrs: %+v", f)
+	}
+	if !f.Lazy() {
+		t.Error("loading=lazy not detected")
+	}
+	if !f.HasAllow || !strings.Contains(f.Allow, "microphone *") {
+		t.Errorf("allow: %+v", f)
+	}
+	if !frames[1].HasSrcdoc || frames[1].Srcdoc != "<p>local</p>" {
+		t.Errorf("srcdoc: %+v", frames[1])
+	}
+	if !frames[1].HasAllow || frames[1].Allow != "" {
+		t.Error("empty allow attribute must still register as present")
+	}
+	if frames[2].HasAllow {
+		t.Error("third frame has no allow attribute")
+	}
+}
+
+func TestParseTolerance(t *testing.T) {
+	// Tag soup must not panic and should produce a sensible tree.
+	cases := []string{
+		"<div><p>unclosed",
+		"</stray><div></div>",
+		"<div attr=<<>>",
+		"<",
+		"<div a='x",
+		"<!-- unterminated comment",
+		"<script>never closed",
+		"<div>a<b>c</div>d</b>",
+		"",
+	}
+	for _, src := range cases {
+		doc := Parse(src)
+		if doc == nil {
+			t.Errorf("Parse(%q) = nil", src)
+		}
+	}
+}
+
+func TestVoidElements(t *testing.T) {
+	doc := Parse(`<div><img src="x.png"><br><p>text</p></div>`)
+	div := doc.First("div")
+	if div == nil {
+		t.Fatal("no div")
+	}
+	// img and br must not swallow the p.
+	p := doc.First("p")
+	if p == nil || p.Parent.Tag != "div" {
+		t.Error("void elements must not take children")
+	}
+}
+
+func TestNestedIframesDocumentOrder(t *testing.T) {
+	src := `<iframe src="https://one.example"></iframe><div><iframe src="https://two.example"></iframe></div>`
+	frames := Iframes(Parse(src))
+	if len(frames) != 2 || frames[0].Src != "https://one.example" || frames[1].Src != "https://two.example" {
+		t.Errorf("order: %+v", frames)
+	}
+}
+
+func TestDecodeEntities(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"a &amp; b", "a & b"},
+		{"&lt;div&gt;", "<div>"},
+		{"&quot;x&quot;", `"x"`},
+		{"&#65;&#x42;", "AB"},
+		{"no entities", "no entities"},
+		{"dangling &amp", "dangling &amp"},
+		{"&unknown;", "&unknown;"},
+		{"&#;", "&#;"},
+	}
+	for _, tt := range tests {
+		if got := DecodeEntities(tt.in); got != tt.want {
+			t.Errorf("DecodeEntities(%q) = %q; want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestComment(t *testing.T) {
+	doc := Parse(`<!-- hello --><div></div>`)
+	if len(doc.Children) != 2 || doc.Children[0].Type != CommentNode ||
+		strings.TrimSpace(doc.Children[0].Text) != "hello" {
+		t.Errorf("comment: %+v", doc.Children)
+	}
+}
+
+func TestWalkSkipsChildrenOnFalse(t *testing.T) {
+	doc := Parse(`<div><span><b>deep</b></span></div>`)
+	var visited []string
+	doc.Walk(func(n *Node) bool {
+		if n.Type == ElementNode {
+			visited = append(visited, n.Tag)
+			return n.Tag != "span"
+		}
+		return true
+	})
+	for _, tag := range visited {
+		if tag == "b" {
+			t.Error("Walk must skip children when fn returns false")
+		}
+	}
+}
+
+// Property: the tokenizer always terminates and never panics on
+// arbitrary input (guaranteed progress).
+func TestTokenizerTerminates(t *testing.T) {
+	f := func(s string) bool {
+		z := NewTokenizer(s)
+		for i := 0; i < len(s)+10; i++ {
+			if z.Next().Type == EOFToken {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Parse never returns nil and the tree has no text nodes with
+// element children.
+func TestParseShapeProperty(t *testing.T) {
+	f := func(s string) bool {
+		doc := Parse(s)
+		ok := doc != nil
+		doc.Walk(func(n *Node) bool {
+			if n.Type == TextNode && len(n.Children) > 0 {
+				ok = false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkParsePage(b *testing.B) {
+	var sb strings.Builder
+	sb.WriteString("<!DOCTYPE html><html><body>")
+	for i := 0; i < 50; i++ {
+		sb.WriteString(`<div class="row"><iframe src="https://w.example/e" allow="camera; microphone"></iframe><script>navigator.permissions.query({name:'camera'})</script></div>`)
+	}
+	sb.WriteString("</body></html>")
+	page := sb.String()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		doc := Parse(page)
+		if len(Iframes(doc)) != 50 {
+			b.Fatal("bad parse")
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package origin
+
+import (
+	"testing"
+)
+
+func TestDefaultPortNormalization(t *testing.T) {
+	tests := []struct{ raw, want string }{
+		{"ws://example.com:80/socket", "ws://example.com"},
+		{"wss://example.com:443/socket", "wss://example.com"},
+		{"wss://example.com:8443/socket", "wss://example.com:8443"},
+		{"ftp://example.com:21/file", "ftp://example.com"},
+		{"http://example.com:443", "http://example.com:443"}, // 443 is not http's default
+		{"https://example.com:80", "https://example.com:80"}, // 80 is not https's default
+	}
+	for _, tt := range tests {
+		o, err := Parse(tt.raw)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tt.raw, err)
+			continue
+		}
+		if got := o.String(); got != tt.want {
+			t.Errorf("Parse(%q) = %q; want %q", tt.raw, got, tt.want)
+		}
+	}
+}
+
+func TestIPLiteralOrigins(t *testing.T) {
+	o := MustParse("https://127.0.0.1:8443/path")
+	if o.Host != "127.0.0.1" || o.Port != "8443" {
+		t.Errorf("IPv4 literal: %+v", o)
+	}
+	if o.Site() != "127.0.0.1" {
+		t.Errorf("an IP is its own site: %q", o.Site())
+	}
+	b := MustParse("https://127.0.0.1:9999")
+	if o.SameOrigin(b) {
+		t.Error("different ports on an IP are different origins")
+	}
+	if !o.SameSite(b) {
+		t.Error("same IP is same site regardless of port")
+	}
+}
+
+func TestSchemeCaseInsensitive(t *testing.T) {
+	a := MustParse("HTTPS://EXAMPLE.COM")
+	b := MustParse("https://example.com")
+	if !a.SameOrigin(b) {
+		t.Error("scheme and host comparison must be case-insensitive")
+	}
+}
+
+func TestLocalSchemeParse(t *testing.T) {
+	for _, raw := range []string{"about:blank", "data:,x", "blob:null/u", "javascript:1"} {
+		o, err := Parse(raw)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", raw, err)
+			continue
+		}
+		if !o.IsOpaque() {
+			t.Errorf("Parse(%q) must be opaque: %+v", raw, o)
+		}
+		if o.Scheme == "" {
+			t.Errorf("Parse(%q) must retain the scheme", raw)
+		}
+	}
+}
+
+func BenchmarkParseOrigin(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse("https://deep.sub.example.co.uk:8443/path?q=1"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package permissions
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// EngineRange is a contiguous range of browser versions consistent with
+// an observed permission surface.
+type EngineRange struct {
+	Browser  Browser
+	MinVer   int
+	MaxVer   int
+	ExactSet bool // the surface matched exactly (vs. subset heuristics)
+}
+
+func (e EngineRange) String() string {
+	if e.MinVer == e.MaxVer {
+		return fmt.Sprintf("%s %d", e.Browser, e.MinVer)
+	}
+	return fmt.Sprintf("%s %d-%d", e.Browser, e.MinVer, e.MaxVer)
+}
+
+// identifyRange is the version span the identifier scans.
+const (
+	identifyMin = 40
+	identifyMax = 140
+)
+
+// IdentifyFromSurface determines which (engine, version-range) pairs
+// are consistent with an observed supported-permission list — the
+// fingerprinting vector of §4.1.1: "permission lists could fingerprint
+// browsers and versions" because the supported set differs across
+// engines and across versions of the same engine. The paper suggests
+// the vector; this function demonstrates it end to end.
+func IdentifyFromSurface(surface []string) []EngineRange {
+	want := map[string]bool{}
+	for _, s := range surface {
+		want[strings.ToLower(strings.TrimSpace(s))] = true
+	}
+	var out []EngineRange
+	for _, b := range Browsers {
+		var current *EngineRange
+		for v := identifyMin; v <= identifyMax; v++ {
+			if surfaceEquals(want, b, v) {
+				if current == nil {
+					out = append(out, EngineRange{Browser: b, MinVer: v, MaxVer: v, ExactSet: true})
+					current = &out[len(out)-1]
+				} else {
+					current.MaxVer = v
+				}
+			} else {
+				current = nil
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Browser != out[j].Browser {
+			return out[i].Browser < out[j].Browser
+		}
+		return out[i].MinVer < out[j].MinVer
+	})
+	return out
+}
+
+func surfaceEquals(want map[string]bool, b Browser, version int) bool {
+	have := SupportedPermissions(b, version)
+	if len(have) != len(want) {
+		return false
+	}
+	for _, name := range have {
+		if !want[name] {
+			return false
+		}
+	}
+	return true
+}
+
+// SurfaceEntropy reports how many distinct surfaces exist across the
+// scanned version range — the effective fingerprint alphabet size.
+func SurfaceEntropy() int {
+	seen := map[string]bool{}
+	for _, b := range Browsers {
+		for v := identifyMin; v <= identifyMax; v++ {
+			seen[surfaceKey(b, v)] = true
+		}
+	}
+	return len(seen)
+}
+
+func surfaceKey(b Browser, v int) string {
+	return fmt.Sprintf("%d:%s", b, strings.Join(SupportedPermissions(b, v), ","))
+}

@@ -1,0 +1,64 @@
+package permissions
+
+import (
+	"testing"
+)
+
+func TestIdentifyFromSurface(t *testing.T) {
+	// A script retrieving the full supported-permission list can narrow
+	// down the browser version — the §4.1.1 fingerprinting vector.
+	surface := FingerprintSurface(Chromium, 127)
+	ranges := IdentifyFromSurface(surface)
+	if len(ranges) == 0 {
+		t.Fatal("surface must identify at least one engine range")
+	}
+	found := false
+	for _, r := range ranges {
+		if r.Browser == Chromium && r.MinVer <= 127 && 127 <= r.MaxVer {
+			found = true
+		}
+		if r.Browser != Chromium {
+			t.Errorf("Chromium 127 surface misattributed to %v", r)
+		}
+	}
+	if !found {
+		t.Errorf("Chromium 127 not in identified ranges: %v", ranges)
+	}
+}
+
+func TestIdentifyDistinguishesEngines(t *testing.T) {
+	ffSurface := FingerprintSurface(Firefox, 120)
+	for _, r := range IdentifyFromSurface(ffSurface) {
+		if r.Browser == Chromium {
+			t.Errorf("Firefox surface identified as Chromium: %v", r)
+		}
+	}
+}
+
+func TestIdentifyVersionBoundary(t *testing.T) {
+	// Chromium 114 vs 115 differ (FLoC removed, Privacy Sandbox added):
+	// their surfaces must identify disjoint ranges.
+	r114 := IdentifyFromSurface(FingerprintSurface(Chromium, 114))
+	r115 := IdentifyFromSurface(FingerprintSurface(Chromium, 115))
+	for _, a := range r114 {
+		for _, b := range r115 {
+			if a.Browser == b.Browser && a.MinVer <= b.MaxVer && b.MinVer <= a.MaxVer {
+				t.Errorf("ranges overlap: %v vs %v", a, b)
+			}
+		}
+	}
+}
+
+func TestIdentifyUnknownSurface(t *testing.T) {
+	if got := IdentifyFromSurface([]string{"made-up-feature"}); len(got) != 0 {
+		t.Errorf("nonsense surface identified: %v", got)
+	}
+}
+
+func TestSurfaceEntropy(t *testing.T) {
+	n := SurfaceEntropy()
+	if n < 10 {
+		t.Errorf("fingerprint alphabet too small: %d distinct surfaces", n)
+	}
+	t.Logf("distinct permission surfaces across engines/versions: %d", n)
+}

@@ -1,0 +1,184 @@
+package policy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"permodyssey/internal/origin"
+	"permodyssey/internal/permissions"
+)
+
+// genHeader builds a header from three random directive choices.
+func genHeader(picks [3]uint8) Policy {
+	features := []string{"camera", "geolocation", "fullscreen", "payment", "gamepad", "usb"}
+	lists := []Allowlist{
+		{},           // ()
+		{Self: true}, // (self)
+		{All: true},  // *
+		{Self: true, Origins: []string{"https://w.example"}}, // (self "https://w.example")
+		{Origins: []string{"https://iframe.com"}},            // ("https://iframe.com")
+	}
+	var p Policy
+	for i, pick := range picks {
+		p.Directives = append(p.Directives, Directive{
+			Feature:   features[(int(pick)+i*2)%len(features)],
+			Allowlist: lists[int(pick)%len(lists)],
+		})
+	}
+	return p
+}
+
+// Property: a top-level header can only RESTRICT the document's own
+// access — for every feature, Allowed under any header implies Allowed
+// under no header (§2.2.3: "the Permissions-Policy header can only
+// further restrict the available permissions").
+func TestHeaderOnlyRestrictsOwnContext(t *testing.T) {
+	base := NewTopLevel(exampleOrg, Policy{})
+	f := func(picks [3]uint8) bool {
+		withHeader := NewTopLevel(exampleOrg, genHeader(picks))
+		for _, p := range permissions.All() {
+			if !p.PolicyControlled() {
+				continue
+			}
+			if withHeader.Allowed(p.Name) && !base.Allowed(p.Name) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a child frame's own header can never ENABLE a feature its
+// inherited policy denied.
+func TestChildHeaderCannotEscalate(t *testing.T) {
+	top := NewTopLevel(exampleOrg, Policy{})
+	f := func(picks [3]uint8) bool {
+		childHeader := genHeader(picks)
+		bare := NewSubframe(top, FrameSpec{
+			SrcOrigin: iframeCom, DocumentOrigin: iframeCom,
+		}, SpecActual)
+		withHeader := NewSubframe(top, FrameSpec{
+			SrcOrigin: iframeCom, DocumentOrigin: iframeCom,
+			Declared: childHeader,
+		}, SpecActual)
+		for _, p := range permissions.All() {
+			if !p.PolicyControlled() {
+				continue
+			}
+			if withHeader.Allowed(p.Name) && !bare.Allowed(p.Name) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: delegation is bounded by the parent — a child never holds a
+// feature its parent document could not use or delegate.
+func TestDelegationBoundedByParent(t *testing.T) {
+	f := func(picks [3]uint8, allowAll bool) bool {
+		parentHeader := genHeader(picks)
+		top := NewTopLevel(exampleOrg, parentHeader)
+		allowValue := "camera; geolocation; fullscreen; payment; gamepad; usb"
+		if allowAll {
+			allowValue = "camera *; geolocation *; fullscreen *; payment *; gamepad *; usb *"
+		}
+		allow, _ := ParseAllowAttr(allowValue)
+		child := NewSubframe(top, FrameSpec{
+			SrcOrigin: iframeCom, DocumentOrigin: iframeCom, Allow: allow,
+		}, SpecActual)
+		for _, p := range permissions.All() {
+			if !p.PolicyControlled() {
+				continue
+			}
+			if child.Allowed(p.Name) && !top.EnabledForOrigin(p.Name, iframeCom) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SpecExpected is never more permissive than SpecActual for
+// the local-scheme chain — the fix only removes capability.
+func TestExpectedModeNeverBroader(t *testing.T) {
+	f := func(picks [3]uint8) bool {
+		header := genHeader(picks)
+		for _, p := range permissions.All() {
+			if !p.PolicyControlled() {
+				continue
+			}
+			allow, _ := ParseAllowAttr(p.Name)
+			run := func(mode SpecMode) bool {
+				top := NewTopLevel(exampleOrg, header)
+				local := NewSubframe(top, FrameSpec{LocalScheme: true, Allow: allow}, mode)
+				third := NewSubframe(local, FrameSpec{
+					SrcOrigin: attacker, DocumentOrigin: attacker, Allow: allow,
+				}, mode)
+				return third.Allowed(p.Name)
+			}
+			if run(SpecExpected) && !run(SpecActual) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: AllowedFeatures is consistent with Allowed.
+func TestAllowedFeaturesConsistent(t *testing.T) {
+	f := func(picks [3]uint8) bool {
+		d := NewTopLevel(exampleOrg, genHeader(picks))
+		set := map[string]bool{}
+		for _, name := range d.AllowedFeatures() {
+			set[name] = true
+		}
+		for _, p := range permissions.All() {
+			if !p.PolicyControlled() {
+				continue
+			}
+			if set[p.Name] != d.Allowed(p.Name) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Breadth classification is monotone under Merge — merging
+// allowlists never narrows breadth.
+func TestMergeMonotoneBreadth(t *testing.T) {
+	self := origin.MustParse("https://example.org")
+	lists := []Allowlist{
+		{}, {Self: true}, {All: true},
+		{Origins: []string{"https://example.org"}},
+		{Origins: []string{"https://api.example.org"}},
+		{Origins: []string{"https://third.example"}},
+		{Self: true, Origins: []string{"https://third.example"}},
+	}
+	f := func(i, j uint8) bool {
+		a := lists[int(i)%len(lists)]
+		b := lists[int(j)%len(lists)]
+		merged := a.Merge(b)
+		return merged.BreadthFor(self) >= a.BreadthFor(self) &&
+			merged.BreadthFor(self) >= b.BreadthFor(self)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,57 @@
+package policy
+
+import (
+	"permodyssey/internal/header"
+)
+
+// ReportingEndpoints extracts the report-to parameters of a
+// Permissions-Policy header value: the Reporting API integration that
+// lets a site monitor would-be violations. Returns feature → endpoint
+// name for every directive carrying a report-to parameter.
+//
+// This covers the specification's reporting extension, which the paper
+// lists under future ecosystem development; the
+// Permissions-Policy-Report-Only header (parsed with the same grammar)
+// lets sites trial a policy without enforcement, mirroring CSP's
+// report-only mode.
+func ReportingEndpoints(value string) (map[string]string, error) {
+	dict, err := header.ParseDictionary(value)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]string{}
+	for _, m := range dict.Members {
+		params := m.Params
+		if !m.IsInner {
+			params = m.Item.Params
+		}
+		for _, p := range params {
+			if p.Key != "report-to" {
+				continue
+			}
+			switch p.Value.Kind {
+			case header.KindToken:
+				out[m.Key] = p.Value.Token
+			case header.KindString:
+				out[m.Key] = p.Value.String
+			}
+		}
+	}
+	return out, nil
+}
+
+// ParseReportOnly parses a Permissions-Policy-Report-Only header value.
+// The grammar is identical to the enforced header; the semantics are
+// observe-only, so the result is returned as a Policy plus the
+// reporting endpoints, and is never fed to the enforcement engine.
+func ParseReportOnly(value string) (Policy, map[string]string, []Issue, error) {
+	p, issues, err := ParsePermissionsPolicy(value)
+	if err != nil {
+		return Policy{}, nil, issues, err
+	}
+	endpoints, err := ReportingEndpoints(value)
+	if err != nil {
+		return Policy{}, nil, issues, err
+	}
+	return p, endpoints, issues, nil
+}

@@ -1,0 +1,48 @@
+package policy
+
+import (
+	"testing"
+)
+
+func TestReportingEndpoints(t *testing.T) {
+	eps, err := ReportingEndpoints(`camera=();report-to=default, geolocation=(self);report-to="geo-endpoint", microphone=()`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eps["camera"] != "default" {
+		t.Errorf("camera endpoint: %q", eps["camera"])
+	}
+	if eps["geolocation"] != "geo-endpoint" {
+		t.Errorf("geolocation endpoint: %q", eps["geolocation"])
+	}
+	if _, ok := eps["microphone"]; ok {
+		t.Error("microphone has no report-to")
+	}
+}
+
+func TestReportingEndpointsInvalidHeader(t *testing.T) {
+	if _, err := ReportingEndpoints("camera 'none'"); err == nil {
+		t.Error("invalid header must error")
+	}
+}
+
+func TestParseReportOnly(t *testing.T) {
+	p, eps, issues, err := ParseReportOnly(`camera=();report-to=default, geolocation=(self)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(issues) != 0 {
+		t.Errorf("issues: %v", issues)
+	}
+	cam, ok := p.Get("camera")
+	if !ok || !cam.None() {
+		t.Errorf("camera: %+v", cam)
+	}
+	if eps["camera"] != "default" {
+		t.Errorf("endpoints: %v", eps)
+	}
+	// Report-only headers with FP syntax are dropped like enforced ones.
+	if _, _, _, err := ParseReportOnly("camera 'none'"); err == nil {
+		t.Error("invalid report-only header must error")
+	}
+}

@@ -1,0 +1,212 @@
+// Package psl implements a minimal public-suffix list and the matching
+// algorithm defined by publicsuffix.org, sufficient to compute the
+// registrable domain (eTLD+1) of a host. The "site" of two origins — the
+// granularity at which the paper distinguishes first-party from
+// third-party scripts and frames — is their registrable domain.
+//
+// The embedded list is a small, curated subset of the public-suffix list:
+// the generic TLDs and country suffixes that appear in the synthetic web
+// plus the usual multi-label suffixes (co.uk, com.au, github.io, ...).
+// The matching algorithm itself is complete: normal rules, wildcard rules
+// ("*.ck") and exception rules ("!www.ck") are all supported, and unknown
+// TLDs fall back to the implicit "*" rule exactly as the specification
+// requires.
+package psl
+
+import (
+	"strings"
+)
+
+// List is a compiled public-suffix list. The zero value is not useful;
+// construct one with NewList or use the package-level Default list.
+type List struct {
+	rules map[string]ruleKind
+}
+
+type ruleKind uint8
+
+const (
+	ruleNormal ruleKind = iota
+	ruleWildcard
+	ruleException
+)
+
+// defaultRules is the embedded rule set. One rule per line, using the
+// public-suffix list syntax ("*." prefix for wildcard, "!" for exception).
+var defaultRules = []string{
+	// Generic TLDs.
+	"com", "org", "net", "edu", "gov", "mil", "int", "info", "biz",
+	"io", "ai", "app", "dev", "co", "me", "tv", "cc", "ws", "xyz",
+	"online", "site", "shop", "store", "blog", "cloud", "page", "live",
+	"news", "media", "agency", "digital", "studio", "tech", "world",
+	// Country TLDs that appear bare.
+	"de", "fr", "es", "it", "nl", "pl", "ru", "cz", "at", "ch", "be",
+	"se", "no", "fi", "dk", "pt", "gr", "ie", "hu", "ro", "bg", "sk",
+	"us", "ca", "mx", "br", "ar", "cl", "pe", "jp", "cn", "kr", "in",
+	"id", "th", "vn", "my", "sg", "ph", "tr", "il", "sa", "ae", "za",
+	"ng", "eg", "ke", "ua", "by", "kz", "uk", "au", "nz", "localhost",
+	"test", "invalid", "example", "local",
+	// Multi-label public suffixes.
+	"co.uk", "org.uk", "ac.uk", "gov.uk", "me.uk", "net.uk",
+	"com.au", "net.au", "org.au", "edu.au", "gov.au",
+	"co.nz", "org.nz", "net.nz",
+	"co.jp", "ne.jp", "or.jp", "ac.jp", "go.jp",
+	"com.br", "net.br", "org.br", "gov.br",
+	"com.cn", "net.cn", "org.cn", "gov.cn",
+	"co.in", "net.in", "org.in", "firm.in", "gen.in",
+	"co.kr", "or.kr", "ne.kr",
+	"com.mx", "org.mx", "net.mx",
+	"com.ar", "com.tr", "com.sg", "com.my", "com.ph", "com.vn",
+	"co.za", "org.za", "net.za", "co.il", "org.il",
+	"com.sa", "com.eg", "com.ua", "com.ng",
+	// Private-domain suffixes relevant for widget hosting.
+	"github.io", "gitlab.io", "netlify.app", "vercel.app",
+	"web.app", "firebaseapp.com", "appspot.com", "herokuapp.com",
+	"cloudfront.net", "azurewebsites.net", "pages.dev", "workers.dev",
+	"blogspot.com", "wordpress.com", "tumblr.com", "wixsite.com",
+	"s3.amazonaws.com", "fastly.net", "akamaized.net",
+	// Wildcard and exception rules (exercise the full algorithm).
+	"*.ck", "!www.ck",
+	"*.bd", "*.er", "*.fk", "!city.kobe.jp", "*.kobe.jp",
+}
+
+// Default is the list compiled from the embedded rule set.
+var Default = NewList(defaultRules)
+
+// NewList compiles rules (public-suffix list syntax) into a List.
+// Rules are lower-cased; empty rules are ignored.
+func NewList(rules []string) *List {
+	l := &List{rules: make(map[string]ruleKind, len(rules))}
+	for _, r := range rules {
+		r = strings.ToLower(strings.TrimSpace(r))
+		if r == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(r, "!"):
+			l.rules[r[1:]] = ruleException
+		case strings.HasPrefix(r, "*."):
+			l.rules[r[2:]] = ruleWildcard
+		default:
+			l.rules[r] = ruleNormal
+		}
+	}
+	return l
+}
+
+// PublicSuffix returns the public suffix of host and whether an explicit
+// rule (as opposed to the implicit "*" fallback) matched. The host must
+// already be a bare lower-case hostname (no port, no trailing dot).
+func (l *List) PublicSuffix(host string) (suffix string, explicit bool) {
+	host = normalizeHost(host)
+	if host == "" {
+		return "", false
+	}
+	labels := strings.Split(host, ".")
+	// Find the longest matching rule, honoring exceptions: an exception
+	// rule's suffix is one label shorter than the exception itself.
+	for i := 0; i < len(labels); i++ {
+		candidate := strings.Join(labels[i:], ".")
+		switch l.rules[candidate] {
+		case ruleException:
+			// The public suffix is the candidate minus its first label.
+			if dot := strings.IndexByte(candidate, '.'); dot >= 0 {
+				return candidate[dot+1:], true
+			}
+			return candidate, true
+		}
+	}
+	for i := 0; i < len(labels); i++ {
+		candidate := strings.Join(labels[i:], ".")
+		if kind, ok := l.rules[candidate]; ok {
+			switch kind {
+			case ruleNormal:
+				return candidate, true
+			case ruleWildcard:
+				// "*.foo" makes "<label>.foo" a public suffix. The wildcard
+				// matches only if there is a label before the rule suffix.
+				if i > 0 {
+					return strings.Join(labels[i-1:], "."), true
+				}
+				return candidate, true
+			}
+		}
+	}
+	// Implicit "*" rule: the rightmost label is the public suffix.
+	return labels[len(labels)-1], false
+}
+
+// RegistrableDomain returns the eTLD+1 of host, or "" when the host is
+// itself a public suffix (or empty). IP-address literals are returned
+// unchanged: an IP has no registrable domain hierarchy, so the address is
+// its own site.
+func (l *List) RegistrableDomain(host string) string {
+	host = normalizeHost(host)
+	if host == "" {
+		return ""
+	}
+	if isIPLiteral(host) {
+		return host
+	}
+	suffix, _ := l.PublicSuffix(host)
+	if host == suffix {
+		return ""
+	}
+	// The registrable domain is the suffix plus the one preceding label.
+	rest := strings.TrimSuffix(host, "."+suffix)
+	if rest == host {
+		return ""
+	}
+	if dot := strings.LastIndexByte(rest, '.'); dot >= 0 {
+		rest = rest[dot+1:]
+	}
+	if rest == "" {
+		return ""
+	}
+	return rest + "." + suffix
+}
+
+// SameSite reports whether the two hosts share a registrable domain.
+// Hosts that are themselves public suffixes are never same-site with
+// anything (not even themselves), mirroring browser behaviour for
+// schemeless site comparisons.
+func (l *List) SameSite(a, b string) bool {
+	ra := l.RegistrableDomain(a)
+	rb := l.RegistrableDomain(b)
+	return ra != "" && ra == rb
+}
+
+func normalizeHost(host string) string {
+	host = strings.ToLower(strings.TrimSpace(host))
+	host = strings.TrimSuffix(host, ".")
+	return host
+}
+
+// isIPLiteral reports whether host looks like an IPv4 or IPv6 literal.
+// We avoid net.ParseIP to keep this package dependency-free and because
+// bracketed IPv6 literals arrive already stripped of brackets.
+func isIPLiteral(host string) bool {
+	if strings.ContainsRune(host, ':') {
+		return true // only IPv6 literals contain colons at this point
+	}
+	parts := strings.Split(host, ".")
+	if len(parts) != 4 {
+		return false
+	}
+	for _, p := range parts {
+		if len(p) == 0 || len(p) > 3 {
+			return false
+		}
+		n := 0
+		for _, c := range p {
+			if c < '0' || c > '9' {
+				return false
+			}
+			n = n*10 + int(c-'0')
+		}
+		if n > 255 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,175 @@
+package psl
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPublicSuffix(t *testing.T) {
+	tests := []struct {
+		host     string
+		suffix   string
+		explicit bool
+	}{
+		{"example.com", "com", true},
+		{"www.example.com", "com", true},
+		{"example.co.uk", "co.uk", true},
+		{"sub.example.co.uk", "co.uk", true},
+		{"example.github.io", "github.io", true},
+		{"foo.appspot.com", "appspot.com", true},
+		{"com", "com", true},
+		{"example.unknown-tld", "unknown-tld", false},
+		{"a.b.example.unknowntld", "unknowntld", false},
+		// Wildcard rule *.ck: any single label under ck is a suffix.
+		{"foo.ck", "foo.ck", true},
+		{"bar.foo.ck", "foo.ck", true},
+		// Exception rule !www.ck: www.ck is registrable; suffix is ck.
+		{"www.ck", "ck", true},
+		{"sub.www.ck", "ck", true},
+		// Kobe: *.kobe.jp with exception !city.kobe.jp.
+		{"x.kobe.jp", "x.kobe.jp", true},
+		{"a.x.kobe.jp", "x.kobe.jp", true},
+		{"city.kobe.jp", "kobe.jp", true},
+		{"EXAMPLE.COM", "com", true},
+		{"example.com.", "com", true},
+	}
+	for _, tt := range tests {
+		suffix, explicit := Default.PublicSuffix(tt.host)
+		if suffix != tt.suffix || explicit != tt.explicit {
+			t.Errorf("PublicSuffix(%q) = %q, %v; want %q, %v",
+				tt.host, suffix, explicit, tt.suffix, tt.explicit)
+		}
+	}
+}
+
+func TestRegistrableDomain(t *testing.T) {
+	tests := []struct {
+		host, want string
+	}{
+		{"example.com", "example.com"},
+		{"www.example.com", "example.com"},
+		{"a.b.c.example.com", "example.com"},
+		{"example.co.uk", "example.co.uk"},
+		{"deep.sub.example.co.uk", "example.co.uk"},
+		{"widget.github.io", "widget.github.io"},
+		{"a.widget.github.io", "widget.github.io"},
+		{"com", ""},
+		{"co.uk", ""},
+		{"github.io", ""},
+		{"", ""},
+		{"www.ck", "www.ck"},
+		{"sub.www.ck", "www.ck"},
+		{"site.foo.ck", "site.foo.ck"},
+		{"127.0.0.1", "127.0.0.1"},
+		{"::1", "::1"},
+		{"256.1.1.1", ""}, // not an IP; "1" is implicit suffix; "1.1" reg dom? see below
+	}
+	for _, tt := range tests {
+		if tt.host == "256.1.1.1" {
+			// Not an IPv4 literal (256 > 255): treated as a hostname with
+			// implicit suffix "1", so the registrable domain is "1.1".
+			if got := Default.RegistrableDomain(tt.host); got != "1.1" {
+				t.Errorf("RegistrableDomain(%q) = %q; want %q", tt.host, got, "1.1")
+			}
+			continue
+		}
+		if got := Default.RegistrableDomain(tt.host); got != tt.want {
+			t.Errorf("RegistrableDomain(%q) = %q; want %q", tt.host, got, tt.want)
+		}
+	}
+}
+
+func TestSameSite(t *testing.T) {
+	tests := []struct {
+		a, b string
+		want bool
+	}{
+		{"example.com", "example.com", true},
+		{"www.example.com", "example.com", true},
+		{"a.example.com", "b.example.com", true},
+		{"example.com", "example.org", false},
+		{"example.co.uk", "example.com", false},
+		{"a.example.co.uk", "b.example.co.uk", true},
+		{"alpha.github.io", "beta.github.io", false}, // distinct private suffix sites
+		{"com", "com", false},                        // bare suffix never same-site
+		{"", "example.com", false},
+	}
+	for _, tt := range tests {
+		if got := Default.SameSite(tt.a, tt.b); got != tt.want {
+			t.Errorf("SameSite(%q, %q) = %v; want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestNewListCustomRules(t *testing.T) {
+	l := NewList([]string{"zz", "corp.zz", " SPACED.ZZ ", ""})
+	if got := l.RegistrableDomain("a.corp.zz"); got != "a.corp.zz" {
+		t.Errorf("custom rule: got %q", got)
+	}
+	if got := l.RegistrableDomain("a.spaced.zz"); got != "a.spaced.zz" {
+		t.Errorf("normalized custom rule: got %q", got)
+	}
+	if got := l.RegistrableDomain("b.other.zz"); got != "other.zz" {
+		t.Errorf("fallback to zz: got %q", got)
+	}
+}
+
+// Property: the registrable domain, when non-empty, is always a suffix of
+// the input host and has exactly one more label than its public suffix.
+func TestRegistrableDomainProperties(t *testing.T) {
+	hosts := []string{
+		"example.com", "www.example.com", "a.b.c.d.e.co.uk",
+		"x.github.io", "deep.x.github.io", "foo.bar.unknowable",
+		"site.foo.ck", "city.kobe.jp", "q.city.kobe.jp",
+	}
+	for _, h := range hosts {
+		rd := Default.RegistrableDomain(h)
+		if rd == "" {
+			t.Fatalf("expected registrable domain for %q", h)
+		}
+		if h != rd && !strings.HasSuffix(h, "."+rd) {
+			t.Errorf("RegistrableDomain(%q) = %q is not a dot-suffix", h, rd)
+		}
+		suffix, _ := Default.PublicSuffix(h)
+		want := strings.Count(suffix, ".") + 1
+		if got := strings.Count(rd, "."); got != want {
+			t.Errorf("RegistrableDomain(%q) = %q: %d dots, want %d", h, rd, got, want)
+		}
+	}
+}
+
+// Property (quick): PublicSuffix output is always a suffix of the
+// normalized host, and SameSite is symmetric.
+func TestQuickProperties(t *testing.T) {
+	labels := []string{"a", "bb", "www", "example", "com", "co", "uk", "io", "ck", "github"}
+	genHost := func(n1, n2, n3 uint8) string {
+		parts := []string{
+			labels[int(n1)%len(labels)],
+			labels[int(n2)%len(labels)],
+			labels[int(n3)%len(labels)],
+		}
+		return strings.Join(parts[:1+int(n1)%3], ".")
+	}
+	suffixProp := func(n1, n2, n3 uint8) bool {
+		h := genHost(n1, n2, n3)
+		s, _ := Default.PublicSuffix(h)
+		return h == s || strings.HasSuffix(h, "."+s)
+	}
+	if err := quick.Check(suffixProp, nil); err != nil {
+		t.Error(err)
+	}
+	symProp := func(a1, a2, a3, b1, b2, b3 uint8) bool {
+		a, b := genHost(a1, a2, a3), genHost(b1, b2, b3)
+		return Default.SameSite(a, b) == Default.SameSite(b, a)
+	}
+	if err := quick.Check(symProp, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkRegistrableDomain(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Default.RegistrableDomain("deep.sub.example.co.uk")
+	}
+}

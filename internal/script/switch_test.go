@@ -1,0 +1,172 @@
+package script
+
+import (
+	"testing"
+)
+
+func runAndGet(t *testing.T, src, varName string) Value {
+	t.Helper()
+	in := NewInterp()
+	if err := in.Run(src, "t"); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	v, _ := in.Global.Get(varName)
+	return v
+}
+
+func TestSwitchBasic(t *testing.T) {
+	src := `
+	var result = '';
+	var state = 'prompt';
+	switch (state) {
+	case 'granted':
+		result = 'use';
+		break;
+	case 'prompt':
+		result = 'ask';
+		break;
+	case 'denied':
+		result = 'skip';
+		break;
+	default:
+		result = 'unknown';
+	}
+	`
+	if got := runAndGet(t, src, "result").ToString(); got != "ask" {
+		t.Errorf("result = %q", got)
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	src := `
+	var hits = [];
+	switch (2) {
+	case 1:
+		hits.push('one');
+	case 2:
+		hits.push('two');
+	case 3:
+		hits.push('three');
+		break;
+	case 4:
+		hits.push('four');
+	}
+	var trace = hits.join(',');
+	`
+	if got := runAndGet(t, src, "trace").ToString(); got != "two,three" {
+		t.Errorf("trace = %q", got)
+	}
+}
+
+func TestSwitchDefaultPosition(t *testing.T) {
+	// default in the middle still matches when nothing else does, and
+	// falls through to subsequent cases.
+	src := `
+	var hits = [];
+	switch ('nope') {
+	case 'a':
+		hits.push('a');
+		break;
+	default:
+		hits.push('dflt');
+	case 'b':
+		hits.push('b');
+		break;
+	}
+	var trace = hits.join(',');
+	`
+	if got := runAndGet(t, src, "trace").ToString(); got != "dflt,b" {
+		t.Errorf("trace = %q", got)
+	}
+}
+
+func TestSwitchNoMatchNoDefault(t *testing.T) {
+	src := `
+	var touched = false;
+	switch (9) {
+	case 1: touched = true; break;
+	}
+	`
+	if runAndGet(t, src, "touched").Truthy() {
+		t.Error("no case should run")
+	}
+}
+
+func TestSwitchStrictMatching(t *testing.T) {
+	// switch uses === : '2' must not match 2.
+	src := `
+	var result = 'none';
+	switch ('2') {
+	case 2: result = 'number'; break;
+	case '2': result = 'string'; break;
+	}
+	`
+	if got := runAndGet(t, src, "result").ToString(); got != "string" {
+		t.Errorf("result = %q", got)
+	}
+}
+
+func TestDoWhile(t *testing.T) {
+	src := `
+	var n = 0;
+	do { n++; } while (n < 5);
+	var once = 0;
+	do { once++; } while (false);
+	`
+	in := NewInterp()
+	if err := in.Run(src, "t"); err != nil {
+		t.Fatal(err)
+	}
+	n, _ := in.Global.Get("n")
+	once, _ := in.Global.Get("once")
+	if n.Num() != 5 || once.Num() != 1 {
+		t.Errorf("n=%v once=%v", n.ToString(), once.ToString())
+	}
+}
+
+func TestDoWhileBreakContinue(t *testing.T) {
+	src := `
+	var sum = 0;
+	var i = 0;
+	do {
+		i++;
+		if (i === 3) { continue; }
+		if (i > 5) { break; }
+		sum += i;
+	} while (true);
+	`
+	if got := runAndGet(t, src, "sum").Num(); got != 1+2+4+5 {
+		t.Errorf("sum = %v", got)
+	}
+}
+
+func TestSwitchSyntaxErrors(t *testing.T) {
+	for _, src := range []string{
+		"switch (x) { junk }",
+		"switch (x) { case 1 }",
+		"do { x() }", // missing while
+	} {
+		if err := NewInterp().Run(src, "t"); err == nil {
+			t.Errorf("Run(%q): expected error", src)
+		}
+	}
+}
+
+func TestArrayReduce(t *testing.T) {
+	src := `
+	var sum = [1, 2, 3, 4].reduce(function (acc, x) { return acc + x; }, 0);
+	var noInit = [5, 6].reduce(function (acc, x) { return acc + x; });
+	`
+	in := NewInterp()
+	if err := in.Run(src, "t"); err != nil {
+		t.Fatal(err)
+	}
+	sum, _ := in.Global.Get("sum")
+	noInit, _ := in.Global.Get("noInit")
+	if sum.Num() != 10 || noInit.Num() != 11 {
+		t.Errorf("sum=%v noInit=%v", sum.ToString(), noInit.ToString())
+	}
+	if err := NewInterp().Run("[].reduce(function(a,b){return a})", "t"); err == nil {
+		t.Error("reduce of empty array without init must error")
+	}
+}

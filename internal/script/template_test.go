@@ -1,0 +1,77 @@
+package script
+
+import (
+	"testing"
+)
+
+func TestTemplateInterpolation(t *testing.T) {
+	tests := []struct {
+		src  string
+		want string
+	}{
+		{"var r = `hello ${name}!`;", "hello world!"},
+		{"var r = `${name}`;", "world"},
+		{"var r = `a${1 + 2}b`;", "a3b"},
+		{"var r = `x=${obj.x}, y=${obj['y']}`;", "x=1, y=2"},
+		{"var r = `${name}${name}`;", "worldworld"},
+		{"var r = `nested ${fn({k: 'v'})}`;", "nested v"},
+		{"var r = `no interpolation`;", "no interpolation"},
+		{"var r = `price: ${n > 5 ? 'high' : 'low'}`;", "price: high"},
+	}
+	for _, tt := range tests {
+		in := NewInterp()
+		setup := `
+		var name = 'world';
+		var obj = {x: 1, y: 2};
+		var n = 9;
+		function fn(o) { return o.k; }
+		`
+		if err := in.Run(setup+tt.src, "t"); err != nil {
+			t.Errorf("%s: %v", tt.src, err)
+			continue
+		}
+		v, _ := in.Global.Get("r")
+		if v.ToString() != tt.want {
+			t.Errorf("%s = %q; want %q", tt.src, v.ToString(), tt.want)
+		}
+	}
+}
+
+func TestTemplateMultiline(t *testing.T) {
+	in := NewInterp()
+	if err := in.Run("var r = `line1\nline2 ${1+1}`;", "t"); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := in.Global.Get("r")
+	if v.ToString() != "line1\nline2 2" {
+		t.Errorf("r = %q", v.ToString())
+	}
+}
+
+func TestTemplateErrors(t *testing.T) {
+	for _, src := range []string{
+		"var r = `${;}`;",
+		"var r = `${}`;",
+	} {
+		if err := NewInterp().Run(src, "t"); err == nil {
+			t.Errorf("Run(%q): expected error", src)
+		}
+	}
+}
+
+func TestTemplateInRealisticProbe(t *testing.T) {
+	// The kind of code real scripts ship: building a beacon URL from a
+	// permission state.
+	in := NewInterp()
+	src := `
+	var state = 'granted';
+	var url = ` + "`/beacon?perm=camera&state=${state}&ts=${42}`" + `;
+	`
+	if err := in.Run(src, "t"); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := in.Global.Get("url")
+	if v.ToString() != "/beacon?perm=camera&state=granted&ts=42" {
+		t.Errorf("url = %q", v.ToString())
+	}
+}

@@ -1,0 +1,336 @@
+package script
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind discriminates runtime values.
+type Kind uint8
+
+const (
+	KindUndefined Kind = iota
+	KindNull
+	KindBool
+	KindNumber
+	KindString
+	KindObject
+	KindArray
+	KindFunc   // closure
+	KindNative // Go-implemented function
+)
+
+// Value is a JavaScript value.
+type Value struct {
+	kind Kind
+	b    bool
+	n    float64
+	s    string
+	obj  *Object
+	arr  *Array
+	fn   *Closure
+	nat  *Native
+}
+
+// Object is a property bag. Host objects (navigator, document, ...) are
+// Objects whose function-valued properties are Natives.
+type Object struct {
+	props map[string]Value
+	order []string
+	// Class tags host objects ("Promise", "PermissionStatus", ...).
+	Class string
+	// Call, when non-nil, makes the object callable/constructible —
+	// used for host constructors that also carry static properties
+	// (Notification.requestPermission alongside new Notification()).
+	Call *Native
+}
+
+// Array is a JS array.
+type Array struct{ Elems []Value }
+
+// Closure is a user-defined function.
+type Closure struct {
+	Name     string
+	Params   []string
+	Body     *BlockStmt
+	ExprBody Node
+	Env      *Env
+	// ScriptURL is the URL of the script that defined the function; it
+	// feeds stack-trace attribution (§4.1.1: "the stacktrace enables us
+	// to determine the origin of a call").
+	ScriptURL string
+	Line      int
+}
+
+// Native is a host function.
+type Native struct {
+	Name string
+	Fn   func(in *Interp, this Value, args []Value) (Value, error)
+}
+
+// ---- constructors ----
+
+func Undefined() Value       { return Value{kind: KindUndefined} }
+func Null() Value            { return Value{kind: KindNull} }
+func Bool(b bool) Value      { return Value{kind: KindBool, b: b} }
+func Number(n float64) Value { return Value{kind: KindNumber, n: n} }
+func String(s string) Value  { return Value{kind: KindString, s: s} }
+
+// NewObject creates an empty object.
+func NewObject() *Object { return &Object{props: map[string]Value{}} }
+
+// ObjectValue wraps an Object.
+func ObjectValue(o *Object) Value { return Value{kind: KindObject, obj: o} }
+
+// ArrayValue wraps element values.
+func ArrayValue(elems ...Value) Value {
+	return Value{kind: KindArray, arr: &Array{Elems: elems}}
+}
+
+// StringsValue builds an array of strings.
+func StringsValue(ss []string) Value {
+	elems := make([]Value, len(ss))
+	for i, s := range ss {
+		elems[i] = String(s)
+	}
+	return ArrayValue(elems...)
+}
+
+// NativeValue wraps a host function.
+func NativeValue(name string, fn func(in *Interp, this Value, args []Value) (Value, error)) Value {
+	return Value{kind: KindNative, nat: &Native{Name: name, Fn: fn}}
+}
+
+// FuncValue wraps a closure.
+func FuncValue(c *Closure) Value { return Value{kind: KindFunc, fn: c} }
+
+// ---- accessors ----
+
+func (v Value) Kind() Kind        { return v.kind }
+func (v Value) IsUndefined() bool { return v.kind == KindUndefined }
+func (v Value) IsNull() bool      { return v.kind == KindNull }
+func (v Value) IsCallable() bool {
+	return v.kind == KindFunc || v.kind == KindNative ||
+		(v.kind == KindObject && v.obj.Call != nil)
+}
+
+// Str returns the string payload (empty for non-strings).
+func (v Value) Str() string { return v.s }
+
+// Num returns the numeric payload.
+func (v Value) Num() float64 { return v.n }
+
+// BoolVal returns the bool payload.
+func (v Value) BoolVal() bool { return v.b }
+
+// Obj returns the object payload, or nil.
+func (v Value) Obj() *Object { return v.obj }
+
+// Arr returns the array payload, or nil.
+func (v Value) Arr() *Array { return v.arr }
+
+// Truthy implements JS truthiness.
+func (v Value) Truthy() bool {
+	switch v.kind {
+	case KindUndefined, KindNull:
+		return false
+	case KindBool:
+		return v.b
+	case KindNumber:
+		return v.n != 0 && !math.IsNaN(v.n)
+	case KindString:
+		return v.s != ""
+	default:
+		return true
+	}
+}
+
+// Set assigns a property, preserving insertion order for new keys.
+func (o *Object) Set(key string, v Value) {
+	if _, exists := o.props[key]; !exists {
+		o.order = append(o.order, key)
+	}
+	o.props[key] = v
+}
+
+// Get reads a property.
+func (o *Object) Get(key string) (Value, bool) {
+	v, ok := o.props[key]
+	return v, ok
+}
+
+// GetOr reads a property with a default.
+func (o *Object) GetOr(key string, def Value) Value {
+	if v, ok := o.props[key]; ok {
+		return v
+	}
+	return def
+}
+
+// Keys returns property names in insertion order.
+func (o *Object) Keys() []string { return append([]string{}, o.order...) }
+
+// ToString implements JS ToString for diagnostics and concatenation.
+func (v Value) ToString() string {
+	switch v.kind {
+	case KindUndefined:
+		return "undefined"
+	case KindNull:
+		return "null"
+	case KindBool:
+		return strconv.FormatBool(v.b)
+	case KindNumber:
+		if v.n == math.Trunc(v.n) && math.Abs(v.n) < 1e15 && !math.IsInf(v.n, 0) {
+			return strconv.FormatInt(int64(v.n), 10)
+		}
+		return strconv.FormatFloat(v.n, 'g', -1, 64)
+	case KindString:
+		return v.s
+	case KindArray:
+		parts := make([]string, len(v.arr.Elems))
+		for i, e := range v.arr.Elems {
+			parts[i] = e.ToString()
+		}
+		return strings.Join(parts, ",")
+	case KindObject:
+		if v.obj.Class != "" {
+			return "[object " + v.obj.Class + "]"
+		}
+		return "[object Object]"
+	case KindFunc:
+		return "function " + v.fn.Name + "() { [user code] }"
+	case KindNative:
+		return "function " + v.nat.Name + "() { [native code] }"
+	}
+	return ""
+}
+
+// ToNumber implements JS ToNumber loosely.
+func (v Value) ToNumber() float64 {
+	switch v.kind {
+	case KindNumber:
+		return v.n
+	case KindBool:
+		if v.b {
+			return 1
+		}
+		return 0
+	case KindString:
+		s := strings.TrimSpace(v.s)
+		if s == "" {
+			return 0
+		}
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return math.NaN()
+		}
+		return f
+	case KindNull:
+		return 0
+	default:
+		return math.NaN()
+	}
+}
+
+// TypeOf implements the typeof operator.
+func (v Value) TypeOf() string {
+	switch v.kind {
+	case KindUndefined:
+		return "undefined"
+	case KindNull:
+		return "object"
+	case KindBool:
+		return "boolean"
+	case KindNumber:
+		return "number"
+	case KindString:
+		return "string"
+	case KindFunc, KindNative:
+		return "function"
+	default:
+		return "object"
+	}
+}
+
+// StrictEquals implements ===.
+func StrictEquals(a, b Value) bool {
+	if a.kind != b.kind {
+		return false
+	}
+	switch a.kind {
+	case KindUndefined, KindNull:
+		return true
+	case KindBool:
+		return a.b == b.b
+	case KindNumber:
+		return a.n == b.n
+	case KindString:
+		return a.s == b.s
+	case KindObject:
+		return a.obj == b.obj
+	case KindArray:
+		return a.arr == b.arr
+	case KindFunc:
+		return a.fn == b.fn
+	case KindNative:
+		return a.nat == b.nat
+	}
+	return false
+}
+
+// LooseEquals implements == (approximately: === plus null/undefined
+// equivalence plus string/number coercion).
+func LooseEquals(a, b Value) bool {
+	if a.kind == b.kind {
+		return StrictEquals(a, b)
+	}
+	if (a.kind == KindNull && b.kind == KindUndefined) ||
+		(a.kind == KindUndefined && b.kind == KindNull) {
+		return true
+	}
+	if (a.kind == KindNumber && b.kind == KindString) ||
+		(a.kind == KindString && b.kind == KindNumber) ||
+		(a.kind == KindBool || b.kind == KindBool) {
+		return a.ToNumber() == b.ToNumber()
+	}
+	return false
+}
+
+// JSONString renders a value as JSON (cycles are not detected; host
+// graphs are acyclic).
+func JSONString(v Value) string {
+	switch v.kind {
+	case KindUndefined, KindFunc, KindNative:
+		return "null"
+	case KindNull:
+		return "null"
+	case KindBool:
+		return strconv.FormatBool(v.b)
+	case KindNumber:
+		return v.ToString()
+	case KindString:
+		return strconv.Quote(v.s)
+	case KindArray:
+		parts := make([]string, len(v.arr.Elems))
+		for i, e := range v.arr.Elems {
+			parts[i] = JSONString(e)
+		}
+		return "[" + strings.Join(parts, ",") + "]"
+	case KindObject:
+		keys := v.obj.Keys()
+		sort.Strings(keys)
+		parts := make([]string, 0, len(keys))
+		for _, k := range keys {
+			pv := v.obj.props[k]
+			if pv.IsCallable() {
+				continue
+			}
+			parts = append(parts, fmt.Sprintf("%s:%s", strconv.Quote(k), JSONString(pv)))
+		}
+		return "{" + strings.Join(parts, ",") + "}"
+	}
+	return "null"
+}

@@ -1,0 +1,122 @@
+// Package static implements the paper's static permission analysis
+// (§3.1.1): string matching of permission-related Web-API expressions in
+// the scripts a website loads, including inline and dynamically created
+// scripts. It identifies functionality that may be hidden behind user
+// interaction, at the cost of missing aliased or obfuscated calls
+// (§4.1.3) — a limitation the tests document deliberately.
+package static
+
+import (
+	"sort"
+	"strings"
+
+	"permodyssey/internal/permissions"
+)
+
+// Finding records one matched pattern in one script.
+type Finding struct {
+	// Permission is the permission the pattern belongs to; empty for
+	// General Permission API matches.
+	Permission string
+	// Pattern is the API expression that matched.
+	Pattern string
+	// General marks General Permission API findings.
+	General bool
+	// Deprecated marks Feature-Policy-era API names.
+	Deprecated bool
+	// StatusCheck marks status-querying general APIs.
+	StatusCheck bool
+	// ScriptURL is the script's URL ("" for inline scripts).
+	ScriptURL string
+}
+
+// Analyzer matches permission API patterns in script sources. Build one
+// with NewAnalyzer and reuse it: the pattern table is immutable.
+type Analyzer struct {
+	patterns []patternEntry
+}
+
+type patternEntry struct {
+	pattern    string
+	permission string
+	general    bool
+	deprecated bool
+	status     bool
+}
+
+// NewAnalyzer builds an analyzer over the full registry (Appendix A.4)
+// plus the General Permission APIs.
+func NewAnalyzer() *Analyzer {
+	a := &Analyzer{}
+	for _, p := range permissions.All() {
+		for _, api := range p.APIs {
+			a.patterns = append(a.patterns, patternEntry{pattern: api, permission: p.Name})
+		}
+	}
+	for _, g := range permissions.GeneralAPIs {
+		a.patterns = append(a.patterns, patternEntry{
+			pattern: g.Expr, general: true, deprecated: g.Deprecated, status: g.StatusCheck,
+		})
+	}
+	// Longest pattern first so "navigator.permissions.query" wins over
+	// the bare "navigator.permissions".
+	sort.SliceStable(a.patterns, func(i, j int) bool {
+		return len(a.patterns[i].pattern) > len(a.patterns[j].pattern)
+	})
+	return a
+}
+
+// Analyze matches all patterns in one script source. Each pattern
+// produces at most one finding per script (the paper counts first
+// occurrences only).
+func (a *Analyzer) Analyze(src, scriptURL string) []Finding {
+	var out []Finding
+	claimed := map[string]bool{} // permission or pattern already reported
+	for _, e := range a.patterns {
+		if !strings.Contains(src, e.pattern) {
+			continue
+		}
+		key := e.permission
+		if e.general {
+			key = "general:" + e.pattern
+		}
+		if claimed[key] {
+			continue
+		}
+		claimed[key] = true
+		out = append(out, Finding{
+			Permission:  e.permission,
+			Pattern:     e.pattern,
+			General:     e.general,
+			Deprecated:  e.deprecated,
+			StatusCheck: e.status,
+			ScriptURL:   scriptURL,
+		})
+	}
+	return out
+}
+
+// Permissions extracts the distinct permission names from findings.
+func Permissions(fs []Finding) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, f := range fs {
+		if f.Permission == "" || seen[f.Permission] {
+			continue
+		}
+		seen[f.Permission] = true
+		out = append(out, f.Permission)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HasGeneralAPI reports whether any finding is a General Permission API.
+func HasGeneralAPI(fs []Finding) bool {
+	for _, f := range fs {
+		if f.General {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,124 @@
+package static
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAnalyzeFindsPermissionAPIs(t *testing.T) {
+	a := NewAnalyzer()
+	src := `
+	navigator.mediaDevices.getUserMedia({video: true});
+	navigator.geolocation.getCurrentPosition(ok, err);
+	navigator.clipboard.writeText(link);
+	document.browsingTopics().then(use);
+	`
+	fs := a.Analyze(src, "https://cdn.example/app.js")
+	perms := Permissions(fs)
+	joined := strings.Join(perms, ",")
+	for _, want := range []string{"camera", "microphone", "geolocation", "clipboard-write", "browsing-topics"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("permissions %v missing %s", perms, want)
+		}
+	}
+	for _, f := range fs {
+		if f.ScriptURL != "https://cdn.example/app.js" {
+			t.Errorf("script attribution: %+v", f)
+		}
+	}
+}
+
+func TestAnalyzeGeneralAPIs(t *testing.T) {
+	a := NewAnalyzer()
+	fs := a.Analyze(`if (document.featurePolicy.allowsFeature('camera')) { go(); }`, "")
+	if !HasGeneralAPI(fs) {
+		t.Fatal("featurePolicy API must be a general finding")
+	}
+	var found Finding
+	for _, f := range fs {
+		if f.General && strings.Contains(f.Pattern, "allowsFeature") {
+			found = f
+		}
+	}
+	if !found.Deprecated || !found.StatusCheck {
+		t.Errorf("featurePolicy.allowsFeature flags: %+v", found)
+	}
+}
+
+func TestLongestPatternWins(t *testing.T) {
+	a := NewAnalyzer()
+	fs := a.Analyze(`navigator.permissions.query({name:'midi'})`, "")
+	var patterns []string
+	for _, f := range fs {
+		patterns = append(patterns, f.Pattern)
+	}
+	joined := strings.Join(patterns, "|")
+	if !strings.Contains(joined, "navigator.permissions.query") {
+		t.Errorf("patterns: %v", patterns)
+	}
+}
+
+func TestFirstOccurrenceOnly(t *testing.T) {
+	a := NewAnalyzer()
+	src := strings.Repeat("navigator.getBattery();\n", 50)
+	fs := a.Analyze(src, "")
+	count := 0
+	for _, f := range fs {
+		if f.Permission == "battery" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("battery findings: %d; want 1 (first occurrence only)", count)
+	}
+}
+
+func TestObfuscationLimitation(t *testing.T) {
+	// §4.1.3: string matching "does not account for variable assignments,
+	// aliases, or other syntactic variations". The obfuscated form below
+	// calls getUserMedia at runtime but must NOT be found statically —
+	// that asymmetry is the paper's motivation for the hybrid approach.
+	a := NewAnalyzer()
+	obfuscated := `
+	var n = window['navi' + 'gator'];
+	var m = n['mediaDevi' + 'ces'];
+	m['getUser' + 'Media']({video: true});
+	`
+	fs := a.Analyze(obfuscated, "")
+	for _, f := range fs {
+		if f.Permission == "camera" || f.Permission == "microphone" {
+			t.Errorf("static analysis should miss the obfuscated call: %+v", f)
+		}
+	}
+}
+
+func TestDeadCodeIsStillReported(t *testing.T) {
+	// The paper's other static limitation: dead code that never runs is
+	// still reported (a source of over-reporting relative to dynamic).
+	a := NewAnalyzer()
+	fs := a.Analyze(`if (false) { navigator.geolocation.getCurrentPosition(f); }`, "")
+	if len(Permissions(fs)) == 0 {
+		t.Error("dead-code matches are expected (documented over-report)")
+	}
+}
+
+func TestEmptyAndCleanScripts(t *testing.T) {
+	a := NewAnalyzer()
+	if fs := a.Analyze("", ""); len(fs) != 0 {
+		t.Errorf("empty script: %v", fs)
+	}
+	if fs := a.Analyze("console.log('hello'); var x = 1 + 2;", ""); len(fs) != 0 {
+		t.Errorf("clean script: %v", fs)
+	}
+}
+
+func BenchmarkAnalyze(b *testing.B) {
+	a := NewAnalyzer()
+	src := strings.Repeat("var x = compute(); // filler line\n", 200) +
+		"navigator.permissions.query({name:'camera'});\n" +
+		"document.featurePolicy.allowedFeatures();\n"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.Analyze(src, "bench.js")
+	}
+}

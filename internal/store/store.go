@@ -1,0 +1,136 @@
+// Package store holds measurement results: one record per visited site,
+// with the full per-frame data the browser collected, JSONL persistence
+// (the paper saves each site to its database immediately after the
+// visit, C14), and dataset-level accessors the analysis builds on.
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"permodyssey/internal/browser"
+)
+
+// FailureClass is the crawl-failure taxonomy of §4.
+type FailureClass string
+
+const (
+	FailureNone FailureClass = ""
+	// FailureUnreachable: DNS errors and other major fetch failures
+	// (27,733 sites in the paper).
+	FailureUnreachable FailureClass = "unreachable"
+	// FailureTimeout: the page-load deadline expired (28,700 sites).
+	FailureTimeout FailureClass = "timeout"
+	// FailureEphemeral: content vanished mid-collection — "execution
+	// context was destroyed" (60,183 sites).
+	FailureEphemeral FailureClass = "ephemeral"
+	// FailureMinor: crawler-level errors (315 sites).
+	FailureMinor FailureClass = "minor"
+	// FailureExcluded: visited but excluded from analysis for incomplete
+	// frame data (the paper's 65,169 exclusions).
+	FailureExcluded FailureClass = "excluded"
+)
+
+// SiteRecord is one site's outcome.
+type SiteRecord struct {
+	Rank    int                 `json:"rank"`
+	URL     string              `json:"url"`
+	Failure FailureClass        `json:"failure,omitempty"`
+	Error   string              `json:"error,omitempty"`
+	Page    *browser.PageResult `json:"page,omitempty"`
+	// InternalPages are additional same-site pages visited when the
+	// crawler follows internal links (off by default, matching the
+	// paper's landing-page-only scope; §6.1 lists the restriction as a
+	// limitation).
+	InternalPages []browser.PageResult `json:"internal_pages,omitempty"`
+	Elapsed       time.Duration        `json:"elapsed_ns"`
+}
+
+// OK reports whether the site was measured successfully.
+func (r SiteRecord) OK() bool { return r.Failure == FailureNone && r.Page != nil }
+
+// Dataset is an in-memory result set.
+type Dataset struct {
+	Records []SiteRecord
+}
+
+// Add appends a record.
+func (d *Dataset) Add(r SiteRecord) { d.Records = append(d.Records, r) }
+
+// Successful returns the analyzable records.
+func (d *Dataset) Successful() []SiteRecord {
+	var out []SiteRecord
+	for _, r := range d.Records {
+		if r.OK() {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// FailureCounts tallies records per failure class (including "ok").
+func (d *Dataset) FailureCounts() map[FailureClass]int {
+	out := map[FailureClass]int{}
+	for _, r := range d.Records {
+		if r.OK() {
+			out["ok"]++
+		} else {
+			out[r.Failure]++
+		}
+	}
+	return out
+}
+
+// WriteJSONL streams the dataset as JSON lines.
+func (d *Dataset) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, r := range d.Records {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL loads a dataset from JSON lines.
+func ReadJSONL(r io.Reader) (*Dataset, error) {
+	d := &Dataset{}
+	dec := json.NewDecoder(bufio.NewReader(r))
+	for {
+		var rec SiteRecord
+		if err := dec.Decode(&rec); err == io.EOF {
+			return d, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("store: decoding record %d: %w", len(d.Records), err)
+		}
+		d.Add(rec)
+	}
+}
+
+// SaveFile writes the dataset to a file path.
+func (d *Dataset) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := d.WriteJSONL(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a dataset from a file path.
+func LoadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadJSONL(f)
+}

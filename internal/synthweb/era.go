@@ -1,0 +1,29 @@
+package synthweb
+
+// EraConfig returns a population calibrated to a measurement year,
+// enabling longitudinal comparisons like the one the paper draws
+// against Kaleli et al.'s 2020 Feature-Policy study (100K sites, few
+// header users, mostly turning features off).
+//
+//   - 2020: the Permissions-Policy header does not exist yet; a ~1% tail
+//     serves the Feature-Policy header. Kaleli et al. found most of the
+//     few adopters used it to switch features off.
+//   - 2022: the rename has shipped; early Permissions-Policy adoption
+//     (~1.5%, dominated by the single-directive FLoC opt-out), legacy
+//     Feature-Policy still visible.
+//   - 2024 (default): the paper's numbers.
+func EraConfig(year int) Config {
+	cfg := DefaultConfig()
+	switch {
+	case year <= 2020:
+		cfg.TopHeaderRate = 0
+		cfg.FPHeaderRate = 0.011
+	case year <= 2022:
+		cfg.TopHeaderRate = 0.015
+		cfg.FPHeaderRate = 0.008
+		cfg.BothHeadersShare = 0.12
+	default:
+		// the calibrated 2024 defaults
+	}
+	return cfg
+}

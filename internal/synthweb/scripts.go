@@ -1,0 +1,289 @@
+package synthweb
+
+// HostScript is a script loaded by host pages: either a shared
+// third-party library (the dominant source of top-level permission
+// activity: 98.32% of top-level invocations come from 3P scripts,
+// §4.1.1) or first-party code.
+type HostScript struct {
+	// URL is empty for inline (first-party) snippets; otherwise the
+	// external script URL, whose site determines 1P/3P classification.
+	URL string
+	// Body is the JavaScript source.
+	Body string
+	// InclusionProb is the probability a site includes this script,
+	// modulated by category affinity in the generator.
+	InclusionProb float64
+	// Name keys the script for category affinity rules.
+	Name string
+}
+
+// HostScripts is the host-page script population. The bodies are chosen
+// so the dynamic pipeline reproduces Table 4/5's ranking: General
+// Permission APIs first by a wide margin (mostly via the deprecated
+// Feature Policy API — §6.2's 429,259 websites), then battery,
+// notifications, browsing topics.
+var HostScripts = []HostScript{
+	{
+		Name: "tag-manager",
+		URL:  "https://cdn.googletagmanager.com/gtag.js",
+		// The ubiquitous tag loader: retrieves the full allowed-feature
+		// list through the DEPRECATED Feature Policy API (most sites'
+		// only general-API activity) and checks ad permissions. The body
+		// is minified/obfuscated the way real tag loaders ship —
+		// property names assembled at runtime — so it is INVISIBLE to
+		// string-matching static analysis but fully visible dynamically.
+		// This asymmetry is why the paper's dynamic rate (40.65%)
+		// exceeds its static rate (30.5%).
+		Body: `
+var d = document, fpKey = 'feature' + 'Policy';
+var fp = d[fpKey];
+var allowed = fp ? fp['allowed' + 'Features']() : [];
+if (allowed.includes('attribution-reporting')) { var arOK = true; }
+var nv = window['navi' + 'gator'];
+nv['permi' + 'ssions']['qu' + 'ery']({name: 'attribution-reporting'}).then(function (s) {}).catch(function () {});
+`,
+		InclusionProb: 0.25,
+	},
+	{
+		Name: "analytics",
+		URL:  "https://stats.metricscdn.net/analytics.js",
+		// Fingerprint-flavoured analytics: battery + full feature list,
+		// also shipped minified (dynamic-only visibility).
+		Body: `
+var w = window, n = w['navi' + 'gator'];
+n['get' + 'Battery']().then(function (b) { var fp = b.level + ':' + b.charging; });
+var d = document, fpObj = d['feature' + 'Policy'];
+var surface = fpObj ? fpObj['feat' + 'ures']() : [];
+var cnt = surface.length;
+`,
+		InclusionProb: 0.08,
+	},
+	{
+		Name: "ads-loader",
+		URL:  "https://pagead.adsloader-cdn.com/ads.js",
+		// Top-level ad auction probing (browsing topics ranks 4th in
+		// Table 4, 98% third-party at top level); minified build.
+		Body: `
+var d = document;
+d['browsing' + 'Topics']().then(function (t) {}).catch(function () {});
+navigator['permi' + 'ssions'].query({name: 'run-ad-auction'}).then(function (s) {});
+d['feature' + 'Policy']['allows' + 'Feature']('join-ad-interest-group');
+`,
+		InclusionProb: 0.042,
+	},
+	{
+		Name: "push-service",
+		URL:  "https://sdk.pushnotify.com/web-push.js",
+		// Web-push vendors drive 3P notification activity (89.18% 3P in
+		// Table 4). Ships readable, so static analysis sees it too.
+		Body: `
+navigator.permissions.query({name: 'notifications'}).then(function (s) {
+	if (s.state === 'prompt') { Notification.requestPermission().then(function (r) {}); }
+});
+navigator.serviceWorker.register('/sw.js').then(function (reg) {
+	reg.pushManager.subscribe({userVisibleOnly: true}).catch(function () {});
+});
+`,
+		InclusionProb: 0.05,
+	},
+	{
+		Name: "antibot",
+		URL:  "https://challenge.botguard.io/probe.js",
+		// Anti-bot probe: checks a handful of permission states
+		// (Table 5's mean of 1.74 specific permissions, max 33).
+		Body: `
+var checks = ['notifications', 'geolocation', 'microphone', 'camera', 'midi', 'push'];
+checks.forEach(function (name) {
+	navigator.permissions.query({name: name}).then(function (s) {}).catch(function () {});
+});
+var map = navigator.keyboard.getLayoutMap();
+`,
+		InclusionProb: 0.02,
+	},
+	{
+		Name: "consent-manager",
+		URL:  "https://cdn.consentframework.net/cmp.js",
+		Body: `
+document.featurePolicy.allowedFeatures();
+document.hasStorageAccess().then(function (h) {});
+`,
+		InclusionProb: 0.05,
+	},
+	{
+		Name: "geolocation-1p",
+		// First-party store locator: geolocation is 81.03% first-party
+		// at top level (Table 4) — the rare 1P-dominated permission.
+		Body: `
+function locate() {
+	navigator.geolocation.getCurrentPosition(function (pos) {
+		var near = pos.coords.latitude;
+	}, function () {});
+}
+locate();
+`,
+		InclusionProb: 0.0045,
+	},
+	{
+		Name: "webauthn-1p",
+		Body: `
+navigator.credentials.get({publicKey: {challenge: 'c'}}).then(function (cred) {}).catch(function () {});
+`,
+		InclusionProb: 0.006,
+	},
+	{
+		Name: "keyboard-1p",
+		Body: `
+navigator.keyboard.getLayoutMap().then(function (m) {});
+`,
+		InclusionProb: 0.0009,
+	},
+	{
+		Name: "copy-link-1p",
+		// Static-only: the copy action sits behind a click, so the
+		// no-interaction crawl sees it only statically (§4.1.3 /
+		// Table 12's static-only population). Clipboard Write tops the
+		// paper's Table 6 with 135,694 websites.
+		Body: `
+document.getElementById('copy').addEventListener('click', function () {
+	navigator.clipboard.writeText(location.href);
+});
+`,
+		InclusionProb: 0.14,
+	},
+	{
+		Name: "share-button-1p",
+		// Web Share ranks lower than Clipboard Write in Table 6 (54,995
+		// vs 135,694): fewer sites wire the full share sheet.
+		Body: `
+document.getElementById('share').addEventListener('click', function () {
+	navigator.share({url: location.href, title: document.title});
+	navigator.clipboard.writeText(location.href);
+});
+`,
+		InclusionProb: 0.06,
+	},
+	{
+		Name: "gated-camera-1p",
+		// Video-chat behind a call button: camera/microphone visible to
+		// static analysis and the interaction pass only.
+		Body: `
+document.getElementById('call').addEventListener('click', function () {
+	navigator.mediaDevices.getUserMedia({video: true, audio: true}).then(function (s) {});
+});
+`,
+		InclusionProb: 0.028,
+	},
+	{
+		Name: "gated-obfuscated-1p",
+		// Minified screen-share behind a click: invisible to static
+		// analysis AND to the no-interaction dynamic pass — only the
+		// interaction experiment observes it. This is what keeps the
+		// paper's Table 12 detection rates below 100%.
+		Body: `
+document.getElementById('call').addEventListener('click', function () {
+	var n = window['navi' + 'gator'];
+	n['mediaDevices']['getDisplay' + 'Media']({video: true}).catch(function () {});
+	n['wake' + 'Lock']['request']('screen').catch(function () {});
+});
+`,
+		InclusionProb: 0.06,
+	},
+	{
+		Name: "gated-geo-1p",
+		Body: `
+document.getElementById('near-me').addEventListener('click', function () {
+	navigator.geolocation.getCurrentPosition(function (p) {});
+});
+`,
+		InclusionProb: 0.07,
+	},
+	{
+		Name: "encrypted-media-1p",
+		// First-party players: encrypted-media for video playback
+		// (§4.1.4 "typical website functionality").
+		Body: `
+var em = navigator.requestMediaKeySystemAccess('org.w3.clearkey', []);
+em.then(function (a) {}).catch(function () {});
+`,
+		InclusionProb: 0.012,
+	},
+	{
+		Name: "battery-inline-1p",
+		Body: `
+navigator.getBattery().then(function (b) { if (b.level < 0.2) { console.log('low'); } });
+`,
+		InclusionProb: 0.012,
+	},
+	{
+		Name: "dead-code-1p",
+		// Dead permission code: statically detected, never executed —
+		// one of the paper's documented static over-report sources.
+		Body: `
+var PREMIUM = false;
+if (PREMIUM) {
+	navigator.mediaDevices.getDisplayMedia({video: true});
+	queryLocalFonts().then(function (f) {});
+}
+`,
+		InclusionProb: 0.04,
+	},
+}
+
+// HeaderTemplates are the top-level Permissions-Policy configurations.
+// §4.3.1: "More than 50% of top-level websites adopt one of three
+// identical configurations", suggesting copy-pasted templates; the most
+// common sizes are 18 permissions (26.62%), 1 (24.33%) and 9 (8.47%).
+type HeaderTemplate struct {
+	Name   string
+	Value  string
+	Weight float64
+}
+
+// template18 is the classic "security headers" disable-everything
+// template (18 directives, all empty allowlists).
+const template18 = "accelerometer=(), autoplay=(), camera=(), display-capture=(), encrypted-media=(), fullscreen=(), geolocation=(), gyroscope=(), magnetometer=(), microphone=(), midi=(), payment=(), picture-in-picture=(), publickey-credentials-get=(), sync-xhr=(), usb=(), xr-spatial-tracking=(), interest-cohort=()"
+
+// template1 is the famous single-directive FLoC opt-out.
+const template1 = "interest-cohort=()"
+
+// template9 mixes disables with self grants (9 directives).
+const template9 = "camera=(), microphone=(), geolocation=(self), payment=(), usb=(), magnetometer=(), gyroscope=(), accelerometer=(), sync-xhr=(self)"
+
+// HeaderTemplates weights reproduce the configuration-size distribution.
+var HeaderTemplates = []HeaderTemplate{
+	{Name: "disable-18", Value: template18, Weight: 0.2662},
+	{Name: "floc-1", Value: template1, Weight: 0.2433},
+	{Name: "mixed-9", Value: template9, Weight: 0.0847},
+	{Name: "geo-self", Value: "geolocation=(self), camera=(), microphone=()", Weight: 0.09},
+	{Name: "wildcard", Value: "fullscreen=*, autoplay=*, payment=(self)", Weight: 0.06},
+	{Name: "third-party-geo", Value: `geolocation=(self "https://google-maps.com"), camera=()`, Weight: 0.03},
+	{Name: "disable-powerful", Value: "camera=(), microphone=(), geolocation=(), display-capture=(), payment=()", Weight: 0.15},
+	{Name: "kitchen-sink", Value: template18 + ", browsing-topics=(), attribution-reporting=(), join-ad-interest-group=(), run-ad-auction=(), idle-detection=(), serial=(), hid=(), bluetooth=(), local-fonts=(), keyboard-map=(), window-management=(), ambient-light-sensor=(), battery=(), gamepad=(), web-share=(self), clipboard-read=(), clipboard-write=(self), storage-access=(), screen-wake-lock=(), compute-pressure=(), pointer-lock=(), speaker-selection=(), otp-credentials=(), identity-credentials-get=(), publickey-credentials-create=(), top-level-storage-access=(), direct-sockets=(), keyboard-lock=(), system-wake-lock=(), vr=(), cross-origin-isolated=(), private-state-token-issuance=()", Weight: 0.04},
+}
+
+// BrokenHeaders are the syntax-invalid configurations of §4.3.3: the
+// browser removes the whole header (≈5.5% of header-bearing sites),
+// with Feature-Policy syntax the most common cause.
+var BrokenHeaders = []HeaderTemplate{
+	{Name: "fp-syntax", Value: "camera 'none'; microphone 'none'; geolocation 'self'", Weight: 0.6},
+	{Name: "trailing-comma", Value: "camera=(), microphone=(),", Weight: 0.25},
+	{Name: "uppercase", Value: "Camera=(), Microphone=()", Weight: 0.15},
+}
+
+// MisconfiguredHeaders parse but carry the semantic defect classes of
+// §4.3.3 (unrecognized tokens, unquoted URLs, contradictions, url
+// directives lacking self).
+var MisconfiguredHeaders = []HeaderTemplate{
+	{Name: "none-token", Value: "camera=(none), microphone=(none)", Weight: 0.35},
+	{Name: "zero-token", Value: "interest-cohort=(0)", Weight: 0.1},
+	{Name: "unquoted-url", Value: "geolocation=(self https://maps.example.com)", Weight: 0.25},
+	{Name: "self-and-star", Value: "fullscreen=(self *), camera=()", Weight: 0.15},
+	{Name: "url-without-self", Value: `camera=("https://meetwidget.com")`, Weight: 0.15},
+}
+
+// FeaturePolicyHeaders are legacy headers still served by ~0.51% of
+// documents (Figure 2).
+var FeaturePolicyHeaders = []HeaderTemplate{
+	{Name: "fp-disable", Value: "camera 'none'; microphone 'none'; geolocation 'none'", Weight: 0.7},
+	{Name: "fp-self", Value: "geolocation 'self'; camera 'self'", Weight: 0.3},
+}

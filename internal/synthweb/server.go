@@ -1,0 +1,258 @@
+package synthweb
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Server serves the synthetic web over a single loopback listener with
+// virtual hosting: every synthetic site, widget host and script CDN is
+// dispatched by Host header. The companion Transport makes an ordinary
+// *http.Client resolve any https:// URL to this listener, so the
+// crawler performs genuine HTTP requests end to end — the paper's
+// Playwright-against-live-web substrate swapped for
+// net/http-against-loopback.
+type Server struct {
+	Config Config
+
+	listener net.Listener
+	server   *http.Server
+
+	mu        sync.RWMutex
+	siteRank  map[string]int // site host → rank
+	scriptURL map[string]string
+	widgetKey map[string]int // widget host → catalog index
+
+	// StallTime is how long KindTimeout sites hang before responding;
+	// set it above the crawler's per-site deadline.
+	StallTime time.Duration
+}
+
+// NewServer builds (but does not start) a Server for the population.
+func NewServer(cfg Config) *Server {
+	s := &Server{
+		Config:    cfg,
+		siteRank:  make(map[string]int, cfg.NumSites),
+		scriptURL: map[string]string{},
+		widgetKey: map[string]int{},
+		StallTime: 2 * time.Second,
+	}
+	for rank := 1; rank <= cfg.NumSites; rank++ {
+		site := cfg.Generate(rank)
+		s.siteRank[site.Host] = rank
+	}
+	for i, w := range Catalog {
+		s.widgetKey["www."+w.Site] = i
+	}
+	for _, hs := range HostScripts {
+		if hs.URL != "" {
+			s.scriptURL[strings.TrimPrefix(hs.URL, "https://")] = hs.Body
+		}
+	}
+	return s
+}
+
+// Start begins serving on a loopback port.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	s.listener = ln
+	s.server = &http.Server{Handler: http.HandlerFunc(s.handle)}
+	go func() { _ = s.server.Serve(ln) }()
+	return nil
+}
+
+// Close stops the server.
+func (s *Server) Close() error {
+	if s.server == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	return s.server.Shutdown(ctx)
+}
+
+// Addr returns the listener address.
+func (s *Server) Addr() string {
+	if s.listener == nil {
+		return ""
+	}
+	return s.listener.Addr().String()
+}
+
+// Sites returns every generated site descriptor.
+func (s *Server) Sites() []Site {
+	out := make([]Site, 0, s.Config.NumSites)
+	for rank := 1; rank <= s.Config.NumSites; rank++ {
+		out = append(out, s.Config.Generate(rank))
+	}
+	return out
+}
+
+// Transport returns an http.RoundTripper that dials this server for
+// every https URL, failing unreachable synthetic hosts with a DNS
+// error — the crawler's ERR_NAME_NOT_RESOLVED analogue.
+func (s *Server) Transport() http.RoundTripper {
+	return &http.Transport{
+		DialTLSContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
+			host := addr
+			if h, _, err := net.SplitHostPort(addr); err == nil {
+				host = h
+			}
+			if rank, ok := s.rankOf(host); ok {
+				if s.Config.Generate(rank).Kind == KindUnreachable {
+					return nil, &net.DNSError{Err: "no such host", Name: host, IsNotFound: true}
+				}
+			}
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", s.Addr())
+		},
+		// The synthetic web is plain HTTP behind a fake-TLS dial.
+		DisableCompression: true,
+		// Nearly every site host is visited exactly once, so keep-alive
+		// conns are only worth caching for the shared widget/CDN hosts.
+		// Without a tight global cap, a large crawl accumulates one idle
+		// socket per visited host and exhausts file descriptors (observed
+		// at 20k sites: accept4 "too many open files").
+		MaxIdleConns:        128,
+		MaxIdleConnsPerHost: 4,
+		IdleConnTimeout:     2 * time.Second,
+	}
+}
+
+// Client returns an http.Client over Transport.
+func (s *Server) Client(timeout time.Duration) *http.Client {
+	return &http.Client{Transport: s.Transport(), Timeout: timeout}
+}
+
+func (s *Server) rankOf(host string) (int, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.siteRank[host]
+	return r, ok
+}
+
+func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
+	host := r.Host
+	if h, _, err := net.SplitHostPort(host); err == nil {
+		host = h
+	}
+
+	// Script CDNs.
+	if body, ok := s.scriptURL[host+r.URL.Path]; ok {
+		w.Header().Set("Content-Type", "application/javascript")
+		fmt.Fprint(w, body)
+		return
+	}
+	if r.URL.Path == "/sw.js" {
+		w.Header().Set("Content-Type", "application/javascript")
+		fmt.Fprint(w, "// service worker stub")
+		return
+	}
+
+	// Widget hosts.
+	if idx, ok := s.widgetKey[host]; ok {
+		s.serveWidget(w, r, idx)
+		return
+	}
+
+	// Synthetic sites.
+	if rank, ok := s.rankOf(host); ok {
+		s.serveSite(w, r, rank)
+		return
+	}
+	http.NotFound(w, r)
+}
+
+func (s *Server) serveWidget(w http.ResponseWriter, r *http.Request, idx int) {
+	widget := Catalog[idx]
+	if widget.Header != "" {
+		w.Header().Set("Permissions-Policy", widget.Header)
+	}
+	w.Header().Set("Content-Type", "text/html")
+	fmt.Fprintf(w, `<!DOCTYPE html><html><head><title>%s widget</title></head><body>
+<div id="share"></div>
+<script>%s</script>
+%s
+</body></html>`, widget.Site, widget.Script, widget.NestedIframe)
+}
+
+func (s *Server) serveSite(w http.ResponseWriter, r *http.Request, rank int) {
+	site := s.Config.Generate(rank)
+
+	switch site.Kind {
+	case KindTimeout:
+		time.Sleep(s.StallTime)
+		// After stalling past every reasonable deadline, answer anyway:
+		// a crawler with a generous budget would classify it as slow.
+		fmt.Fprint(w, "<html><body>slow</body></html>")
+		return
+	case KindEphemeral:
+		// Announce more bytes than are sent: the client observes an
+		// unexpected EOF mid-body, the paper's "execution context was
+		// destroyed" analogue.
+		w.Header().Set("Content-Type", "text/html")
+		w.Header().Set("Content-Length", "4096")
+		fmt.Fprint(w, "<html><body>ephem")
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		if hj, ok := w.(http.Hijacker); ok {
+			if conn, _, err := hj.Hijack(); err == nil {
+				conn.Close()
+			}
+		}
+		return
+	case KindMinor:
+		// Speak garbage: the client fails with a malformed-response
+		// error, the analogue of the 315 crawler-crashing sites.
+		if hj, ok := w.(http.Hijacker); ok {
+			if conn, _, err := hj.Hijack(); err == nil {
+				fmt.Fprint(conn, "NOT-HTTP GARBAGE\r\n\r\n")
+				conn.Close()
+				return
+			}
+		}
+		w.WriteHeader(http.StatusInternalServerError)
+		return
+	}
+
+	// Healthy site.
+	switch {
+	case r.URL.Path == "/" || r.URL.Path == "/index.html":
+		if site.PermissionsPolicy != "" {
+			w.Header().Set("Permissions-Policy", site.PermissionsPolicy)
+		}
+		if site.FeaturePolicy != "" {
+			w.Header().Set("Feature-Policy", site.FeaturePolicy)
+		}
+		if site.ReportOnly != "" {
+			w.Header().Set("Permissions-Policy-Report-Only", site.ReportOnly)
+		}
+		if site.CSP != "" {
+			w.Header().Set("Content-Security-Policy", site.CSP)
+		}
+		w.Header().Set("Content-Type", "text/html")
+		fmt.Fprint(w, s.Config.RenderHTML(site))
+	case strings.HasPrefix(r.URL.Path, "/frame"):
+		w.Header().Set("Content-Type", "text/html")
+		fmt.Fprint(w, "<html><body><p>in-house frame</p></body></html>")
+	default:
+		if body, ok := s.Config.RenderInternalPage(site, r.URL.Path); ok {
+			if site.PermissionsPolicy != "" {
+				w.Header().Set("Permissions-Policy", site.PermissionsPolicy)
+			}
+			w.Header().Set("Content-Type", "text/html")
+			fmt.Fprint(w, body)
+			return
+		}
+		http.NotFound(w, r)
+	}
+}

@@ -1,0 +1,410 @@
+// Package synthweb generates and serves the synthetic web the
+// measurement crawls. The live top-1M list and a real Chromium are not
+// available offline, so this package substitutes a deterministic site
+// population whose *inputs* — headers, widget embeddings, delegation
+// templates, script behaviour, failure modes — are calibrated to the
+// aggregate numbers the paper reports. The pipeline must then *recover*
+// those numbers through genuine HTTP fetches, HTML parsing, policy
+// evaluation and script execution, which is what validates the
+// measurement machinery.
+package synthweb
+
+// Widget models one embeddable third-party document (the external
+// embedded documents of Tables 3 and 7), with the delegation template it
+// is included with and the behaviour of the scripts it serves.
+type Widget struct {
+	// Site is the widget's registrable domain (the paper's embedded
+	// document site).
+	Site string
+	// Path is the iframe document path on that site.
+	Path string
+	// InclusionProb is the probability a site embeds this widget at
+	// least once — calibrated to Table 3 counts over 817,800 sites.
+	InclusionProb float64
+	// DelegationRate is the fraction of inclusions that carry the allow
+	// template (Table 7 / Table 3 ratio; livechatinc.com: 99.69%,
+	// google.com: 4.95%).
+	DelegationRate float64
+	// AllowTemplate is the allow attribute used when delegating.
+	AllowTemplate string
+	// Header is the widget document's own Permissions-Policy header
+	// ("" = none). Ad/video widgets drive the embedded-document header
+	// adoption of Figure 2 (12.3% of embedded docs).
+	Header string
+	// Script is the JavaScript the widget document runs.
+	Script string
+	// Category is the §4.2.1 purpose grouping.
+	Category string
+	// Lazy marks widgets typically included with loading="lazy".
+	Lazy bool
+	// NestedIframe, when non-empty, is an iframe tag the widget document
+	// itself embeds — the nested-delegation chains the paper's §4.2
+	// simplification skips but §2.2.5 warns about ("once a permission is
+	// delegated ... the top-level website can no longer prevent nested
+	// delegations").
+	NestedIframe string
+}
+
+// chClientHintsAllAllowed is the User-Agent Client-Hints header shape
+// §4.3.2 found dominating embedded documents: directives granting '*',
+// which "effectively has no impact because the header can only enforce
+// restrictions".
+const chClientHintsAllAllowed = "ch-ua=*, ch-ua-arch=*, ch-ua-bitness=*, ch-ua-full-version=*, ch-ua-full-version-list=*, ch-ua-mobile=*, ch-ua-model=*, ch-ua-platform=*, ch-ua-platform-version=*, ch-ua-wow64=*"
+
+// adScript is served by advertising widgets: Privacy-Sandbox calls plus
+// general-API probing, all first-party from the iframe's perspective
+// (§4.1.1: embedded activity is 74.86% first-party).
+const adScript = `
+var feats = document.featurePolicy.allowedFeatures();
+if (feats.includes('browsing-topics')) { document.browsingTopics().then(function (t) {}); }
+navigator.joinAdInterestGroup({owner: location.origin, name: 'shoppers'});
+navigator.runAdAuction({seller: location.origin}).then(function (u) {});
+navigator.permissions.query({name: 'attribution-reporting'}).then(function (s) {});
+`
+
+// videoScript: media playback probing — encrypted media, autoplay,
+// picture-in-picture. Deliberately no sensor usage: the accelerometer /
+// gyroscope entries in its allow template are the unused delegations of
+// Table 10.
+const videoScript = `
+navigator.requestMediaKeySystemAccess('com.widevine.alpha', []).then(function (a) {});
+var v = document.createElement('video');
+v.play().catch(function () {});
+v.requestPictureInPicture().catch(function () {});
+document.featurePolicy.allowsFeature('autoplay');
+document.getElementById('share').addEventListener('click', function () {
+	navigator.clipboard.writeText(location.href);
+	if (navigator.canShare) { navigator.share({url: location.href}); }
+	v.requestFullscreen().catch(function () {});
+});
+`
+
+// socialScript: static-only share/clipboard functionality behind a
+// click — visible to static analysis, invisible to the no-interaction
+// dynamic pass (facebook.com's unused clipboard-write / web-share /
+// encrypted-media in Table 10).
+const socialScript = `
+var shareBtn = document.getElementById('share');
+shareBtn.addEventListener('click', function () {
+	if (navigator.canShare) { navigator.share({url: location.href}); }
+	navigator.clipboard.writeText(location.href);
+});
+var emCfg = 'requestMediaKeySystemAccess';
+`
+
+// inertWidgetScript is a widget that performs no permission-related
+// work at all — like most like-buttons and login shims in the wild.
+const inertWidgetScript = `
+var mounted = false;
+window.addEventListener('load', function () { mounted = true; });
+`
+
+// chatScript is the LiveChat-style customer-support widget of §5.2: it
+// performs no permission-related invocations at all and contains none of
+// the APIs statically — instead of video calls it posts a meeting URL.
+const chatScript = `
+var state = {open: false};
+window.addEventListener('load', function () { state.open = true; });
+function startMeeting() {
+	fetch('/meeting').then(function (r) { return r; });
+	console.log('meeting url sent to visitor');
+}
+// The chat's media player wires the benign delegations (autoplay,
+// fullscreen, picture-in-picture, clipboard-write) behind clicks —
+// static evidence exists for those. What it NEVER touches, even in
+// code, are camera / microphone / clipboard-read / display-capture:
+// exactly the §5.2 finding.
+var theater = document.getElementById('share');
+theater.addEventListener('click', function () {
+	var vid = document.createElement('video');
+	vid.setAttribute('autoplay', '');
+	vid.play().catch(function () {});
+	vid.requestPictureInPicture().catch(function () {});
+	vid.requestFullscreen().catch(function () {});
+	navigator.clipboard.writeText('chat transcript');
+});
+setTimeout(function () { if (state.open) { console.log('chat ready'); } }, 100);
+`
+
+// paymentScript actually uses the payment permission.
+const paymentScript = `
+var req = new PaymentRequest([{supportedMethods: 'basic-card'}], {total: {amount: {value: '1.00'}}});
+req.canMakePayment().then(function (ok) {});
+`
+
+// challengeScript: Cloudflare-style challenge widget probing isolation
+// and private state tokens.
+const challengeScript = `
+var iso = window.isSecureContext;
+var coi = 'crossOriginIsolated probe';
+var probe = 'hasPrivateToken';
+document.featurePolicy.allowedFeatures();
+navigator.permissions.query({name: 'storage-access'}).then(function (s) {});
+document.hasStorageAccess().then(function (h) { if (!h) { document.requestStorageAccess().catch(function () {}); } });
+`
+
+// sessionScript: identity widgets (Google session) using FedCM/OTP.
+const sessionScript = `
+navigator.credentials.get({identity: {providers: []}}).then(function (c) {}).catch(function () {});
+`
+
+// trackerFrameScript: generic tracking iframe — battery plus topics from
+// inside the frame (Table 4: battery's embedded contexts are 96.83%
+// first-party: the tracker calls it in its own iframe).
+const trackerFrameScript = `
+navigator.getBattery().then(function (b) { var lvl = b.level; });
+document.browsingTopics().then(function (t) {}).catch(function () {});
+navigator.userAgentData.getHighEntropyValues(['arch', 'model']).then(function (h) {});
+`
+
+// supportUnusedScript: customer-support widgets other than LiveChat —
+// same over-permissioned pattern (camera/microphone delegated, unused).
+const supportUnusedScript = `
+var cfg = {plan: 'basic'};
+window.addEventListener('load', function () { console.log('support widget ready'); });
+`
+
+// mapScript: embedded maps use geolocation when delegated.
+const mapScript = `
+navigator.permissions.query({name: 'geolocation'}).then(function (s) {
+	if (s.state !== 'denied') {
+		navigator.geolocation.getCurrentPosition(function (p) {}, function () {});
+	}
+});
+`
+
+// Catalog is the widget population, calibrated to Tables 3, 7, 10 and
+// 13. InclusionProb values are Table 3 counts divided by 817,800 (or
+// Table 7 counts for delegation-dominant widgets); DelegationRate is the
+// Table 7 / Table 3 ratio.
+var Catalog = []Widget{
+	{
+		// google.com is the most-included embed (Table 3) but almost
+		// never delegated-to (4.95%, §4.2) — below the 5% threshold, so
+		// it must not show up in the over-permission analysis even
+		// though its frames are permission-inert.
+		Site: "google.com", Path: "/widget", Category: "session",
+		InclusionProb: 0.0651, DelegationRate: 0.0495,
+		AllowTemplate: "identity-credentials-get; otp-credentials",
+		Script:        inertWidgetScript,
+	},
+	{
+		Site: "youtube.com", Path: "/embed", Category: "multimedia",
+		InclusionProb: 0.0343, DelegationRate: 0.644,
+		AllowTemplate: "accelerometer; autoplay; clipboard-write; encrypted-media; gyroscope; picture-in-picture; web-share",
+		// Video embeds pair the UA-CH wildcards with a sizeable disable
+		// block — the embedded-header mix of §4.3.2 (51% disable / 31% '*').
+		Header: "interest-cohort=(), camera=(), microphone=(), geolocation=(), usb=(), midi=(), magnetometer=(), display-capture=(), payment=(), autoplay=(self), encrypted-media=(self), fullscreen=(self), " + chClientHintsAllAllowed,
+		Script: videoScript,
+		Lazy:   true,
+	},
+	{
+		Site: "doubleclick.net", Path: "/ads", Category: "ads",
+		InclusionProb: 0.0318, DelegationRate: 0.679,
+		AllowTemplate: "attribution-reporting; run-ad-auction; join-ad-interest-group; private-aggregation",
+		Header:        "camera=(), microphone=(), geolocation=(), payment=(), usb=(), serial=(), hid=(), bluetooth=(), " + chClientHintsAllAllowed,
+		Script:        adScript,
+	},
+	{
+		Site: "googlesyndication.com", Path: "/safeframe", Category: "ads",
+		InclusionProb: 0.0309, DelegationRate: 0.802,
+		AllowTemplate: "attribution-reporting; run-ad-auction; join-ad-interest-group",
+		Header:        "camera=(), microphone=(), geolocation=(), display-capture=(), " + chClientHintsAllAllowed,
+		Script:        adScript,
+		// Safeframes nest the actual creative: a second-hop delegation
+		// the embedding website cannot see or prevent.
+		NestedIframe: `<iframe src="https://www.2mdn.net/creative" allow="attribution-reporting; run-ad-auction"></iframe>`,
+	},
+	{
+		// The nested creative CDN: never embedded directly by websites
+		// (InclusionProb 0), only reachable through safeframes.
+		Site: "2mdn.net", Path: "/creative", Category: "ads",
+		InclusionProb: 0, DelegationRate: 0,
+		Header: chClientHintsAllAllowed,
+		Script: adScript,
+	},
+	{
+		// facebook.com's delegated clipboard-write / web-share /
+		// encrypted-media are UNUSED (Table 10 row 3): the like button
+		// performs no permission-related work.
+		Site: "facebook.com", Path: "/plugins/like", Category: "social",
+		InclusionProb: 0.0256, DelegationRate: 0.847,
+		AllowTemplate: "clipboard-write; web-share; encrypted-media",
+		Script:        inertWidgetScript,
+	},
+	{
+		Site: "yandex.com", Path: "/metrica", Category: "tracking",
+		InclusionProb: 0.0231, DelegationRate: 0.02,
+		AllowTemplate: "storage-access",
+		Script:        trackerFrameScript,
+	},
+	{
+		Site: "twitter.com", Path: "/tweet", Category: "social",
+		InclusionProb: 0.0218, DelegationRate: 0.03,
+		AllowTemplate: "web-share",
+		Script:        socialScript,
+	},
+	{
+		Site: "livechatinc.com", Path: "/chat", Category: "customer-support",
+		InclusionProb: 0.0168, DelegationRate: 0.9969,
+		// The exact template of §5.2, wildcards included.
+		AllowTemplate: "clipboard-read; clipboard-write; autoplay; microphone *; camera *; display-capture *; picture-in-picture *; fullscreen *",
+		Script:        chatScript,
+	},
+	{
+		Site: "criteo.com", Path: "/retarget", Category: "ads",
+		InclusionProb: 0.0165, DelegationRate: 0.358,
+		AllowTemplate: "attribution-reporting",
+		Header:        chClientHintsAllAllowed,
+		Script:        adScript,
+	},
+	{
+		Site: "cloudflare.com", Path: "/challenge", Category: "other",
+		InclusionProb: 0.0164, DelegationRate: 0.989,
+		AllowTemplate: "cross-origin-isolated; private-state-token-issuance",
+		Script:        challengeScript,
+	},
+	{
+		Site: "stripe.com", Path: "/checkout", Category: "payment",
+		InclusionProb: 0.0047, DelegationRate: 0.93,
+		AllowTemplate: "payment",
+		Header:        "payment=(self), camera=()",
+		Script:        paymentScript,
+	},
+	{
+		Site: "vimeo.com", Path: "/video", Category: "multimedia",
+		InclusionProb: 0.0027, DelegationRate: 0.91,
+		AllowTemplate: "autoplay; fullscreen; picture-in-picture; encrypted-media",
+		Script:        videoScript,
+		Lazy:          true,
+	},
+	{
+		Site: "google-maps.com", Path: "/maps", Category: "maps",
+		InclusionProb: 0.0035, DelegationRate: 0.55,
+		AllowTemplate: "geolocation",
+		Script:        mapScript,
+		Lazy:          true,
+	},
+	{
+		// Generic hosted video players: the bulk of autoplay /
+		// encrypted-media / fullscreen delegation that makes autoplay the
+		// most-delegated permission in Table 8.
+		Site: "playercdn.net", Path: "/player", Category: "multimedia",
+		InclusionProb: 0.04, DelegationRate: 0.9,
+		AllowTemplate: "autoplay; fullscreen; picture-in-picture",
+		Script:        videoScript,
+		Lazy:          true,
+	},
+	{
+		// Video conferencing: camera/microphone delegations that ARE
+		// used — the counterweight keeping over-permissioning a property
+		// of specific widgets, not of delegation per se.
+		Site: "meetwidget.com", Path: "/room", Category: "conferencing",
+		InclusionProb: 0.012, DelegationRate: 0.9,
+		AllowTemplate: "microphone *; camera *; display-capture",
+		Script: `
+navigator.permissions.query({name: 'camera'}).then(function (s) {});
+navigator.mediaDevices.getUserMedia({audio: true, video: true}).then(function (st) {}).catch(function () {});
+document.getElementById('share').addEventListener('click', function () {
+	navigator.mediaDevices.getDisplayMedia({video: true}).catch(function () {});
+});
+`,
+	},
+	{
+		Site: "hcaptcha.com", Path: "/captcha", Category: "other",
+		InclusionProb: 0.01, DelegationRate: 0.6,
+		AllowTemplate: "private-state-token-issuance",
+		Script:        challengeScript,
+	},
+	// Long tail of Table 13.
+	{
+		Site: "youtube-nocookie.com", Path: "/embed", Category: "multimedia",
+		InclusionProb: 0.00125, DelegationRate: 0.96,
+		AllowTemplate: "accelerometer; autoplay; clipboard-write; encrypted-media; gyroscope; picture-in-picture",
+		Script:        videoScript, Lazy: true,
+	},
+	{
+		Site: "razorpay.com", Path: "/pay", Category: "payment",
+		InclusionProb: 0.0005, DelegationRate: 0.95,
+		AllowTemplate: "payment; clipboard-write; camera",
+		Script:        supportUnusedScript, // delegated but unused (Table 10)
+	},
+	{
+		Site: "ladesk.com", Path: "/chat", Category: "customer-support",
+		InclusionProb: 0.00039, DelegationRate: 0.95,
+		AllowTemplate: "microphone; camera",
+		Script:        supportUnusedScript,
+	},
+	{
+		Site: "driftt.com", Path: "/widget", Category: "customer-support",
+		InclusionProb: 0.00037, DelegationRate: 0.94,
+		AllowTemplate: "encrypted-media",
+		Script:        supportUnusedScript,
+	},
+	{
+		Site: "wixapps.net", Path: "/app", Category: "mixed",
+		InclusionProb: 0.00032, DelegationRate: 0.94,
+		// §4.2.1: always delegates the same five regardless of purpose.
+		AllowTemplate: "autoplay; camera; microphone; geolocation; vr",
+		Script:        videoScript, // uses autoplay/media only
+	},
+	{
+		Site: "qualified.com", Path: "/meet", Category: "customer-support",
+		InclusionProb: 0.00014, DelegationRate: 0.95,
+		AllowTemplate: "microphone; camera",
+		Script:        supportUnusedScript,
+	},
+	{
+		Site: "dailymotion.com", Path: "/player", Category: "multimedia",
+		InclusionProb: 0.00013, DelegationRate: 0.95,
+		AllowTemplate: "accelerometer; gyroscope; clipboard-write; web-share; encrypted-media",
+		Script:        supportUnusedScript, // none used (Table 13)
+		Lazy:          true,
+	},
+	{
+		Site: "tinypass.com", Path: "/paywall", Category: "payment",
+		InclusionProb: 0.00013, DelegationRate: 0.92,
+		AllowTemplate: "payment",
+		Script:        supportUnusedScript,
+	},
+	{
+		Site: "imbox.io", Path: "/chat", Category: "customer-support",
+		InclusionProb: 0.00012, DelegationRate: 0.95,
+		AllowTemplate: "camera; microphone",
+		Script:        supportUnusedScript,
+	},
+	{
+		Site: "glassix.com", Path: "/chat", Category: "customer-support",
+		InclusionProb: 0.0001, DelegationRate: 0.95,
+		AllowTemplate: "camera; microphone; display-capture",
+		Script:        supportUnusedScript,
+	},
+	{
+		Site: "vidyard.com", Path: "/player", Category: "multimedia",
+		InclusionProb: 0.00006, DelegationRate: 0.93,
+		AllowTemplate: "camera; microphone; clipboard-write; display-capture",
+		Script:        supportUnusedScript,
+	},
+	{
+		Site: "jotform.com", Path: "/form", Category: "mixed",
+		InclusionProb: 0.00004, DelegationRate: 0.92,
+		AllowTemplate: "camera; geolocation; microphone",
+		Script:        supportUnusedScript,
+	},
+	{
+		Site: "typeform.com", Path: "/form", Category: "mixed",
+		InclusionProb: 0.00004, DelegationRate: 0.9,
+		AllowTemplate: "camera; microphone",
+		Script:        supportUnusedScript,
+	},
+}
+
+// WidgetBySite returns the catalog entry for a site.
+func WidgetBySite(site string) (Widget, bool) {
+	for _, w := range Catalog {
+		if w.Site == site {
+			return w, true
+		}
+	}
+	return Widget{}, false
+}

@@ -1,0 +1,119 @@
+package webapi
+
+import (
+	"testing"
+
+	"permodyssey/internal/origin"
+	"permodyssey/internal/policy"
+)
+
+// permissionSnippets maps each instrumented permission to a script that
+// must produce a dynamic record for it. Together they prove the realm
+// covers the Appendix A.4 surface.
+var permissionSnippets = map[string]string{
+	"camera":                       `navigator.mediaDevices.getUserMedia({video: true})`,
+	"microphone":                   `navigator.mediaDevices.getUserMedia({audio: true})`,
+	"display-capture":              `navigator.mediaDevices.getDisplayMedia({video: true})`,
+	"speaker-selection":            `navigator.mediaDevices.selectAudioOutput()`,
+	"geolocation":                  `navigator.geolocation.watchPosition(function () {})`,
+	"battery":                      `navigator.getBattery()`,
+	"clipboard-read":               `navigator.clipboard.readText()`,
+	"clipboard-write":              `navigator.clipboard.write([])`,
+	"web-share":                    `navigator.share({url: 'https://x'})`,
+	"publickey-credentials-get":    `navigator.credentials.get({publicKey: {}})`,
+	"publickey-credentials-create": `navigator.credentials.create({})`,
+	"identity-credentials-get":     `navigator.credentials.get({identity: {}})`,
+	"otp-credentials":              `navigator.credentials.get({otp: {}})`,
+	"keyboard-map":                 `navigator.keyboard.getLayoutMap()`,
+	"keyboard-lock":                `navigator.keyboard.lock()`,
+	"gamepad":                      `navigator.getGamepads()`,
+	"midi":                         `navigator.requestMIDIAccess()`,
+	"usb":                          `navigator.usb.requestDevice({})`,
+	"serial":                       `navigator.serial.requestPort()`,
+	"hid":                          `navigator.hid.requestDevice({})`,
+	"bluetooth":                    `navigator.bluetooth.requestDevice({})`,
+	"screen-wake-lock":             `navigator.wakeLock.request('screen')`,
+	"xr-spatial-tracking":          `navigator.xr.requestSession('immersive-vr')`,
+	"run-ad-auction":               `navigator.runAdAuction({})`,
+	"join-ad-interest-group":       `navigator.joinAdInterestGroup({})`,
+	"encrypted-media":              `navigator.requestMediaKeySystemAccess('x', [])`,
+	"browsing-topics":              `document.browsingTopics()`,
+	"interest-cohort":              `document.interestCohort()`,
+	"storage-access":               `document.requestStorageAccess()`,
+	"top-level-storage-access":     `document.requestStorageAccessFor('https://o.example')`,
+	"fullscreen":                   `document.body.requestFullscreen()`,
+	"pointer-lock":                 `document.body.requestPointerLock()`,
+	"picture-in-picture":           `document.createElement('video').requestPictureInPicture()`,
+	"autoplay":                     `document.createElement('video').play()`,
+	"notifications":                `Notification.requestPermission()`,
+	"push":                         `navigator.serviceWorker.register('/sw.js').then(function (r) { r.pushManager.subscribe({}); })`,
+	"accelerometer":                `new Accelerometer()`,
+	"gyroscope":                    `new Gyroscope()`,
+	"magnetometer":                 `new Magnetometer()`,
+	"ambient-light-sensor":         `new AmbientLightSensor()`,
+	"idle-detection":               `IdleDetector.requestPermission()`,
+	"compute-pressure":             `new PressureObserver(function () {})`,
+	"payment":                      `new PaymentRequest([], {})`,
+	"local-fonts":                  `queryLocalFonts()`,
+	"window-management":            `getScreenDetails()`,
+	"direct-sockets":               `new TCPSocket('h', 1)`,
+	"ch-ua-arch":                   `navigator.userAgentData.getHighEntropyValues(['arch'])`,
+}
+
+func TestAPICoverageAllPermissions(t *testing.T) {
+	for perm, snippet := range permissionSnippets {
+		t.Run(perm, func(t *testing.T) {
+			doc := policy.NewTopLevel(origin.MustParse("https://example.org"), policy.Policy{})
+			r := NewRealm(doc, "https://example.org/")
+			if err := r.RunScript(snippet+";", "https://example.org/app.js"); err != nil {
+				t.Fatalf("snippet failed: %v", err)
+			}
+			for _, inv := range r.Rec.Invocations {
+				for _, p := range inv.Permissions {
+					if p == perm {
+						return
+					}
+				}
+			}
+			t.Errorf("no record for %s; got %+v", perm, r.Rec.Invocations)
+		})
+	}
+}
+
+// TestGatingCoveragePolicyControlled verifies that for every
+// policy-controlled permission in the snippet table, a header disabling
+// it makes the realm record the call as blocked.
+func TestGatingCoveragePolicyControlled(t *testing.T) {
+	for _, perm := range []string{
+		"camera", "microphone", "display-capture", "geolocation", "battery",
+		"clipboard-read", "clipboard-write", "web-share", "keyboard-map",
+		"midi", "usb", "serial", "hid", "bluetooth", "screen-wake-lock",
+		"xr-spatial-tracking", "run-ad-auction", "join-ad-interest-group",
+		"encrypted-media", "browsing-topics", "storage-access",
+		"fullscreen", "picture-in-picture", "autoplay", "accelerometer",
+		"payment", "local-fonts", "window-management",
+	} {
+		t.Run(perm, func(t *testing.T) {
+			declared, _, err := policy.ParsePermissionsPolicy(perm + "=()")
+			if err != nil {
+				t.Fatal(err)
+			}
+			doc := policy.NewTopLevel(origin.MustParse("https://example.org"), declared)
+			r := NewRealm(doc, "https://example.org/")
+			snippet := permissionSnippets[perm]
+			// Blocked constructors throw; wrap to keep the script alive.
+			_ = r.RunScript("try { "+snippet+"; } catch (e) {}", "")
+			blocked := false
+			for _, inv := range r.Rec.Invocations {
+				for _, p := range inv.Permissions {
+					if p == perm && inv.Blocked {
+						blocked = true
+					}
+				}
+			}
+			if !blocked {
+				t.Errorf("%s=() did not block the call: %+v", perm, r.Rec.Invocations)
+			}
+		})
+	}
+}

@@ -1,0 +1,751 @@
+package webapi
+
+import (
+	"fmt"
+
+	"permodyssey/internal/permissions"
+	"permodyssey/internal/policy"
+	"permodyssey/internal/script"
+)
+
+// Realm is one document's JavaScript realm: an interpreter with the
+// instrumented Web-API surface installed, bound to the document's
+// Permissions Policy.
+type Realm struct {
+	Doc *policy.Document
+	Rec *Recorder
+	In  *script.Interp
+	// FrameURL is the document's URL; inline scripts attribute to it.
+	FrameURL string
+	// Browser/Version select the support surface exposed to scripts
+	// (feeding the fingerprinting observation of §4.1.1).
+	Browser permissions.Browser
+	Version int
+
+	handlers map[string][]script.Value
+}
+
+// NewRealm builds a realm for the document.
+func NewRealm(doc *policy.Document, frameURL string) *Realm {
+	r := &Realm{
+		Doc:      doc,
+		Rec:      &Recorder{},
+		In:       script.NewInterp(),
+		FrameURL: frameURL,
+		Browser:  permissions.Chromium,
+		Version:  127, // the paper crawled with Chromium 127 (C13)
+		handlers: map[string][]script.Value{},
+	}
+	r.install()
+	return r
+}
+
+// RunScript executes one script in the realm. scriptURL is "" for
+// inline scripts (attributed to the frame itself, like the paper does).
+func (r *Realm) RunScript(src, scriptURL string) error {
+	if scriptURL == "" {
+		scriptURL = r.FrameURL
+	}
+	return r.In.Run(src, scriptURL)
+}
+
+// FireEvent invokes every handler registered for the event — the
+// "manual interaction" pass of Appendix A.3 (clicks, loads, logins).
+func (r *Realm) FireEvent(name string) error {
+	ev := script.NewObject()
+	ev.Class = "Event"
+	ev.Set("type", script.String(name))
+	for _, h := range r.handlers[name] {
+		if _, err := r.In.CallFunction(h, script.Undefined(), []script.Value{script.ObjectValue(ev)}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// HandlerCount reports how many handlers are registered for an event.
+func (r *Realm) HandlerCount(name string) int { return len(r.handlers[name]) }
+
+// record captures one instrumented call with stack attribution.
+func (r *Realm) record(api string, kind Kind, perms []string, all, blocked, deprecated bool) {
+	url := r.In.CurrentScriptURL()
+	if url == r.FrameURL {
+		url = "" // inline / document-attributed
+	}
+	r.Rec.record(Invocation{
+		API:            api,
+		Kind:           kind,
+		Permissions:    perms,
+		AllPermissions: all,
+		ScriptURL:      url,
+		Stack:          r.In.StackTrace(),
+		Blocked:        blocked,
+		Deprecated:     deprecated,
+	})
+}
+
+// allowed consults the policy engine for a specific permission.
+func (r *Realm) allowed(perm string) bool { return r.Doc.Allowed(perm) }
+
+// gatedPromise records an invocation and returns a resolved promise
+// with value v when allowed, or a rejected NotAllowedError otherwise.
+func (r *Realm) gatedPromise(api string, perms []string, v script.Value) script.Value {
+	blocked := false
+	for _, p := range perms {
+		if !r.allowed(p) {
+			blocked = true
+		}
+	}
+	r.record(api, KindInvocation, perms, false, blocked, false)
+	if blocked {
+		return rejectedDOMException("NotAllowedError",
+			fmt.Sprintf("%s disallowed by permissions policy", api))
+	}
+	return script.ResolvedPromise(v)
+}
+
+func rejectedDOMException(name, msg string) script.Value {
+	e := script.NewObject()
+	e.Class = "DOMException"
+	e.Set("name", script.String(name))
+	e.Set("message", script.String(msg))
+	return script.RejectedPromise(script.ObjectValue(e))
+}
+
+// nat is shorthand for a native function value.
+func nat(name string, fn func(in *script.Interp, this script.Value, args []script.Value) (script.Value, error)) script.Value {
+	return script.NativeValue(name, fn)
+}
+
+// install wires the full API surface into the realm's global scope.
+func (r *Realm) install() {
+	g := r.In.Global
+
+	nav := script.NewObject()
+	nav.Class = "Navigator"
+	doc := script.NewObject()
+	doc.Class = "Document"
+	// Define the globals before wiring members: installConstructors
+	// attaches navigator.serviceWorker by global lookup.
+	g.Define("navigator", script.ObjectValue(nav))
+	g.Define("document", script.ObjectValue(doc))
+
+	r.installPermissionsAPI(nav)
+	r.installMedia(nav)
+	r.installGeolocation(nav)
+	r.installSimpleNavigatorAPIs(nav)
+	r.installDocumentAPIs(doc)
+	r.installPolicyAPIs(doc)
+	r.installConstructors(g)
+
+	// navigator identity (the crawler disabled navigator.webdriver, C8).
+	nav.Set("userAgent", script.String(fmt.Sprintf("Mozilla/5.0 (X11; Linux x86_64) Chrome/%d.0.0.0", r.Version)))
+	nav.Set("webdriver", script.Bool(false))
+	nav.Set("language", script.String("en-US"))
+
+	// location of the frame.
+	loc := script.NewObject()
+	loc.Class = "Location"
+	loc.Set("href", script.String(r.FrameURL))
+	loc.Set("origin", script.String(r.Doc.Origin.String()))
+	loc.Set("hostname", script.String(r.Doc.Origin.Host))
+	loc.Set("protocol", script.String(r.Doc.Origin.Scheme+":"))
+
+	// window: event target plus the usual aliases.
+	win := script.NewObject()
+	win.Class = "Window"
+	win.Set("addEventListener", r.addEventListenerFn())
+	win.Set("removeEventListener", nat("removeEventListener", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+		return script.Undefined(), nil
+	}))
+	win.Set("navigator", script.ObjectValue(nav))
+	win.Set("document", script.ObjectValue(doc))
+	win.Set("location", script.ObjectValue(loc))
+	win.Set("isSecureContext", script.Bool(r.Doc.Origin.Scheme == "https"))
+
+	doc.Set("location", script.ObjectValue(loc))
+	doc.Set("addEventListener", r.addEventListenerFn())
+	doc.Set("cookie", script.String(""))
+
+	g.Define("window", script.ObjectValue(win))
+	g.Define("self", script.ObjectValue(win))
+	g.Define("globalThis", script.ObjectValue(win))
+	g.Define("location", script.ObjectValue(loc))
+	g.Define("addEventListener", r.addEventListenerFn())
+	g.Define("fetch", nat("fetch", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+		resp := script.NewObject()
+		resp.Class = "Response"
+		resp.Set("ok", script.Bool(true))
+		resp.Set("status", script.Number(200))
+		return script.ResolvedPromise(script.ObjectValue(resp)), nil
+	}))
+}
+
+func (r *Realm) addEventListenerFn() script.Value {
+	return nat("addEventListener", func(_ *script.Interp, _ script.Value, args []script.Value) (script.Value, error) {
+		if len(args) >= 2 && args[0].Kind() == script.KindString && args[1].IsCallable() {
+			name := args[0].Str()
+			r.handlers[name] = append(r.handlers[name], args[1])
+		}
+		return script.Undefined(), nil
+	})
+}
+
+// installPermissionsAPI wires navigator.permissions.query — the most
+// invoked general API in the study.
+func (r *Realm) installPermissionsAPI(nav *script.Object) {
+	perms := script.NewObject()
+	perms.Class = "Permissions"
+	perms.Set("query", nat("navigator.permissions.query", func(in *script.Interp, _ script.Value, args []script.Value) (script.Value, error) {
+		var names []string
+		if len(args) > 0 {
+			if p, ok := permissionFromQueryArg(args[0]); ok {
+				names = []string{p}
+			}
+		}
+		if len(names) == 0 {
+			// TypeError in a real browser; record the probe anyway.
+			r.record("navigator.permissions.query", KindStatusCheck, nil, false, false, false)
+			return script.Undefined(), &script.RuntimeError{Msg: "query requires a PermissionDescriptor"}
+		}
+		perm := names[0]
+		blocked := false
+		if p, known := permissions.Lookup(perm); known && p.PolicyControlled() {
+			blocked = !r.allowed(perm)
+		}
+		r.record("navigator.permissions.query", KindStatusCheck, names, false, blocked, false)
+		status := script.NewObject()
+		status.Class = "PermissionStatus"
+		status.Set("name", script.String(perm))
+		state := "prompt"
+		if blocked {
+			state = "denied"
+		}
+		status.Set("state", script.String(state))
+		status.Set("addEventListener", r.addEventListenerFn())
+		status.Set("onchange", script.Null())
+		return script.ResolvedPromise(script.ObjectValue(status)), nil
+	}))
+	nav.Set("permissions", script.ObjectValue(perms))
+}
+
+// installMedia wires getUserMedia / getDisplayMedia / encrypted media.
+func (r *Realm) installMedia(nav *script.Object) {
+	md := script.NewObject()
+	md.Class = "MediaDevices"
+	md.Set("getUserMedia", nat("navigator.mediaDevices.getUserMedia", func(_ *script.Interp, _ script.Value, args []script.Value) (script.Value, error) {
+		var perms []string
+		if len(args) > 0 && args[0].Kind() == script.KindObject {
+			if v, ok := args[0].Obj().Get("audio"); ok && v.Truthy() {
+				perms = append(perms, "microphone")
+			}
+			if v, ok := args[0].Obj().Get("video"); ok && v.Truthy() {
+				perms = append(perms, "camera")
+			}
+		}
+		if len(perms) == 0 {
+			return script.Undefined(), &script.RuntimeError{Msg: "getUserMedia requires audio or video"}
+		}
+		stream := script.NewObject()
+		stream.Class = "MediaStream"
+		stream.Set("active", script.Bool(true))
+		return r.gatedPromise("navigator.mediaDevices.getUserMedia", perms, script.ObjectValue(stream)), nil
+	}))
+	md.Set("getDisplayMedia", nat("navigator.mediaDevices.getDisplayMedia", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+		stream := script.NewObject()
+		stream.Class = "MediaStream"
+		return r.gatedPromise("navigator.mediaDevices.getDisplayMedia", []string{"display-capture"}, script.ObjectValue(stream)), nil
+	}))
+	md.Set("selectAudioOutput", nat("navigator.mediaDevices.selectAudioOutput", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+		dev := script.NewObject()
+		dev.Class = "MediaDeviceInfo"
+		return r.gatedPromise("navigator.mediaDevices.selectAudioOutput", []string{"speaker-selection"}, script.ObjectValue(dev)), nil
+	}))
+	nav.Set("mediaDevices", script.ObjectValue(md))
+
+	nav.Set("requestMediaKeySystemAccess", nat("navigator.requestMediaKeySystemAccess", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+		access := script.NewObject()
+		access.Class = "MediaKeySystemAccess"
+		return r.gatedPromise("navigator.requestMediaKeySystemAccess", []string{"encrypted-media"}, script.ObjectValue(access)), nil
+	}))
+}
+
+func (r *Realm) installGeolocation(nav *script.Object) {
+	geo := script.NewObject()
+	geo.Class = "Geolocation"
+	positionCall := func(api string) script.Value {
+		return nat(api, func(in *script.Interp, _ script.Value, args []script.Value) (script.Value, error) {
+			blocked := !r.allowed("geolocation")
+			r.record(api, KindInvocation, []string{"geolocation"}, false, blocked, false)
+			if blocked {
+				if len(args) > 1 && args[1].IsCallable() {
+					e := script.NewObject()
+					e.Set("code", script.Number(1)) // PERMISSION_DENIED
+					e.Set("message", script.String("permissions policy"))
+					if _, err := in.CallFunction(args[1], script.Undefined(), []script.Value{script.ObjectValue(e)}); err != nil {
+						return script.Undefined(), err
+					}
+				}
+				return script.Undefined(), nil
+			}
+			if len(args) > 0 && args[0].IsCallable() {
+				pos := script.NewObject()
+				coords := script.NewObject()
+				coords.Set("latitude", script.Number(52.52))
+				coords.Set("longitude", script.Number(13.405))
+				pos.Set("coords", script.ObjectValue(coords))
+				if _, err := in.CallFunction(args[0], script.Undefined(), []script.Value{script.ObjectValue(pos)}); err != nil {
+					return script.Undefined(), err
+				}
+			}
+			return script.Number(1), nil
+		})
+	}
+	geo.Set("getCurrentPosition", positionCall("navigator.geolocation.getCurrentPosition"))
+	geo.Set("watchPosition", positionCall("navigator.geolocation.watchPosition"))
+	geo.Set("clearWatch", nat("clearWatch", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+		return script.Undefined(), nil
+	}))
+	nav.Set("geolocation", script.ObjectValue(geo))
+}
+
+// installSimpleNavigatorAPIs wires the long tail of navigator.* calls.
+func (r *Realm) installSimpleNavigatorAPIs(nav *script.Object) {
+	// battery (tracking-associated, Table 4 rank 2).
+	nav.Set("getBattery", nat("navigator.getBattery", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+		bm := script.NewObject()
+		bm.Class = "BatteryManager"
+		bm.Set("level", script.Number(0.87))
+		bm.Set("charging", script.Bool(true))
+		bm.Set("addEventListener", r.addEventListenerFn())
+		return r.gatedPromise("navigator.getBattery", []string{"battery"}, script.ObjectValue(bm)), nil
+	}))
+
+	// clipboard.
+	cb := script.NewObject()
+	cb.Class = "Clipboard"
+	cb.Set("readText", nat("navigator.clipboard.readText", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+		return r.gatedPromise("navigator.clipboard.readText", []string{"clipboard-read"}, script.String("")), nil
+	}))
+	cb.Set("read", nat("navigator.clipboard.read", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+		return r.gatedPromise("navigator.clipboard.read", []string{"clipboard-read"}, script.ArrayValue()), nil
+	}))
+	cb.Set("writeText", nat("navigator.clipboard.writeText", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+		return r.gatedPromise("navigator.clipboard.writeText", []string{"clipboard-write"}, script.Undefined()), nil
+	}))
+	cb.Set("write", nat("navigator.clipboard.write", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+		return r.gatedPromise("navigator.clipboard.write", []string{"clipboard-write"}, script.Undefined()), nil
+	}))
+	nav.Set("clipboard", script.ObjectValue(cb))
+
+	// web share.
+	nav.Set("share", nat("navigator.share", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+		return r.gatedPromise("navigator.share", []string{"web-share"}, script.Undefined()), nil
+	}))
+	nav.Set("canShare", nat("navigator.canShare", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+		r.record("navigator.canShare", KindStatusCheck, []string{"web-share"}, false, !r.allowed("web-share"), false)
+		return script.Bool(r.allowed("web-share")), nil
+	}))
+
+	// credentials.
+	creds := script.NewObject()
+	creds.Class = "CredentialsContainer"
+	creds.Set("get", nat("navigator.credentials.get", func(_ *script.Interp, _ script.Value, args []script.Value) (script.Value, error) {
+		perm := "publickey-credentials-get"
+		if len(args) > 0 && args[0].Kind() == script.KindObject {
+			if _, ok := args[0].Obj().Get("identity"); ok {
+				perm = "identity-credentials-get"
+			} else if _, ok := args[0].Obj().Get("otp"); ok {
+				perm = "otp-credentials"
+			}
+		}
+		cred := script.NewObject()
+		cred.Class = "Credential"
+		return r.gatedPromise("navigator.credentials.get", []string{perm}, script.ObjectValue(cred)), nil
+	}))
+	creds.Set("create", nat("navigator.credentials.create", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+		cred := script.NewObject()
+		cred.Class = "Credential"
+		return r.gatedPromise("navigator.credentials.create", []string{"publickey-credentials-create"}, script.ObjectValue(cred)), nil
+	}))
+	nav.Set("credentials", script.ObjectValue(creds))
+
+	// keyboard.
+	kb := script.NewObject()
+	kb.Class = "Keyboard"
+	kb.Set("getLayoutMap", nat("navigator.keyboard.getLayoutMap", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+		m := script.NewObject()
+		m.Class = "KeyboardLayoutMap"
+		return r.gatedPromise("navigator.keyboard.getLayoutMap", []string{"keyboard-map"}, script.ObjectValue(m)), nil
+	}))
+	kb.Set("lock", nat("navigator.keyboard.lock", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+		return r.gatedPromise("navigator.keyboard.lock", []string{"keyboard-lock"}, script.Undefined()), nil
+	}))
+	nav.Set("keyboard", script.ObjectValue(kb))
+
+	// gamepad.
+	nav.Set("getGamepads", nat("navigator.getGamepads", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+		blocked := !r.allowed("gamepad")
+		r.record("navigator.getGamepads", KindInvocation, []string{"gamepad"}, false, blocked, false)
+		return script.ArrayValue(), nil
+	}))
+
+	// midi.
+	nav.Set("requestMIDIAccess", nat("navigator.requestMIDIAccess", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+		access := script.NewObject()
+		access.Class = "MIDIAccess"
+		return r.gatedPromise("navigator.requestMIDIAccess", []string{"midi"}, script.ObjectValue(access)), nil
+	}))
+
+	// device APIs: usb / serial / hid / bluetooth.
+	deviceAPI := func(ns, method, perm, class string) {
+		o := script.NewObject()
+		api := "navigator." + ns + "." + method
+		o.Set(method, nat(api, func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+			dev := script.NewObject()
+			dev.Class = class
+			return r.gatedPromise(api, []string{perm}, script.ObjectValue(dev)), nil
+		}))
+		nav.Set(ns, script.ObjectValue(o))
+	}
+	deviceAPI("usb", "requestDevice", "usb", "USBDevice")
+	deviceAPI("serial", "requestPort", "serial", "SerialPort")
+	deviceAPI("hid", "requestDevice", "hid", "HIDDevice")
+	deviceAPI("bluetooth", "requestDevice", "bluetooth", "BluetoothDevice")
+
+	// wake lock.
+	wl := script.NewObject()
+	wl.Set("request", nat("navigator.wakeLock.request", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+		sentinel := script.NewObject()
+		sentinel.Class = "WakeLockSentinel"
+		return r.gatedPromise("navigator.wakeLock.request", []string{"screen-wake-lock"}, script.ObjectValue(sentinel)), nil
+	}))
+	nav.Set("wakeLock", script.ObjectValue(wl))
+
+	// WebXR.
+	xr := script.NewObject()
+	xr.Set("requestSession", nat("navigator.xr.requestSession", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+		sess := script.NewObject()
+		sess.Class = "XRSession"
+		return r.gatedPromise("navigator.xr.requestSession", []string{"xr-spatial-tracking"}, script.ObjectValue(sess)), nil
+	}))
+	xr.Set("isSessionSupported", nat("navigator.xr.isSessionSupported", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+		r.record("navigator.xr.isSessionSupported", KindStatusCheck, []string{"xr-spatial-tracking"}, false, false, false)
+		return script.ResolvedPromise(script.Bool(false)), nil
+	}))
+	nav.Set("xr", script.ObjectValue(xr))
+
+	// Privacy Sandbox ad APIs.
+	nav.Set("runAdAuction", nat("navigator.runAdAuction", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+		return r.gatedPromise("navigator.runAdAuction", []string{"run-ad-auction"}, script.String("urn:uuid:auction-result")), nil
+	}))
+	nav.Set("joinAdInterestGroup", nat("navigator.joinAdInterestGroup", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+		return r.gatedPromise("navigator.joinAdInterestGroup", []string{"join-ad-interest-group"}, script.Undefined()), nil
+	}))
+
+	// UA client hints.
+	uad := script.NewObject()
+	uad.Class = "NavigatorUAData"
+	uad.Set("mobile", script.Bool(false))
+	uad.Set("getHighEntropyValues", nat("navigator.userAgentData.getHighEntropyValues", func(_ *script.Interp, _ script.Value, args []script.Value) (script.Value, error) {
+		var perms []string
+		if len(args) > 0 && args[0].Kind() == script.KindArray {
+			for _, h := range args[0].Arr().Elems {
+				hint := "ch-ua-" + h.ToString()
+				if permissions.Known(hint) {
+					perms = append(perms, hint)
+				}
+			}
+		}
+		if len(perms) == 0 {
+			perms = []string{"ch-ua"}
+		}
+		r.record("navigator.userAgentData.getHighEntropyValues", KindInvocation, perms, false, false, false)
+		return script.ResolvedPromise(script.ObjectValue(script.NewObject())), nil
+	}))
+	nav.Set("userAgentData", script.ObjectValue(uad))
+}
+
+// installDocumentAPIs wires document-level permission calls.
+func (r *Realm) installDocumentAPIs(doc *script.Object) {
+	doc.Set("browsingTopics", nat("document.browsingTopics", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+		topic := script.NewObject()
+		topic.Set("topic", script.Number(42))
+		return r.gatedPromise("document.browsingTopics", []string{"browsing-topics"}, script.ArrayValue(script.ObjectValue(topic))), nil
+	}))
+	doc.Set("interestCohort", nat("document.interestCohort", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+		return r.gatedPromise("document.interestCohort", []string{"interest-cohort"}, script.ObjectValue(script.NewObject())), nil
+	}))
+	doc.Set("requestStorageAccess", nat("document.requestStorageAccess", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+		return r.gatedPromise("document.requestStorageAccess", []string{"storage-access"}, script.Undefined()), nil
+	}))
+	doc.Set("hasStorageAccess", nat("document.hasStorageAccess", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+		r.record("document.hasStorageAccess", KindStatusCheck, []string{"storage-access"}, false, false, false)
+		return script.ResolvedPromise(script.Bool(r.Doc.IsTopLevel())), nil
+	}))
+	doc.Set("requestStorageAccessFor", nat("document.requestStorageAccessFor", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+		return r.gatedPromise("document.requestStorageAccessFor", []string{"top-level-storage-access"}, script.Undefined()), nil
+	}))
+
+	// Element factory: supports the element-level permission surface
+	// (fullscreen, picture-in-picture, pointer lock, autoplay).
+	mkElement := func(tag string) script.Value {
+		el := script.NewObject()
+		el.Class = "HTMLElement"
+		el.Set("tagName", script.String(tag))
+		el.Set("addEventListener", r.addEventListenerFn())
+		el.Set("setAttribute", nat("setAttribute", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+			return script.Undefined(), nil
+		}))
+		el.Set("click", nat("click", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+			return script.Undefined(), nil
+		}))
+		el.Set("requestFullscreen", nat("element.requestFullscreen", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+			return r.gatedPromise("element.requestFullscreen", []string{"fullscreen"}, script.Undefined()), nil
+		}))
+		el.Set("requestPointerLock", nat("element.requestPointerLock", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+			blocked := !r.allowed("pointer-lock")
+			r.record("element.requestPointerLock", KindInvocation, []string{"pointer-lock"}, false, blocked, false)
+			return script.Undefined(), nil
+		}))
+		el.Set("requestPictureInPicture", nat("element.requestPictureInPicture", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+			w := script.NewObject()
+			w.Class = "PictureInPictureWindow"
+			return r.gatedPromise("element.requestPictureInPicture", []string{"picture-in-picture"}, script.ObjectValue(w)), nil
+		}))
+		el.Set("play", nat("element.play", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+			return r.gatedPromise("element.play", []string{"autoplay"}, script.Undefined()), nil
+		}))
+		return script.ObjectValue(el)
+	}
+	doc.Set("createElement", nat("document.createElement", func(_ *script.Interp, _ script.Value, args []script.Value) (script.Value, error) {
+		tag := "div"
+		if len(args) > 0 {
+			tag = args[0].ToString()
+		}
+		return mkElement(tag), nil
+	}))
+	doc.Set("getElementById", nat("document.getElementById", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+		return mkElement("div"), nil
+	}))
+	doc.Set("querySelector", nat("document.querySelector", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+		return mkElement("div"), nil
+	}))
+	doc.Set("body", mkElement("body"))
+}
+
+// installPolicyAPIs wires the General Permission APIs of the Permissions
+// Policy spec and the deprecated Feature Policy spec.
+func (r *Realm) installPolicyAPIs(doc *script.Object) {
+	mk := func(prefix string, deprecated bool) script.Value {
+		o := script.NewObject()
+		o.Class = "FeaturePolicy"
+		o.Set("allowedFeatures", nat(prefix+".allowedFeatures", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+			r.record(prefix+".allowedFeatures", KindStatusCheck, nil, true, false, deprecated)
+			return script.StringsValue(r.supportedAllowed()), nil
+		}))
+		o.Set("features", nat(prefix+".features", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+			r.record(prefix+".features", KindStatusCheck, nil, true, false, deprecated)
+			return script.StringsValue(permissions.SupportedPermissions(r.Browser, r.Version)), nil
+		}))
+		o.Set("allowsFeature", nat(prefix+".allowsFeature", func(_ *script.Interp, _ script.Value, args []script.Value) (script.Value, error) {
+			if len(args) == 0 {
+				return script.Bool(false), nil
+			}
+			name := args[0].ToString()
+			allowed := r.allowed(name)
+			r.record(prefix+".allowsFeature", KindStatusCheck, []string{name}, false, !allowed, deprecated)
+			return script.Bool(allowed), nil
+		}))
+		o.Set("getAllowlistForFeature", nat(prefix+".getAllowlistForFeature", func(_ *script.Interp, _ script.Value, args []script.Value) (script.Value, error) {
+			r.record(prefix+".getAllowlistForFeature", KindStatusCheck, nil, false, false, deprecated)
+			return script.ArrayValue(), nil
+		}))
+		return script.ObjectValue(o)
+	}
+	doc.Set("featurePolicy", mk("document.featurePolicy", true))
+	doc.Set("permissionsPolicy", mk("document.permissionsPolicy", false))
+}
+
+// supportedAllowed intersects the document's allowed features with the
+// browser's supported surface — allowedFeatures() only reports features
+// the engine knows, which is what makes it a version fingerprint.
+func (r *Realm) supportedAllowed() []string {
+	supported := map[string]bool{}
+	for _, name := range permissions.SupportedPermissions(r.Browser, r.Version) {
+		supported[name] = true
+	}
+	var out []string
+	for _, f := range r.Doc.AllowedFeatures() {
+		if supported[f] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// installConstructors wires `new`-style APIs: Notification, sensors,
+// PaymentRequest, IdleDetector, PressureObserver, direct sockets.
+func (r *Realm) installConstructors(g *script.Env) {
+	// Notification: not policy-controlled; available only top-level.
+	notif := script.NewObject()
+	notif.Class = "NotificationConstructor"
+	notif.Call = nativeOf("Notification", func(_ *script.Interp, _ script.Value, args []script.Value) (script.Value, error) {
+		blocked := !r.Doc.IsTopLevel()
+		r.record("new Notification", KindInvocation, []string{"notifications"}, false, blocked, false)
+		n := script.NewObject()
+		n.Class = "Notification"
+		if len(args) > 0 {
+			n.Set("title", args[0])
+		}
+		return script.ObjectValue(n), nil
+	})
+	notif.Set("permission", script.String("default"))
+	notif.Set("requestPermission", nat("Notification.requestPermission", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+		blocked := !r.Doc.IsTopLevel()
+		r.record("Notification.requestPermission", KindInvocation, []string{"notifications"}, false, blocked, false)
+		state := "default"
+		if blocked {
+			state = "denied"
+		}
+		return script.ResolvedPromise(script.String(state)), nil
+	}))
+	g.Define("Notification", script.ObjectValue(notif))
+
+	// Push (via a minimal service-worker registration surface).
+	swReg := script.NewObject()
+	pushMgr := script.NewObject()
+	pushMgr.Class = "PushManager"
+	pushMgr.Set("subscribe", nat("pushManager.subscribe", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+		blocked := !r.Doc.IsTopLevel()
+		r.record("pushManager.subscribe", KindInvocation, []string{"push"}, false, blocked, false)
+		sub := script.NewObject()
+		sub.Class = "PushSubscription"
+		if blocked {
+			return rejectedDOMException("NotAllowedError", "push requires a top-level context"), nil
+		}
+		return script.ResolvedPromise(script.ObjectValue(sub)), nil
+	}))
+	swReg.Set("pushManager", script.ObjectValue(pushMgr))
+	sw := script.NewObject()
+	sw.Set("register", nat("serviceWorker.register", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+		return script.ResolvedPromise(script.ObjectValue(swReg)), nil
+	}))
+	sw.Set("ready", script.ResolvedPromise(script.ObjectValue(swReg)))
+	if nav, ok := g.Get("navigator"); ok && nav.Kind() == script.KindObject {
+		nav.Obj().Set("serviceWorker", script.ObjectValue(sw))
+	}
+
+	// Sensor constructors.
+	sensorCtor := func(name, perm string) {
+		ctor := script.NewObject()
+		ctor.Call = nativeOf(name, func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+			blocked := !r.allowed(perm)
+			r.record("new "+name, KindInvocation, []string{perm}, false, blocked, false)
+			if blocked {
+				return script.Undefined(), &script.RuntimeError{Msg: "SecurityError: " + perm + " disallowed by permissions policy"}
+			}
+			s := script.NewObject()
+			s.Class = name
+			s.Set("start", nat("start", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+				return script.Undefined(), nil
+			}))
+			s.Set("stop", nat("stop", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+				return script.Undefined(), nil
+			}))
+			s.Set("addEventListener", r.addEventListenerFn())
+			return script.ObjectValue(s), nil
+		})
+		g.Define(name, script.ObjectValue(ctor))
+	}
+	sensorCtor("Accelerometer", "accelerometer")
+	sensorCtor("Gyroscope", "gyroscope")
+	sensorCtor("Magnetometer", "magnetometer")
+	sensorCtor("AmbientLightSensor", "ambient-light-sensor")
+
+	// PaymentRequest.
+	pr := script.NewObject()
+	pr.Call = nativeOf("PaymentRequest", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+		blocked := !r.allowed("payment")
+		r.record("new PaymentRequest", KindInvocation, []string{"payment"}, false, blocked, false)
+		if blocked {
+			return script.Undefined(), &script.RuntimeError{Msg: "SecurityError: payment disallowed by permissions policy"}
+		}
+		req := script.NewObject()
+		req.Class = "PaymentRequest"
+		req.Set("show", nat("PaymentRequest.show", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+			resp := script.NewObject()
+			resp.Class = "PaymentResponse"
+			return r.gatedPromise("PaymentRequest.show", []string{"payment"}, script.ObjectValue(resp)), nil
+		}))
+		req.Set("canMakePayment", nat("PaymentRequest.canMakePayment", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+			r.record("PaymentRequest.canMakePayment", KindStatusCheck, []string{"payment"}, false, false, false)
+			return script.ResolvedPromise(script.Bool(true)), nil
+		}))
+		return script.ObjectValue(req), nil
+	})
+	g.Define("PaymentRequest", script.ObjectValue(pr))
+
+	// IdleDetector with static requestPermission.
+	idle := script.NewObject()
+	idle.Call = nativeOf("IdleDetector", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+		blocked := !r.allowed("idle-detection")
+		r.record("new IdleDetector", KindInvocation, []string{"idle-detection"}, false, blocked, false)
+		d := script.NewObject()
+		d.Class = "IdleDetector"
+		d.Set("start", nat("start", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+			return script.ResolvedPromise(script.Undefined()), nil
+		}))
+		d.Set("addEventListener", r.addEventListenerFn())
+		return script.ObjectValue(d), nil
+	})
+	idle.Set("requestPermission", nat("IdleDetector.requestPermission", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+		blocked := !r.allowed("idle-detection")
+		r.record("IdleDetector.requestPermission", KindInvocation, []string{"idle-detection"}, false, blocked, false)
+		return script.ResolvedPromise(script.String("granted")), nil
+	}))
+	g.Define("IdleDetector", script.ObjectValue(idle))
+
+	// PressureObserver (compute-pressure).
+	po := script.NewObject()
+	po.Call = nativeOf("PressureObserver", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+		blocked := !r.allowed("compute-pressure")
+		r.record("new PressureObserver", KindInvocation, []string{"compute-pressure"}, false, blocked, false)
+		o := script.NewObject()
+		o.Class = "PressureObserver"
+		o.Set("observe", nat("observe", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+			return script.ResolvedPromise(script.Undefined()), nil
+		}))
+		return script.ObjectValue(o), nil
+	})
+	g.Define("PressureObserver", script.ObjectValue(po))
+
+	// Direct sockets.
+	sockCtor := func(name string) {
+		c := script.NewObject()
+		c.Call = nativeOf(name, func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+			blocked := !r.allowed("direct-sockets")
+			r.record("new "+name, KindInvocation, []string{"direct-sockets"}, false, blocked, false)
+			s := script.NewObject()
+			s.Class = name
+			return script.ObjectValue(s), nil
+		})
+		g.Define(name, script.ObjectValue(c))
+	}
+	sockCtor("TCPSocket")
+	sockCtor("UDPSocket")
+
+	// queryLocalFonts / getScreenDetails are window-level functions.
+	g.Define("queryLocalFonts", nat("queryLocalFonts", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+		return r.gatedPromise("queryLocalFonts", []string{"local-fonts"}, script.ArrayValue()), nil
+	}))
+	g.Define("getScreenDetails", nat("getScreenDetails", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+		details := script.NewObject()
+		details.Class = "ScreenDetails"
+		return r.gatedPromise("getScreenDetails", []string{"window-management"}, script.ObjectValue(details)), nil
+	}))
+}
+
+func nativeOf(name string, fn func(in *script.Interp, this script.Value, args []script.Value) (script.Value, error)) *script.Native {
+	return &script.Native{Name: name, Fn: fn}
+}

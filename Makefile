@@ -1,0 +1,20 @@
+# Developer entry points. `make ci` is the local equivalent of the
+# GitHub Actions tier-1 gate; `make bench` produces a BENCH_*.json
+# perf artifact.
+
+.PHONY: ci test bench fmt build
+
+ci:
+	./scripts/ci.sh
+
+test:
+	go test ./...
+
+bench:
+	./scripts/bench.sh
+
+fmt:
+	gofmt -w .
+
+build:
+	go build ./...

@@ -10,7 +10,9 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -21,14 +23,25 @@ import (
 	"permodyssey/internal/origin"
 	"permodyssey/internal/permissions"
 	"permodyssey/internal/policy"
+	"permodyssey/internal/script"
 	"permodyssey/internal/store"
 	"permodyssey/internal/synthweb"
 )
 
-const (
-	benchSites = 1500
-	benchSeed  = 20240823 // the paper's crawl began August 23, 2024
-)
+const benchSeed = 20240823 // the paper's crawl began August 23, 2024
+
+// benchSites sizes the shared dataset; the CI bench-smoke step shrinks
+// it via the environment so `-benchtime 1x` stays fast.
+var benchSites = envSites("PERMODYSSEY_BENCH_SITES", 1500)
+
+func envSites(name string, def int) int {
+	if v := os.Getenv(name); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
 
 var (
 	benchOnce sync.Once
@@ -429,6 +442,82 @@ func BenchmarkAblationInternalLinks(b *testing.B) {
 		run(0)
 	}
 }
+
+// ---- Crawl-at-scale: shared resource cache ----
+
+// fetchCounter counts the HTTP fetches that actually reach the network
+// layer, independent of any cache stacked above it.
+type fetchCounter struct {
+	inner browser.Fetcher
+	n     atomic.Int64
+}
+
+func (f *fetchCounter) Fetch(ctx context.Context, rawURL string) (*browser.Response, error) {
+	f.n.Add(1)
+	return f.inner.Fetch(ctx, rawURL)
+}
+
+// crawlBench crawls the default-scale population once per iteration,
+// with or without the shared fetch/parse caches, and reports how many
+// HTTP fetches and script parses the crawl actually performed. Compare
+// BenchmarkCrawlCached against BenchmarkCrawlUncached: the cache
+// collapses the per-site re-fetching and re-parsing of the Zipf-popular
+// shared widget documents and CDN scripts.
+func crawlBench(b *testing.B, cached bool) {
+	cfg := synthweb.DefaultConfig()
+	cfg.NumSites = envSites("PERMODYSSEY_BENCH_CRAWL_SITES", cfg.NumSites)
+	cfg.Seed = benchSeed + 5
+	cfg.UnreachableRate, cfg.TimeoutRate, cfg.EphemeralRate, cfg.MinorRate = 0, 0, 0, 0
+
+	srv := synthweb.NewServer(cfg)
+	if err := srv.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	var targets []crawler.Target
+	for _, s := range srv.Sites() {
+		targets = append(targets, crawler.Target{Rank: s.Rank, URL: s.URL()})
+	}
+
+	var fetches, parses, scripts int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		counter := &fetchCounter{inner: browser.NewHTTPFetcher(srv.Client(0))}
+		var fetcher browser.Fetcher = counter
+		opts := browser.DefaultOptions()
+		if cached {
+			fetcher = browser.NewCachingFetcher(counter)
+			opts.ScriptCache = script.NewParseCache()
+		}
+		c := crawler.New(browser.New(fetcher, opts),
+			crawler.Config{Workers: 24, PerSiteTimeout: 10 * time.Second})
+		ds := c.Crawl(context.Background(), targets)
+		if len(ds.Records) != cfg.NumSites {
+			b.Fatal("short crawl")
+		}
+		fetches = counter.n.Load()
+		if cached {
+			ps := opts.ScriptCache.Stats()
+			parses = int64(ps.Misses)
+			scripts = int64(ps.Hits + ps.Misses + ps.Coalesced)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(fetches), "fetches/op")
+	if cached {
+		b.ReportMetric(float64(parses), "parses/op")
+		printOnce(b.Name(), fmt.Sprintf(
+			"%d sites: %d HTTP fetches; %d scripts executed, %d parsed (cache)\n",
+			cfg.NumSites, fetches, scripts, parses))
+	} else {
+		printOnce(b.Name(), fmt.Sprintf(
+			"%d sites: %d HTTP fetches, every script parsed per inclusion (no cache)\n",
+			cfg.NumSites, fetches))
+	}
+}
+
+func BenchmarkCrawlUncached(b *testing.B) { crawlBench(b, false) }
+func BenchmarkCrawlCached(b *testing.B)   { crawlBench(b, true) }
 
 // BenchmarkFullPipeline measures a complete small measurement
 // (generate → serve → crawl → analyze), the end-to-end cost unit.

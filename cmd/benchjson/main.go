@@ -1,0 +1,97 @@
+// Command benchjson converts `go test -bench` text output on stdin
+// into a JSON document on stdout, so CI can archive each run as a
+// BENCH_*.json artifact and the perf trajectory accumulates in a
+// machine-readable form.
+//
+//	go test -run '^$' -bench . -benchtime 1x . | benchjson > BENCH_local.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the full converted run.
+type Report struct {
+	// Context lines: goos, goarch, pkg, cpu.
+	Context map[string]string `json:"context,omitempty"`
+	Results []Result          `json:"results"`
+}
+
+// parseLine parses one `go test -bench` output line, returning ok=false
+// for non-benchmark lines (tables, PASS, context headers).
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	// The remainder alternates "value unit" pairs: 123 ns/op, 456 B/op...
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, true
+}
+
+// contextKey extracts "goos: linux"-style header lines.
+func contextKey(line string) (key, value string, ok bool) {
+	for _, k := range []string{"goos", "goarch", "pkg", "cpu"} {
+		if v, found := strings.CutPrefix(line, k+": "); found {
+			return k, strings.TrimSpace(v), true
+		}
+	}
+	return "", "", false
+}
+
+// convert reads bench text lines and builds the report.
+func convert(lines []string) Report {
+	rep := Report{Context: map[string]string{}, Results: []Result{}}
+	for _, line := range lines {
+		if k, v, ok := contextKey(line); ok {
+			rep.Context[k] = v
+			continue
+		}
+		if r, ok := parseLine(line); ok {
+			rep.Results = append(rep.Results, r)
+		}
+	}
+	return rep
+}
+
+func main() {
+	var lines []string
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(convert(lines)); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,48 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	r, ok := parseLine("BenchmarkCrawlCached \t       1\t25215013219 ns/op\t     36565 fetches/op\t        28.00 parses/op")
+	if !ok {
+		t.Fatal("line not recognised")
+	}
+	if r.Name != "BenchmarkCrawlCached" || r.Iterations != 1 {
+		t.Errorf("parsed %+v", r)
+	}
+	if r.Metrics["ns/op"] != 25215013219 || r.Metrics["fetches/op"] != 36565 || r.Metrics["parses/op"] != 28 {
+		t.Errorf("metrics = %v", r.Metrics)
+	}
+
+	for _, line := range []string{
+		"PASS",
+		"ok  \tpermodyssey\t25.870s",
+		"goos: linux",
+		"[bench BenchmarkCrawlCached]",
+		"600 sites: 1151 HTTP fetches; 819 scripts executed, 27 parsed (cache)",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("non-benchmark line parsed: %q", line)
+		}
+	}
+}
+
+func TestConvert(t *testing.T) {
+	rep := convert([]string{
+		"goos: linux",
+		"goarch: amd64",
+		"pkg: permodyssey",
+		"BenchmarkTable2_Characteristics-8   \t 8126787\t       147.5 ns/op",
+		"BenchmarkCrawlUncached \t       1\t 622474887 ns/op\t      1665 fetches/op",
+		"PASS",
+	})
+	if len(rep.Results) != 2 {
+		t.Fatalf("results = %d, want 2", len(rep.Results))
+	}
+	if rep.Context["goos"] != "linux" || rep.Context["pkg"] != "permodyssey" {
+		t.Errorf("context = %v", rep.Context)
+	}
+	if rep.Results[0].Name != "BenchmarkTable2_Characteristics-8" || rep.Results[0].Iterations != 8126787 {
+		t.Errorf("first result = %+v", rep.Results[0])
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"permodyssey/internal/html"
 	"permodyssey/internal/origin"
 	"permodyssey/internal/policy"
+	"permodyssey/internal/script"
 	"permodyssey/internal/static"
 	"permodyssey/internal/webapi"
 )
@@ -31,6 +32,10 @@ type Options struct {
 	// Interact fires load/click handlers after the no-interaction pass
 	// (the Appendix A.3 manual-testing mode).
 	Interact bool
+	// ScriptCache, when non-nil, memoizes script parsing across every
+	// realm this browser creates, so a shared third-party script body is
+	// parsed once per crawl rather than once per including frame.
+	ScriptCache *script.ParseCache
 }
 
 // DefaultOptions mirror the paper's crawler configuration.
@@ -233,6 +238,9 @@ func (b *Browser) processDocument(ctx context.Context, result *PageResult, slot 
 		}
 	}
 	realm := webapi.NewRealm(doc, fr.FinalURL)
+	if b.Opts.ScriptCache != nil {
+		realm.ParseScript = b.Opts.ScriptCache.Parse
+	}
 
 	// Collect and run scripts: dynamic analysis.
 	for _, s := range html.Scripts(tree) {

@@ -1,0 +1,166 @@
+package browser
+
+import (
+	"context"
+	"crypto/sha256"
+	"sync"
+	"sync/atomic"
+)
+
+// CacheStats is a point-in-time snapshot of CachingFetcher counters.
+type CacheStats struct {
+	// Hits are lookups answered from the cache without touching the
+	// inner fetcher.
+	Hits uint64
+	// Misses are lookups that performed a real inner fetch.
+	Misses uint64
+	// Coalesced are lookups that joined an in-flight fetch of the same
+	// URL and shared its result (singleflight de-duplication).
+	Coalesced uint64
+	// Bypassed are lookups the Cacheable policy routed straight to the
+	// inner fetcher (per-site documents).
+	Bypassed uint64
+	// Errors are inner fetches that failed; failures are never cached.
+	Errors uint64
+	// Entries is the number of cached URLs; UniqueBodies the number of
+	// distinct response bodies behind them (content addressing shares
+	// identical bodies served under different URLs).
+	Entries      uint64
+	UniqueBodies uint64
+	// DedupedBytes is memory saved by body interning: bytes of cached
+	// bodies that alias an already-stored identical body.
+	DedupedBytes uint64
+}
+
+// inflightFetch is one in-progress fetch other callers can wait on.
+type inflightFetch struct {
+	done chan struct{}
+	resp *Response
+	err  error
+}
+
+// CachingFetcher wraps a Fetcher with a concurrency-safe, URL-keyed
+// response cache. The crawl's hot path re-fetches the same Zipf-popular
+// third-party widget documents and CDN scripts for thousands of sites;
+// caching them collapses that to one fetch each. Keys are full URLs, so
+// per-site documents would be cached per site anyway — but since each
+// site is visited exactly once, the Cacheable policy lets the caller
+// bypass the cache for them entirely and keep memory bounded by the
+// shared-resource population.
+//
+// Concurrent fetches of the same URL are de-duplicated: one caller
+// performs the fetch, the rest wait and share the result. Failures are
+// never cached and never shared — a waiter whose leader failed (for
+// example to the leader's own per-site deadline) re-fetches under its
+// own context. Bodies are interned by content hash, so identical bodies
+// served under different URLs are stored once.
+//
+// Cached *Response values are shared between callers and must be
+// treated as read-only, like MapFetcher entries.
+type CachingFetcher struct {
+	Inner Fetcher
+	// Cacheable decides whether a URL participates in the cache; nil
+	// caches everything. The measurement pipeline passes a policy that
+	// bypasses the per-site document hosts and caches everything else
+	// (the cross-origin widget and CDN resources shared between sites).
+	Cacheable func(rawURL string) bool
+
+	mu       sync.Mutex
+	entries  map[string]*Response
+	bodies   map[[sha256.Size]byte]string
+	inflight map[string]*inflightFetch
+
+	hits, misses, coalesced, bypassed, errors atomic.Uint64
+	dedupedBytes                              atomic.Uint64
+}
+
+// NewCachingFetcher wraps inner with an empty cache.
+func NewCachingFetcher(inner Fetcher) *CachingFetcher {
+	return &CachingFetcher{
+		Inner:    inner,
+		entries:  map[string]*Response{},
+		bodies:   map[[sha256.Size]byte]string{},
+		inflight: map[string]*inflightFetch{},
+	}
+}
+
+// Fetch implements Fetcher.
+func (c *CachingFetcher) Fetch(ctx context.Context, rawURL string) (*Response, error) {
+	if c.Cacheable != nil && !c.Cacheable(rawURL) {
+		c.bypassed.Add(1)
+		return c.Inner.Fetch(ctx, rawURL)
+	}
+	for {
+		c.mu.Lock()
+		if r, ok := c.entries[rawURL]; ok {
+			c.mu.Unlock()
+			c.hits.Add(1)
+			return r, nil
+		}
+		if fl, ok := c.inflight[rawURL]; ok {
+			c.mu.Unlock()
+			select {
+			case <-fl.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if fl.err == nil {
+				c.coalesced.Add(1)
+				return fl.resp, nil
+			}
+			// The leader failed — possibly to its own caller's deadline,
+			// which says nothing about ours. Loop and try again (the entry
+			// may have appeared meanwhile, or we become the new leader).
+			continue
+		}
+		fl := &inflightFetch{done: make(chan struct{})}
+		c.inflight[rawURL] = fl
+		c.mu.Unlock()
+
+		c.misses.Add(1)
+		resp, err := c.Inner.Fetch(ctx, rawURL)
+
+		c.mu.Lock()
+		delete(c.inflight, rawURL)
+		if err == nil {
+			resp.Body = c.internLocked(resp.Body)
+			c.entries[rawURL] = resp
+		}
+		c.mu.Unlock()
+		if err != nil {
+			c.errors.Add(1)
+		}
+		fl.resp, fl.err = resp, err
+		close(fl.done)
+		return resp, err
+	}
+}
+
+// internLocked returns the canonical stored copy of body, deduplicating
+// identical bodies by content hash. Callers hold c.mu.
+func (c *CachingFetcher) internLocked(body string) string {
+	sum := sha256.Sum256([]byte(body))
+	if stored, ok := c.bodies[sum]; ok {
+		c.dedupedBytes.Add(uint64(len(body)))
+		return stored
+	}
+	c.bodies[sum] = body
+	return body
+}
+
+// Stats snapshots the cache counters.
+func (c *CachingFetcher) Stats() CacheStats {
+	c.mu.Lock()
+	entries, unique := uint64(len(c.entries)), uint64(len(c.bodies))
+	c.mu.Unlock()
+	return CacheStats{
+		Hits:         c.hits.Load(),
+		Misses:       c.misses.Load(),
+		Coalesced:    c.coalesced.Load(),
+		Bypassed:     c.bypassed.Load(),
+		Errors:       c.errors.Load(),
+		Entries:      entries,
+		UniqueBodies: unique,
+		DedupedBytes: c.dedupedBytes.Load(),
+	}
+}

@@ -1,0 +1,216 @@
+package browser
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// countingFetcher counts Fetch calls and can inject delays and errors.
+type countingFetcher struct {
+	calls atomic.Int64
+	delay time.Duration
+	// failures maps URLs to the number of times they fail before
+	// succeeding; -1 fails forever.
+	mu       sync.Mutex
+	failures map[string]int
+}
+
+func (f *countingFetcher) Fetch(ctx context.Context, rawURL string) (*Response, error) {
+	f.calls.Add(1)
+	if f.delay > 0 {
+		select {
+		case <-time.After(f.delay):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	f.mu.Lock()
+	n := f.failures[rawURL]
+	if n != 0 {
+		if n > 0 {
+			f.failures[rawURL] = n - 1
+		}
+		f.mu.Unlock()
+		return nil, errors.New("injected failure for " + rawURL)
+	}
+	f.mu.Unlock()
+	return &Response{Status: 200, Body: "body of " + rawURL, FinalURL: rawURL}, nil
+}
+
+func TestCachingFetcherHitMiss(t *testing.T) {
+	inner := &countingFetcher{}
+	c := NewCachingFetcher(inner)
+	ctx := context.Background()
+
+	for i := 0; i < 5; i++ {
+		resp, err := c.Fetch(ctx, "https://widget.example/w.js")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Body != "body of https://widget.example/w.js" {
+			t.Fatalf("wrong body: %q", resp.Body)
+		}
+	}
+	if got := inner.calls.Load(); got != 1 {
+		t.Errorf("inner fetches = %d, want 1", got)
+	}
+	s := c.Stats()
+	if s.Misses != 1 || s.Hits != 4 || s.Entries != 1 {
+		t.Errorf("stats = %+v, want 1 miss, 4 hits, 1 entry", s)
+	}
+}
+
+func TestCachingFetcherBypassPolicy(t *testing.T) {
+	inner := &countingFetcher{}
+	c := NewCachingFetcher(inner)
+	c.Cacheable = func(rawURL string) bool { return !strings.Contains(rawURL, "site") }
+	ctx := context.Background()
+
+	for i := 0; i < 3; i++ {
+		if _, err := c.Fetch(ctx, "https://www.site000001.com/"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := inner.calls.Load(); got != 3 {
+		t.Errorf("bypassed URL fetched %d times through cache, want 3", got)
+	}
+	s := c.Stats()
+	if s.Bypassed != 3 || s.Hits != 0 || s.Misses != 0 {
+		t.Errorf("stats = %+v, want 3 bypassed and nothing cached", s)
+	}
+}
+
+func TestCachingFetcherErrorsNotCached(t *testing.T) {
+	inner := &countingFetcher{failures: map[string]int{"https://flaky.example/": 2}}
+	c := NewCachingFetcher(inner)
+	ctx := context.Background()
+
+	for i := 0; i < 2; i++ {
+		if _, err := c.Fetch(ctx, "https://flaky.example/"); err == nil {
+			t.Fatal("expected injected failure")
+		}
+	}
+	if _, err := c.Fetch(ctx, "https://flaky.example/"); err != nil {
+		t.Fatalf("third fetch should succeed: %v", err)
+	}
+	// Success is now cached.
+	if _, err := c.Fetch(ctx, "https://flaky.example/"); err != nil {
+		t.Fatal(err)
+	}
+	if got := inner.calls.Load(); got != 3 {
+		t.Errorf("inner fetches = %d, want 3 (two failures + one success)", got)
+	}
+	s := c.Stats()
+	if s.Errors != 2 || s.Misses != 3 || s.Hits != 1 {
+		t.Errorf("stats = %+v, want 2 errors, 3 misses, 1 hit", s)
+	}
+}
+
+// TestCachingFetcherSingleflight drives many goroutines at the same
+// slow URL and checks exactly one inner fetch happens, with every other
+// caller either coalescing onto it or hitting the cache afterwards.
+// Run under -race this also proves the cache is concurrency-safe.
+func TestCachingFetcherSingleflight(t *testing.T) {
+	inner := &countingFetcher{delay: 30 * time.Millisecond}
+	c := NewCachingFetcher(inner)
+	const goroutines = 32
+
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := c.Fetch(context.Background(), "https://cdn.example/lib.js")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if resp.Body != "body of https://cdn.example/lib.js" {
+				t.Errorf("wrong body: %q", resp.Body)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := inner.calls.Load(); got != 1 {
+		t.Errorf("inner fetches = %d, want 1 (singleflight)", got)
+	}
+	s := c.Stats()
+	if s.Misses != 1 {
+		t.Errorf("misses = %d, want 1", s.Misses)
+	}
+	if s.Hits+s.Coalesced != goroutines-1 {
+		t.Errorf("hits (%d) + coalesced (%d) = %d, want %d",
+			s.Hits, s.Coalesced, s.Hits+s.Coalesced, goroutines-1)
+	}
+}
+
+// TestCachingFetcherLeaderFailureNotShared: a waiter must not inherit
+// the leader's failure (which may stem from the leader's own per-site
+// deadline); it retries the fetch itself.
+func TestCachingFetcherLeaderFailureNotShared(t *testing.T) {
+	inner := &countingFetcher{delay: 20 * time.Millisecond,
+		failures: map[string]int{"https://once.example/": 1}}
+	c := NewCachingFetcher(inner)
+
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = c.Fetch(context.Background(), "https://once.example/")
+		}(i)
+	}
+	wg.Wait()
+
+	// Exactly one goroutine was the first leader and absorbed the
+	// injected failure; everyone else must have recovered.
+	failed := 0
+	for _, err := range errs {
+		if err != nil {
+			failed++
+		}
+	}
+	if failed != 1 {
+		t.Errorf("%d goroutines failed, want exactly 1 (the first leader)", failed)
+	}
+	if s := c.Stats(); s.Entries != 1 {
+		t.Errorf("entries = %d, want the eventual success cached", s.Entries)
+	}
+}
+
+// TestCachingFetcherContentAddressing: identical bodies under distinct
+// URLs are stored once.
+func TestCachingFetcherContentAddressing(t *testing.T) {
+	same := &Response{Status: 200, Body: "<html><body>in-house frame</body></html>"}
+	m := MapFetcher{}
+	for i := 0; i < 10; i++ {
+		m[fmt.Sprintf("https://www.site%06d.com/frame", i)] = &Response{
+			Status: 200, Body: same.Body,
+		}
+	}
+	c := NewCachingFetcher(m)
+	ctx := context.Background()
+	for u := range m {
+		if _, err := c.Fetch(ctx, u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := c.Stats()
+	if s.Entries != 10 {
+		t.Errorf("entries = %d, want 10", s.Entries)
+	}
+	if s.UniqueBodies != 1 {
+		t.Errorf("unique bodies = %d, want 1 (content-addressed)", s.UniqueBodies)
+	}
+	if want := uint64(9 * len(same.Body)); s.DedupedBytes != want {
+		t.Errorf("deduped bytes = %d, want %d", s.DedupedBytes, want)
+	}
+}

@@ -1,0 +1,61 @@
+package browser
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestHTTPFetcherMaxBodyBytes pins the truncation contract: bodies are
+// capped at MaxBodyBytes without error, and the zero value falls back
+// to the 4 MiB default.
+func TestHTTPFetcherMaxBodyBytes(t *testing.T) {
+	body := strings.Repeat("x", 1<<16)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html")
+		if _, err := w.Write([]byte(body)); err != nil {
+			t.Error(err)
+		}
+	}))
+	defer srv.Close()
+
+	t.Run("truncates at limit", func(t *testing.T) {
+		f := NewHTTPFetcher(srv.Client())
+		f.MaxBodyBytes = 1024
+		resp, err := f.Fetch(context.Background(), srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Body) != 1024 {
+			t.Errorf("body length = %d, want 1024", len(resp.Body))
+		}
+		if resp.Body != body[:1024] {
+			t.Error("truncated body is not a prefix of the response")
+		}
+	})
+
+	t.Run("zero limit uses 4 MiB default", func(t *testing.T) {
+		f := &HTTPFetcher{Client: srv.Client()}
+		resp, err := f.Fetch(context.Background(), srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Body) != len(body) {
+			t.Errorf("body length = %d, want %d (under the default cap)", len(resp.Body), len(body))
+		}
+	})
+
+	t.Run("limit above body leaves it intact", func(t *testing.T) {
+		f := NewHTTPFetcher(srv.Client())
+		f.MaxBodyBytes = int64(len(body)) + 1
+		resp, err := f.Fetch(context.Background(), srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Body != body {
+			t.Error("body altered despite fitting under the limit")
+		}
+	})
+}

@@ -29,6 +29,10 @@ func Crawl(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	expected := fs.Bool("expected-spec", false, "use the fixed local-scheme inheritance instead of the spec as written")
 	report := fs.Bool("report", false, "print the full analysis report after the crawl")
 	follow := fs.Int("follow-links", 0, "visit up to N same-site internal pages per site (lifts the §6.1 landing-page limitation)")
+	retries := fs.Int("retries", 1, "retry transient failures (timeout, ephemeral) up to N extra attempts with exponential backoff")
+	backoff := fs.Duration("retry-backoff", 100*time.Millisecond, "base delay before the first retry (doubles per attempt)")
+	noCache := fs.Bool("no-cache", false, "disable the shared fetch and script-parse caches")
+	resume := fs.Bool("resume", false, "load an existing -out dataset, skip its completed ranks, and append the rest")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -39,6 +43,9 @@ func Crawl(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	opts.Crawl.Workers = *workers
 	opts.Crawl.PerSiteTimeout = *timeout
 	opts.Crawl.FollowInternalLinks = *follow
+	opts.Crawl.MaxRetries = *retries
+	opts.Crawl.RetryBackoff = *backoff
+	opts.DisableCache = *noCache
 	opts.StallTime = 2 * *timeout
 	opts.BrowserOpts.Interact = *interact
 	opts.BrowserOpts.ScrollLazyIframes = !*noLazy
@@ -54,9 +61,31 @@ func Crawl(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	// Resume: reload the completed prefix of a prior interrupted crawl
+	// (tolerating a truncated final line) and append only new records.
+	if *resume {
+		if prior, err := store.LoadPartialFile(*out); err == nil && len(prior.Records) > 0 {
+			opts.Crawl.Resume = prior
+			// Rewrite the complete prefix: an interrupted crawl may have
+			// left a truncated final line, which appending would corrupt.
+			if err := prior.SaveFile(*out); err != nil {
+				fmt.Fprintln(stderr, "permcrawl: resume:", err)
+				return 1
+			}
+			fmt.Fprintf(stderr, "resuming: %d records already in %s\n", len(prior.Records), *out)
+		} else if err != nil && !os.IsNotExist(err) {
+			fmt.Fprintln(stderr, "permcrawl: resume:", err)
+			return 1
+		}
+	}
+
 	// Stream each record to disk the moment its visit completes (C14),
 	// rather than holding everything until the end of the crawl.
-	f, err := os.Create(*out)
+	mode := os.O_CREATE | os.O_WRONLY | os.O_TRUNC
+	if opts.Crawl.Resume != nil {
+		mode = os.O_CREATE | os.O_WRONLY | os.O_APPEND
+	}
+	f, err := os.OpenFile(*out, mode, 0o644)
 	if err != nil {
 		fmt.Fprintln(stderr, "permcrawl:", err)
 		return 1

@@ -11,11 +11,13 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"net/url"
 	"time"
 
 	"permodyssey/internal/analysis"
 	"permodyssey/internal/browser"
 	"permodyssey/internal/crawler"
+	"permodyssey/internal/script"
 	"permodyssey/internal/store"
 	"permodyssey/internal/synthweb"
 )
@@ -31,8 +33,24 @@ type MeasurementOptions struct {
 	// StallTime is how long timeout-class sites hang (must exceed the
 	// crawl deadline to be classified as timeouts).
 	StallTime time.Duration
+	// DisableCache turns off the shared fetch and script-parse caches.
+	// They are on by default: per-site documents bypass the fetch cache
+	// (each site is visited once), while cross-origin widget documents
+	// and CDN scripts — fetched for thousands of sites — are served from
+	// it, and each distinct script body is parsed once per crawl.
+	// Caching is observationally transparent (TestCrawlDeterminism).
+	DisableCache bool
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
+}
+
+// CrawlStats aggregates the observability counters of one run: what the
+// fetch cache saved, what the parse cache saved, and what the crawler
+// retried or resumed.
+type CrawlStats struct {
+	Fetch browser.CacheStats
+	Parse script.ParseStats
+	Crawl crawler.Stats
 }
 
 // DefaultMeasurementOptions mirrors the paper's setup, scaled down.
@@ -51,6 +69,7 @@ func DefaultMeasurementOptions() MeasurementOptions {
 type Measurement struct {
 	Dataset  *store.Dataset
 	Analysis *analysis.Analysis
+	Stats    CrawlStats
 	Elapsed  time.Duration
 }
 
@@ -73,14 +92,32 @@ func Run(ctx context.Context, opts MeasurementOptions) (*Measurement, error) {
 	defer srv.Close()
 	logf("synthetic web: %d sites on %s (seed %d)", opts.Web.NumSites, srv.Addr(), opts.Web.Seed)
 
-	fetcher := browser.NewHTTPFetcher(srv.Client(0))
+	var fetcher browser.Fetcher = browser.NewHTTPFetcher(srv.Client(0))
+	var cache *browser.CachingFetcher
+	targets := make([]crawler.Target, 0, opts.Web.NumSites)
+	siteHosts := make(map[string]bool, opts.Web.NumSites)
+	for _, s := range srv.Sites() {
+		targets = append(targets, crawler.Target{Rank: s.Rank, URL: s.URL()})
+		siteHosts[s.Host] = true
+	}
+	if !opts.DisableCache {
+		cache = browser.NewCachingFetcher(fetcher)
+		// Per-site documents (landing and internal pages) are fetched
+		// once each — bypass them so cache memory stays bounded by the
+		// shared widget/CDN population.
+		cache.Cacheable = func(rawURL string) bool {
+			u, err := url.Parse(rawURL)
+			if err != nil {
+				return false
+			}
+			return !siteHosts[u.Hostname()]
+		}
+		fetcher = cache
+		opts.BrowserOpts.ScriptCache = script.NewParseCache()
+	}
 	b := browser.New(fetcher, opts.BrowserOpts)
 	c := crawler.New(b, opts.Crawl)
 
-	targets := make([]crawler.Target, 0, opts.Web.NumSites)
-	for _, s := range srv.Sites() {
-		targets = append(targets, crawler.Target{Rank: s.Rank, URL: s.URL()})
-	}
 	logf("crawling %d sites with %d workers...", len(targets), opts.Crawl.Workers)
 	ds := c.Crawl(ctx, targets)
 
@@ -89,8 +126,36 @@ func Run(ctx context.Context, opts MeasurementOptions) (*Measurement, error) {
 		Analysis: analysis.New(ds),
 		Elapsed:  time.Since(start),
 	}
+	m.Stats.Crawl = c.Stats()
+	if cache != nil {
+		m.Stats.Fetch = cache.Stats()
+		m.Stats.Parse = opts.BrowserOpts.ScriptCache.Stats()
+	}
 	logf("crawl finished in %s: %v", m.Elapsed.Round(time.Millisecond), ds.FailureCounts())
+	logf("%s", m.Stats.Summary())
 	return m, nil
+}
+
+// Summary renders the counters as one log-friendly line.
+func (s CrawlStats) Summary() string {
+	return fmt.Sprintf(
+		"visited %d (resumed %d, retries %d); fetch cache: %d hits, %d misses, %d coalesced, %d bypassed, %d errors, %d entries (%d unique bodies, %s deduped); parse cache: %d hits, %d misses, %d coalesced, %d entries",
+		s.Crawl.Visited, s.Crawl.Resumed, s.Crawl.Retries,
+		s.Fetch.Hits, s.Fetch.Misses, s.Fetch.Coalesced, s.Fetch.Bypassed,
+		s.Fetch.Errors, s.Fetch.Entries, s.Fetch.UniqueBodies, byteSize(s.Fetch.DedupedBytes),
+		s.Parse.Hits, s.Parse.Misses, s.Parse.Coalesced, s.Parse.Entries)
+}
+
+// byteSize renders n bytes human-readably.
+func byteSize(n uint64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
 }
 
 // Report renders the full paper-style report.

@@ -1,7 +1,8 @@
 // Package crawler runs the measurement at scale: a worker pool of mini
 // browsers with per-site deadlines, the paper's crawl-failure taxonomy
-// (§4), post-visit exclusion of incomplete pages, and immediate result
-// persistence into a dataset.
+// (§4), post-visit exclusion of incomplete pages, retry-with-backoff
+// for transient failures, checkpoint/resume over a partial dataset, and
+// immediate result persistence into a dataset.
 //
 // The paper ran 40 parallel Playwright crawlers with a 60s load budget
 // plus 20s settle time and a 90s hard deadline per page; this crawler
@@ -17,6 +18,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"permodyssey/internal/browser"
@@ -30,53 +32,132 @@ type Target struct {
 	URL  string
 }
 
+// Crawl defaults — the single source of truth shared by DefaultConfig
+// and the fallbacks New applies to a partially-filled Config.
+const (
+	// DefaultWorkers is the parallel crawler count (the paper used 40).
+	DefaultWorkers = 32
+	// DefaultPerSiteTimeout is the hard per-page deadline analogue of
+	// the paper's 90s, scaled to the synthetic web.
+	DefaultPerSiteTimeout = 10 * time.Second
+	// DefaultRetryBackoff is the base delay before a retry; it doubles
+	// per attempt.
+	DefaultRetryBackoff = 100 * time.Millisecond
+)
+
 // Config tunes the crawl.
 type Config struct {
-	// Workers is the number of parallel crawlers (the paper used 40).
+	// Workers is the number of parallel crawlers.
 	Workers int
-	// PerSiteTimeout is the hard deadline per page (the paper's 90s).
+	// PerSiteTimeout is the hard deadline per page; each retry attempt
+	// gets a fresh deadline.
 	PerSiteTimeout time.Duration
+	// MaxRetries is how many extra attempts a visit gets when it fails
+	// with a transient class (timeout, ephemeral — see
+	// store.FailureClass.Transient). 0 disables retries.
+	MaxRetries int
+	// RetryBackoff is the sleep before the first retry, doubling per
+	// subsequent attempt (exponential backoff).
+	RetryBackoff time.Duration
+	// Resume, when non-nil, is a partial dataset from an interrupted
+	// crawl: its records are carried over verbatim and their ranks are
+	// skipped, so interrupt-then-resume converges to the same dataset
+	// as one uninterrupted run.
+	Resume *store.Dataset
 	// FollowInternalLinks, when positive, visits up to that many
 	// same-site pages linked from the landing page — lifting the
 	// landing-page-only limitation of §6.1. The per-site deadline covers
 	// the landing page plus all internal pages together.
 	FollowInternalLinks int
-	// Progress, when non-nil, receives the number of completed sites.
+	// Progress, when non-nil, receives the number of completed sites
+	// (resumed records count as already completed).
 	Progress func(done, total int)
 	// Sink, when non-nil, receives each record as soon as its visit
 	// completes (the paper's C14: results are persisted immediately, not
 	// at the end of the crawl). Called from the collector goroutine, in
-	// completion order.
+	// completion order. Resumed records are not re-sent: they are
+	// already persisted.
 	Sink func(store.SiteRecord)
 }
 
-// DefaultConfig returns crawl settings scaled for the synthetic web.
-func DefaultConfig() Config {
-	return Config{
-		Workers:        32,
-		PerSiteTimeout: 10 * time.Second,
+// withDefaults fills unset fields from the package defaults.
+func (cfg Config) withDefaults() Config {
+	if cfg.Workers <= 0 {
+		cfg.Workers = DefaultWorkers
 	}
+	if cfg.PerSiteTimeout <= 0 {
+		cfg.PerSiteTimeout = DefaultPerSiteTimeout
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = DefaultRetryBackoff
+	}
+	return cfg
+}
+
+// DefaultConfig returns crawl settings scaled for the synthetic web.
+func DefaultConfig() Config { return Config{}.withDefaults() }
+
+// Stats counts what a crawl actually did, beyond the records it
+// produced. Counters accumulate across Crawl calls on one Crawler.
+type Stats struct {
+	// Visited is the number of sites visited live this run; Resumed the
+	// number skipped because a Resume dataset already contained them.
+	Visited int
+	Resumed int
+	// Retries is the total number of extra visit attempts spent on
+	// transient failures.
+	Retries int
 }
 
 // Crawler drives a Browser over a target list.
 type Crawler struct {
 	Browser *browser.Browser
 	Config  Config
+
+	visited atomic.Int64
+	resumed atomic.Int64
+	retries atomic.Int64
 }
 
-// New creates a Crawler.
+// New creates a Crawler, filling unset Config fields with the package
+// defaults (the same values DefaultConfig returns).
 func New(b *browser.Browser, cfg Config) *Crawler {
-	if cfg.Workers <= 0 {
-		cfg.Workers = 32
+	return &Crawler{Browser: b, Config: cfg.withDefaults()}
+}
+
+// Stats snapshots the crawl counters.
+func (c *Crawler) Stats() Stats {
+	return Stats{
+		Visited: int(c.visited.Load()),
+		Resumed: int(c.resumed.Load()),
+		Retries: int(c.retries.Load()),
 	}
-	if cfg.PerSiteTimeout <= 0 {
-		cfg.PerSiteTimeout = 10 * time.Second
-	}
-	return &Crawler{Browser: b, Config: cfg}
 }
 
 // Crawl visits every target and returns the dataset, ordered by rank.
+// With Config.Resume set, targets whose rank already has a record are
+// skipped and the prior records are carried into the result.
 func (c *Crawler) Crawl(ctx context.Context, targets []Target) *store.Dataset {
+	ds := &store.Dataset{}
+	pending := targets
+	done := 0
+	if c.Config.Resume != nil {
+		completed := make(map[int]bool, len(c.Config.Resume.Records))
+		for _, r := range c.Config.Resume.Records {
+			completed[r.Rank] = true
+		}
+		ds.Records = append(ds.Records, c.Config.Resume.Records...)
+		pending = make([]Target, 0, len(targets))
+		for _, t := range targets {
+			if completed[t.Rank] {
+				done++
+				continue
+			}
+			pending = append(pending, t)
+		}
+		c.resumed.Add(int64(done))
+	}
+
 	jobs := make(chan Target)
 	results := make(chan store.SiteRecord)
 
@@ -92,7 +173,7 @@ func (c *Crawler) Crawl(ctx context.Context, targets []Target) *store.Dataset {
 	}
 	go func() {
 		defer close(jobs)
-		for _, t := range targets {
+		for _, t := range pending {
 			select {
 			case jobs <- t:
 			case <-ctx.Done():
@@ -105,10 +186,9 @@ func (c *Crawler) Crawl(ctx context.Context, targets []Target) *store.Dataset {
 		close(results)
 	}()
 
-	ds := &store.Dataset{}
-	done := 0
 	for rec := range results {
 		ds.Add(rec)
+		c.visited.Add(1)
 		if c.Config.Sink != nil {
 			c.Config.Sink(rec)
 		}
@@ -121,8 +201,30 @@ func (c *Crawler) Crawl(ctx context.Context, targets []Target) *store.Dataset {
 	return ds
 }
 
-// visit measures one site with the per-site deadline.
+// visit measures one site, retrying transient failures with exponential
+// backoff up to Config.MaxRetries extra attempts. Each attempt gets a
+// fresh per-site deadline; Elapsed covers all attempts plus backoff.
 func (c *Crawler) visit(ctx context.Context, t Target) store.SiteRecord {
+	start := time.Now()
+	rec := c.attempt(ctx, t)
+	for try := 0; try < c.Config.MaxRetries && rec.Failure.Transient(); try++ {
+		backoff := c.Config.RetryBackoff << uint(try)
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			rec.Elapsed = time.Since(start)
+			return rec
+		}
+		c.retries.Add(1)
+		rec = c.attempt(ctx, t)
+		rec.Retries = try + 1
+	}
+	rec.Elapsed = time.Since(start)
+	return rec
+}
+
+// attempt performs one visit under one per-site deadline.
+func (c *Crawler) attempt(ctx context.Context, t Target) store.SiteRecord {
 	start := time.Now()
 	vctx, cancel := context.WithTimeout(ctx, c.Config.PerSiteTimeout)
 	defer cancel()

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"permodyssey/internal/browser"
+	"permodyssey/internal/script"
 	"permodyssey/internal/store"
 	"permodyssey/internal/synthweb"
 )
@@ -120,6 +121,9 @@ func TestCrawlSyntheticWeb(t *testing.T) {
 	}
 }
 
+// TestCrawlDeterminism proves re-runs yield identical datasets — and
+// that the fetch/parse caches are observationally transparent: a cached
+// crawl produces record-for-record the same output as an uncached one.
 func TestCrawlDeterminism(t *testing.T) {
 	cfg := synthweb.DefaultConfig()
 	cfg.NumSites = 40
@@ -129,32 +133,39 @@ func TestCrawlDeterminism(t *testing.T) {
 	// population and a generous deadline.
 	cfg.UnreachableRate, cfg.TimeoutRate, cfg.EphemeralRate, cfg.MinorRate = 0, 0, 0, 0
 
-	run := func() map[string]int {
+	run := func(cached bool) []string {
 		srv := synthweb.NewServer(cfg)
 		if err := srv.Start(); err != nil {
 			t.Fatal(err)
 		}
 		defer srv.Close()
-		b := browser.New(browser.NewHTTPFetcher(srv.Client(0)), browser.DefaultOptions())
+		var fetcher browser.Fetcher = browser.NewHTTPFetcher(srv.Client(0))
+		opts := browser.DefaultOptions()
+		if cached {
+			fetcher = browser.NewCachingFetcher(fetcher)
+			opts.ScriptCache = script.NewParseCache()
+		}
+		b := browser.New(fetcher, opts)
 		c := New(b, Config{Workers: 8, PerSiteTimeout: 5 * time.Second})
 		var targets []Target
 		for _, s := range srv.Sites() {
 			targets = append(targets, Target{Rank: s.Rank, URL: s.URL()})
 		}
 		ds := c.Crawl(context.Background(), targets)
-		out := map[string]int{}
-		for _, rec := range ds.Successful() {
-			out[rec.URL] = len(rec.Page.Frames)
+		if len(ds.Records) != cfg.NumSites {
+			t.Fatalf("records: %d", len(ds.Records))
 		}
-		return out
+		return normalizeRecords(t, ds)
 	}
-	a, b := run(), run()
-	if len(a) != len(b) {
-		t.Fatalf("different success counts: %d vs %d", len(a), len(b))
-	}
-	for url, frames := range a {
-		if b[url] != frames {
-			t.Errorf("%s: %d vs %d frames across runs", url, frames, b[url])
+	uncachedA, uncachedB, cached := run(false), run(false), run(true)
+	for i := range uncachedA {
+		if uncachedA[i] != uncachedB[i] {
+			t.Errorf("record %d differs between uncached runs:\n%s\n%s",
+				i, uncachedA[i], uncachedB[i])
+		}
+		if uncachedA[i] != cached[i] {
+			t.Errorf("record %d differs with cache on:\nuncached: %s\ncached:   %s",
+				i, uncachedA[i], cached[i])
 		}
 	}
 }

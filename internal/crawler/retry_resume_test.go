@@ -1,0 +1,164 @@
+package crawler
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"permodyssey/internal/browser"
+	"permodyssey/internal/store"
+	"permodyssey/internal/synthweb"
+)
+
+// flakyFetcher serves a canned page, failing each URL a configured
+// number of times first.
+type flakyFetcher struct {
+	mu       sync.Mutex
+	failures map[string]int // remaining failures per URL; -1 = forever
+	fail     func(url string) error
+}
+
+func (f *flakyFetcher) Fetch(_ context.Context, rawURL string) (*browser.Response, error) {
+	f.mu.Lock()
+	n := f.failures[rawURL]
+	if n != 0 {
+		if n > 0 {
+			f.failures[rawURL] = n - 1
+		}
+		f.mu.Unlock()
+		return nil, f.fail(rawURL)
+	}
+	f.mu.Unlock()
+	return &browser.Response{
+		Status: 200, FinalURL: rawURL,
+		Body: "<html><body><p>ok</p></body></html>",
+	}, nil
+}
+
+func timeoutErr(string) error { return context.DeadlineExceeded }
+
+func TestRetryTransientFailure(t *testing.T) {
+	f := &flakyFetcher{failures: map[string]int{"https://flaky.test/": 2}, fail: timeoutErr}
+	b := browser.New(f, browser.DefaultOptions())
+	c := New(b, Config{Workers: 1, PerSiteTimeout: time.Second,
+		MaxRetries: 3, RetryBackoff: time.Millisecond})
+
+	ds := c.Crawl(context.Background(), []Target{{Rank: 1, URL: "https://flaky.test/"}})
+	rec := ds.Records[0]
+	if !rec.OK() {
+		t.Fatalf("record not OK after retries: failure=%q err=%q", rec.Failure, rec.Error)
+	}
+	if rec.Retries != 2 {
+		t.Errorf("record retries = %d, want 2", rec.Retries)
+	}
+	if got := c.Stats().Retries; got != 2 {
+		t.Errorf("stats retries = %d, want 2", got)
+	}
+}
+
+func TestRetryExhausted(t *testing.T) {
+	f := &flakyFetcher{failures: map[string]int{"https://down.test/": -1}, fail: timeoutErr}
+	b := browser.New(f, browser.DefaultOptions())
+	c := New(b, Config{Workers: 1, PerSiteTimeout: time.Second,
+		MaxRetries: 2, RetryBackoff: time.Millisecond})
+
+	ds := c.Crawl(context.Background(), []Target{{Rank: 1, URL: "https://down.test/"}})
+	rec := ds.Records[0]
+	if rec.Failure != store.FailureTimeout {
+		t.Fatalf("failure = %q, want timeout", rec.Failure)
+	}
+	if rec.Retries != 2 {
+		t.Errorf("record retries = %d, want 2 (budget exhausted)", rec.Retries)
+	}
+}
+
+func TestNoRetryForPersistentFailure(t *testing.T) {
+	dnsErr := func(url string) error {
+		return &net.DNSError{Err: "no such host", Name: url, IsNotFound: true}
+	}
+	f := &flakyFetcher{failures: map[string]int{"https://gone.test/": -1}, fail: dnsErr}
+	b := browser.New(f, browser.DefaultOptions())
+	c := New(b, Config{Workers: 1, PerSiteTimeout: time.Second,
+		MaxRetries: 3, RetryBackoff: time.Millisecond})
+
+	ds := c.Crawl(context.Background(), []Target{{Rank: 1, URL: "https://gone.test/"}})
+	rec := ds.Records[0]
+	if rec.Failure != store.FailureUnreachable {
+		t.Fatalf("failure = %q, want unreachable", rec.Failure)
+	}
+	if rec.Retries != 0 || c.Stats().Retries != 0 {
+		t.Errorf("unreachable (persistent) was retried: rec=%d stats=%d",
+			rec.Retries, c.Stats().Retries)
+	}
+}
+
+// normalizeRecords strips wall-clock noise and serializes records for
+// dataset equality checks.
+func normalizeRecords(t *testing.T, ds *store.Dataset) []string {
+	t.Helper()
+	out := make([]string, 0, len(ds.Records))
+	for _, rec := range ds.Records {
+		rec.Elapsed = 0
+		buf, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, string(buf))
+	}
+	return out
+}
+
+// TestCrawlResume proves interrupt-then-resume converges to the same
+// dataset as one uninterrupted crawl: crawl half the targets, feed the
+// partial dataset back through Config.Resume, and compare against a
+// full reference run record by record.
+func TestCrawlResume(t *testing.T) {
+	cfg := synthweb.DefaultConfig()
+	cfg.NumSites = 40
+	cfg.Seed = 13
+	// Unreachable sites fail deterministically (DNS, no timing); the
+	// timing-sensitive classes stay out so datasets compare exactly.
+	cfg.UnreachableRate = 0.1
+	cfg.TimeoutRate, cfg.EphemeralRate, cfg.MinorRate = 0, 0, 0
+
+	srv := synthweb.NewServer(cfg)
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	newCrawler := func(resume *store.Dataset) *Crawler {
+		b := browser.New(browser.NewHTTPFetcher(srv.Client(0)), browser.DefaultOptions())
+		return New(b, Config{Workers: 8, PerSiteTimeout: 5 * time.Second, Resume: resume})
+	}
+	var targets []Target
+	for _, s := range srv.Sites() {
+		targets = append(targets, Target{Rank: s.Rank, URL: s.URL()})
+	}
+
+	full := newCrawler(nil).Crawl(context.Background(), targets)
+
+	// "Interrupt" after half the targets, then resume over the full list.
+	partial := newCrawler(nil).Crawl(context.Background(), targets[:20])
+	resumed := newCrawler(partial)
+	ds := resumed.Crawl(context.Background(), targets)
+
+	if got := resumed.Stats().Resumed; got != 20 {
+		t.Errorf("resumed = %d, want 20", got)
+	}
+	if got := resumed.Stats().Visited; got != 20 {
+		t.Errorf("visited = %d, want 20", got)
+	}
+	want, got := normalizeRecords(t, full), normalizeRecords(t, ds)
+	if len(want) != len(got) {
+		t.Fatalf("record counts differ: %d vs %d", len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Errorf("record %d differs after resume:\nfull:    %s\nresumed: %s",
+				i, want[i], got[i])
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package script
+
+import (
+	"crypto/sha256"
+	"sync"
+	"sync/atomic"
+)
+
+// ParseStats is a point-in-time snapshot of ParseCache counters.
+type ParseStats struct {
+	// Hits are sources answered from the cache; Misses are real parses.
+	Hits   uint64
+	Misses uint64
+	// Coalesced are lookups that joined an in-flight parse of the same
+	// source and shared its result.
+	Coalesced uint64
+	// Entries is the number of distinct sources seen.
+	Entries uint64
+}
+
+type parseEntry struct {
+	done chan struct{}
+	prog *Program
+	err  error
+}
+
+// ParseCache memoizes Parse keyed by source content, so each distinct
+// script body — in a crawl, the handful of shared third-party widget
+// and CDN scripts included by thousands of sites — is parsed exactly
+// once per crawl. Programs are immutable after parsing (the interpreter
+// only reads the AST; per-realm state lives in environments and
+// closures), so a cached *Program is safe to execute concurrently from
+// many realms. Parse failures are cached too: the same source always
+// fails the same way.
+type ParseCache struct {
+	mu      sync.Mutex
+	entries map[[sha256.Size]byte]*parseEntry
+
+	hits, misses, coalesced atomic.Uint64
+}
+
+// NewParseCache creates an empty cache.
+func NewParseCache() *ParseCache {
+	return &ParseCache{entries: map[[sha256.Size]byte]*parseEntry{}}
+}
+
+// Parse returns the cached program for src, parsing it on first sight.
+// Concurrent first sights of the same source are de-duplicated: one
+// caller parses, the rest wait and share the result.
+func (c *ParseCache) Parse(src string) (*Program, error) {
+	sum := sha256.Sum256([]byte(src))
+	c.mu.Lock()
+	if e, ok := c.entries[sum]; ok {
+		c.mu.Unlock()
+		select {
+		case <-e.done:
+			c.hits.Add(1)
+		default:
+			<-e.done
+			c.coalesced.Add(1)
+		}
+		return e.prog, e.err
+	}
+	e := &parseEntry{done: make(chan struct{})}
+	c.entries[sum] = e
+	c.mu.Unlock()
+
+	c.misses.Add(1)
+	e.prog, e.err = Parse(src)
+	close(e.done)
+	return e.prog, e.err
+}
+
+// Stats snapshots the cache counters.
+func (c *ParseCache) Stats() ParseStats {
+	c.mu.Lock()
+	entries := uint64(len(c.entries))
+	c.mu.Unlock()
+	return ParseStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Coalesced: c.coalesced.Load(),
+		Entries:   entries,
+	}
+}

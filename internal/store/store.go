@@ -47,11 +47,22 @@ type SiteRecord struct {
 	// paper's landing-page-only scope; §6.1 lists the restriction as a
 	// limitation).
 	InternalPages []browser.PageResult `json:"internal_pages,omitempty"`
-	Elapsed       time.Duration        `json:"elapsed_ns"`
+	// Retries is how many extra visit attempts transient failures cost
+	// before this record settled (0 when the first attempt stood).
+	Retries int           `json:"retries,omitempty"`
+	Elapsed time.Duration `json:"elapsed_ns"`
 }
 
 // OK reports whether the site was measured successfully.
 func (r SiteRecord) OK() bool { return r.Failure == FailureNone && r.Page != nil }
+
+// Transient reports whether a retry of this failure class could
+// plausibly succeed: timeouts (a slow server may answer within a fresh
+// deadline) and ephemeral mid-body deaths. Unreachable hosts (DNS) and
+// minor protocol garbage are persistent site properties.
+func (f FailureClass) Transient() bool {
+	return f == FailureTimeout || f == FailureEphemeral
+}
 
 // Dataset is an in-memory result set.
 type Dataset struct {
@@ -110,6 +121,32 @@ func ReadJSONL(r io.Reader) (*Dataset, error) {
 		}
 		d.Add(rec)
 	}
+}
+
+// ReadJSONLPartial loads records until EOF or the first decode error,
+// returning everything decoded so far. An interrupted crawl (process
+// killed mid-write) leaves a truncated final line in its JSONL sink;
+// resume loads the complete prefix and re-crawls the rest.
+func ReadJSONLPartial(r io.Reader) *Dataset {
+	d := &Dataset{}
+	dec := json.NewDecoder(bufio.NewReader(r))
+	for {
+		var rec SiteRecord
+		if err := dec.Decode(&rec); err != nil {
+			return d
+		}
+		d.Add(rec)
+	}
+}
+
+// LoadPartialFile reads a possibly-truncated dataset from a file path.
+func LoadPartialFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadJSONLPartial(f), nil
 }
 
 // SaveFile writes the dataset to a file path.

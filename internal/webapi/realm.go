@@ -21,6 +21,10 @@ type Realm struct {
 	// (feeding the fingerprinting observation of §4.1.1).
 	Browser permissions.Browser
 	Version int
+	// ParseScript, when non-nil, replaces script.Parse — the crawl
+	// installs a shared ParseCache here so each distinct script body is
+	// parsed once per crawl instead of once per including frame.
+	ParseScript func(src string) (*script.Program, error)
 
 	handlers map[string][]script.Value
 }
@@ -45,6 +49,13 @@ func NewRealm(doc *policy.Document, frameURL string) *Realm {
 func (r *Realm) RunScript(src, scriptURL string) error {
 	if scriptURL == "" {
 		scriptURL = r.FrameURL
+	}
+	if r.ParseScript != nil {
+		prog, err := r.ParseScript(src)
+		if err != nil {
+			return err
+		}
+		return r.In.RunProgram(prog, scriptURL)
 	}
 	return r.In.Run(src, scriptURL)
 }

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 gate: formatting, vet, build, and the full test suite under the
+# race detector. CI runs this verbatim; `make ci` runs it locally.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+go vet ./...
+go build ./...
+go test -race ./...

@@ -2,7 +2,7 @@
 # GitHub Actions tier-1 gate; `make bench` produces a BENCH_*.json
 # perf artifact.
 
-.PHONY: ci test bench fmt build
+.PHONY: ci test bench benchcmp soak fmt build
 
 ci:
 	./scripts/ci.sh
@@ -12,6 +12,13 @@ test:
 
 bench:
 	./scripts/bench.sh
+
+# make benchcmp BASE=BENCH_old.json CUR=BENCH_local.json
+benchcmp:
+	./scripts/benchcmp.sh $(BASE) $(CUR)
+
+soak:
+	go test -race -v -timeout 20m -run 'TestChaos' ./internal/core/
 
 fmt:
 	gofmt -w .

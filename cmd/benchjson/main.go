@@ -4,13 +4,21 @@
 // machine-readable form.
 //
 //	go test -run '^$' -bench . -benchtime 1x . | benchjson > BENCH_local.json
+//
+// With -compare it instead diffs two such artifacts and fails when any
+// benchmark regressed past the threshold — the CI perf gate:
+//
+//	benchjson -compare -threshold 0.35 BENCH_baseline.json BENCH_current.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -77,7 +85,113 @@ func convert(lines []string) Report {
 	return rep
 }
 
+// Delta is one benchmark's baseline-to-current movement.
+type Delta struct {
+	Name string
+	// Old and New are ns/op; Ratio is New/Old - 1 (positive = slower).
+	Old, New, Ratio float64
+}
+
+// compareReports diffs current against baseline on the ns/op metric.
+// Benchmarks present on only one side are reported by name but never
+// fail the gate: adding or retiring a benchmark is not a regression.
+func compareReports(baseline, current Report) (deltas []Delta, onlyBaseline, onlyCurrent []string) {
+	base := map[string]float64{}
+	for _, r := range baseline.Results {
+		if ns, ok := r.Metrics["ns/op"]; ok && ns > 0 {
+			base[r.Name] = ns
+		}
+	}
+	seen := map[string]bool{}
+	for _, r := range current.Results {
+		seen[r.Name] = true
+		ns, ok := r.Metrics["ns/op"]
+		if !ok || ns <= 0 {
+			continue
+		}
+		old, ok := base[r.Name]
+		if !ok {
+			onlyCurrent = append(onlyCurrent, r.Name)
+			continue
+		}
+		deltas = append(deltas, Delta{Name: r.Name, Old: old, New: ns, Ratio: ns/old - 1})
+	}
+	for name := range base {
+		if !seen[name] {
+			onlyBaseline = append(onlyBaseline, name)
+		}
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Ratio > deltas[j].Ratio })
+	sort.Strings(onlyBaseline)
+	sort.Strings(onlyCurrent)
+	return deltas, onlyBaseline, onlyCurrent
+}
+
+// runCompare executes the gate, writing the verdict to w. It returns
+// the benchmarks that regressed past threshold.
+func runCompare(baseline, current Report, threshold float64, w io.Writer) []Delta {
+	deltas, onlyBase, onlyCur := compareReports(baseline, current)
+	var regressed []Delta
+	for _, d := range deltas {
+		verdict := "ok"
+		if d.Ratio > threshold {
+			verdict = "REGRESSED"
+			regressed = append(regressed, d)
+		}
+		fmt.Fprintf(w, "%-50s %14.0f -> %14.0f ns/op  %+6.1f%%  %s\n",
+			d.Name, d.Old, d.New, 100*d.Ratio, verdict)
+	}
+	for _, name := range onlyCur {
+		fmt.Fprintf(w, "%-50s new benchmark (no baseline)\n", name)
+	}
+	for _, name := range onlyBase {
+		fmt.Fprintf(w, "%-50s missing from current run\n", name)
+	}
+	return regressed
+}
+
+// loadReport reads a benchjson artifact from disk.
+func loadReport(path string) (Report, error) {
+	var rep Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
 func main() {
+	compare := flag.Bool("compare", false, "compare two BENCH_*.json artifacts (baseline current) instead of converting stdin")
+	threshold := flag.Float64("threshold", 0.35, "with -compare: fail when a benchmark's ns/op grew by more than this fraction")
+	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -compare [-threshold f] baseline.json current.json")
+			os.Exit(2)
+		}
+		baseline, err := loadReport(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		current, err := loadReport(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		regressed := runCompare(baseline, current, *threshold, os.Stdout)
+		if len(regressed) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %.0f%%\n",
+				len(regressed), 100**threshold)
+			os.Exit(1)
+		}
+		return
+	}
+
 	var lines []string
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)

@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestParseLine(t *testing.T) {
 	r, ok := parseLine("BenchmarkCrawlCached \t       1\t25215013219 ns/op\t     36565 fetches/op\t        28.00 parses/op")
@@ -44,5 +47,70 @@ func TestConvert(t *testing.T) {
 	}
 	if rep.Results[0].Name != "BenchmarkTable2_Characteristics-8" || rep.Results[0].Iterations != 8126787 {
 		t.Errorf("first result = %+v", rep.Results[0])
+	}
+}
+
+// report builds a Report with the given name → ns/op pairs.
+func report(nsop map[string]float64) Report {
+	rep := Report{}
+	for name, ns := range nsop {
+		rep.Results = append(rep.Results, Result{Name: name, Iterations: 1, Metrics: map[string]float64{"ns/op": ns}})
+	}
+	return rep
+}
+
+func TestCompareReports(t *testing.T) {
+	baseline := report(map[string]float64{"BenchA": 100, "BenchB": 200, "BenchGone": 50})
+	current := report(map[string]float64{"BenchA": 110, "BenchB": 400, "BenchNew": 75})
+
+	deltas, onlyBase, onlyCur := compareReports(baseline, current)
+	if len(deltas) != 2 {
+		t.Fatalf("deltas = %+v", deltas)
+	}
+	// Sorted worst-first: BenchB doubled, BenchA grew 10%.
+	if deltas[0].Name != "BenchB" || deltas[0].Ratio != 1.0 {
+		t.Errorf("worst delta = %+v", deltas[0])
+	}
+	if deltas[1].Name != "BenchA" || deltas[1].Ratio < 0.099 || deltas[1].Ratio > 0.101 {
+		t.Errorf("second delta = %+v", deltas[1])
+	}
+	if len(onlyBase) != 1 || onlyBase[0] != "BenchGone" {
+		t.Errorf("onlyBaseline = %v", onlyBase)
+	}
+	if len(onlyCur) != 1 || onlyCur[0] != "BenchNew" {
+		t.Errorf("onlyCurrent = %v", onlyCur)
+	}
+}
+
+func TestRunCompareGate(t *testing.T) {
+	baseline := report(map[string]float64{"BenchA": 100, "BenchB": 200})
+
+	// Inside tolerance: nothing regresses, new/missing benchmarks never
+	// fail the gate.
+	var out strings.Builder
+	ok := report(map[string]float64{"BenchA": 120, "BenchNew": 999})
+	if reg := runCompare(baseline, ok, 0.35, &out); len(reg) != 0 {
+		t.Errorf("within-threshold run flagged: %+v", reg)
+	}
+	if !strings.Contains(out.String(), "new benchmark") || !strings.Contains(out.String(), "missing from current") {
+		t.Errorf("report omits added/removed benchmarks:\n%s", out.String())
+	}
+
+	// Past tolerance: the slow benchmark is flagged.
+	out.Reset()
+	bad := report(map[string]float64{"BenchA": 100, "BenchB": 300})
+	reg := runCompare(baseline, bad, 0.35, &out)
+	if len(reg) != 1 || reg[0].Name != "BenchB" {
+		t.Fatalf("regressions = %+v", reg)
+	}
+	if !strings.Contains(out.String(), "REGRESSED") {
+		t.Errorf("report omits the verdict:\n%s", out.String())
+	}
+
+	// An improvement is never a regression.
+	out.Reset()
+	fast := report(map[string]float64{"BenchA": 10, "BenchB": 20})
+	if reg := runCompare(baseline, fast, 0.35, &out); len(reg) != 0 {
+		t.Errorf("improvement flagged: %+v", reg)
 	}
 }

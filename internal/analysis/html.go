@@ -54,7 +54,7 @@ p.meta { color: #4a5568; }
 
 	// Failures.
 	var failRows [][]string
-	for _, class := range []string{"ok", "unreachable", "timeout", "ephemeral", "minor", "excluded"} {
+	for _, class := range []string{"ok", "partial", "unreachable", "timeout", "ephemeral", "minor", "excluded", "breaker-open"} {
 		if n, ok := d.Failures[storeClass(class)]; ok {
 			failRows = append(failRows, []string{class, d2(n)})
 		}

@@ -14,6 +14,7 @@ type ReportData struct {
 	Websites     int                        `json:"websites"`
 	TotalRecords int                        `json:"total_records"`
 	Failures     map[store.FailureClass]int `json:"failures"`
+	Retries      RetryStats                 `json:"retry_outcomes"`
 	Frames       FrameStats                 `json:"frames"`
 	Table3       []SiteCount                `json:"table3_top_embeds"`
 	Table3Total  int                        `json:"table3_total_any_site"`
@@ -57,6 +58,7 @@ func (a *Analysis) ReportData(topN int) ReportData {
 		Websites:     a.Websites(),
 		TotalRecords: a.TotalRecords(),
 		Failures:     a.FailureTaxonomy(),
+		Retries:      a.RetryOutcomes(),
 		Frames:       a.Frames(),
 	}
 	d.Table3, d.Table3Total = a.Table3TopEmbeds(topN)

@@ -255,6 +255,11 @@ func (a *Analysis) FullReport() string {
 	b.WriteString(RenderFailures(a.FailureTaxonomy()).String())
 	b.WriteByte('\n')
 
+	if rt := a.RetryOutcomes(); rt.RetriedSites > 0 {
+		b.WriteString(RenderRetryTable(rt).String())
+		b.WriteByte('\n')
+	}
+
 	fs := a.Frames()
 	fmt.Fprintf(&b, "Frames: %d total (%d top-level, %d embedded: %.1f%% local / %.1f%% external)\n",
 		fs.TotalFrames, fs.TopLevelFrames, fs.EmbeddedFrames,

@@ -36,6 +36,10 @@ type Options struct {
 	// realm this browser creates, so a shared third-party script body is
 	// parsed once per crawl rather than once per including frame.
 	ScriptCache *script.ParseCache
+	// StaticCache, when non-nil, memoizes the static analyzer's pattern
+	// scan by script content, so identical widget scripts are scanned
+	// once per crawl instead of once per including frame.
+	StaticCache *static.Cache
 }
 
 // DefaultOptions mirror the paper's crawler configuration.
@@ -112,6 +116,9 @@ type FrameResult struct {
 	ScriptErrors []string
 	// LoadError is set when the frame document could not be fetched.
 	LoadError string
+	// BodyTruncated reports that the frame document exceeded the
+	// fetcher's body budget and only a prefix was analyzed.
+	BodyTruncated bool
 }
 
 // PageResult is one visited website.
@@ -179,6 +186,7 @@ func (b *Browser) newFrameResult(frameURL string, resp *Response, parent *FrameR
 		return fr
 	}
 	fr.FinalURL = resp.FinalURL
+	fr.BodyTruncated = resp.BodyTruncated
 	if o, err := origin.Parse(resp.FinalURL); err == nil {
 		fr.Origin = o.String()
 		fr.Site = o.Site()
@@ -260,7 +268,11 @@ func (b *Browser) processDocument(ctx context.Context, result *PageResult, slot 
 		}
 		// Static analysis over the same sources (§3.1.1: both approaches
 		// capture inline and external scripts).
-		fr.StaticFindings = append(fr.StaticFindings, b.static.Analyze(src, urlStr)...)
+		if b.Opts.StaticCache != nil {
+			fr.StaticFindings = append(fr.StaticFindings, b.Opts.StaticCache.Analyze(src, urlStr)...)
+		} else {
+			fr.StaticFindings = append(fr.StaticFindings, b.static.Analyze(src, urlStr)...)
+		}
 		if err := realm.RunScript(src, urlStr); err != nil {
 			fr.ScriptErrors = append(fr.ScriptErrors, err.Error())
 		}

@@ -5,6 +5,8 @@ import (
 	"crypto/sha256"
 	"sync"
 	"sync/atomic"
+
+	"permodyssey/internal/lru"
 )
 
 // CacheStats is a point-in-time snapshot of CachingFetcher counters.
@@ -22,6 +24,8 @@ type CacheStats struct {
 	Bypassed uint64
 	// Errors are inner fetches that failed; failures are never cached.
 	Errors uint64
+	// Evictions are entries dropped to keep the cache under MaxEntries.
+	Evictions uint64
 	// Entries is the number of cached URLs; UniqueBodies the number of
 	// distinct response bodies behind them (content addressing shares
 	// identical bodies served under different URLs).
@@ -37,6 +41,20 @@ type inflightFetch struct {
 	done chan struct{}
 	resp *Response
 	err  error
+}
+
+// cacheEntry pairs a cached response with its body's content hash so
+// eviction can release the interned body.
+type cacheEntry struct {
+	resp *Response
+	sum  [sha256.Size]byte
+}
+
+// internedBody is one content-addressed body with its reference count
+// across cache entries.
+type internedBody struct {
+	body string
+	refs int
 }
 
 // CachingFetcher wraps a Fetcher with a concurrency-safe, URL-keyed
@@ -55,6 +73,10 @@ type inflightFetch struct {
 // own context. Bodies are interned by content hash, so identical bodies
 // served under different URLs are stored once.
 //
+// MaxEntries bounds the cache with LRU eviction (0 = unbounded), so a
+// multi-million-site crawl cannot grow it without limit; evicting the
+// last entry referencing an interned body releases the body too.
+//
 // Cached *Response values are shared between callers and must be
 // treated as read-only, like MapFetcher entries.
 type CachingFetcher struct {
@@ -66,20 +88,28 @@ type CachingFetcher struct {
 	Cacheable func(rawURL string) bool
 
 	mu       sync.Mutex
-	entries  map[string]*Response
-	bodies   map[[sha256.Size]byte]string
+	entries  *lru.Cache[string, cacheEntry]
+	bodies   map[[sha256.Size]byte]*internedBody
 	inflight map[string]*inflightFetch
 
 	hits, misses, coalesced, bypassed, errors atomic.Uint64
+	evictions                                 atomic.Uint64
 	dedupedBytes                              atomic.Uint64
 }
 
-// NewCachingFetcher wraps inner with an empty cache.
+// NewCachingFetcher wraps inner with an empty, unbounded cache; use
+// NewBoundedCachingFetcher to cap it.
 func NewCachingFetcher(inner Fetcher) *CachingFetcher {
+	return NewBoundedCachingFetcher(inner, 0)
+}
+
+// NewBoundedCachingFetcher wraps inner with a cache holding at most
+// maxEntries URLs (<= 0 = unbounded), evicted least-recently-used.
+func NewBoundedCachingFetcher(inner Fetcher, maxEntries int) *CachingFetcher {
 	return &CachingFetcher{
 		Inner:    inner,
-		entries:  map[string]*Response{},
-		bodies:   map[[sha256.Size]byte]string{},
+		entries:  lru.New[string, cacheEntry](maxEntries),
+		bodies:   map[[sha256.Size]byte]*internedBody{},
 		inflight: map[string]*inflightFetch{},
 	}
 }
@@ -92,10 +122,10 @@ func (c *CachingFetcher) Fetch(ctx context.Context, rawURL string) (*Response, e
 	}
 	for {
 		c.mu.Lock()
-		if r, ok := c.entries[rawURL]; ok {
+		if e, ok := c.entries.Get(rawURL); ok {
 			c.mu.Unlock()
 			c.hits.Add(1)
-			return r, nil
+			return e.resp, nil
 		}
 		if fl, ok := c.inflight[rawURL]; ok {
 			c.mu.Unlock()
@@ -123,8 +153,12 @@ func (c *CachingFetcher) Fetch(ctx context.Context, rawURL string) (*Response, e
 		c.mu.Lock()
 		delete(c.inflight, rawURL)
 		if err == nil {
-			resp.Body = c.internLocked(resp.Body)
-			c.entries[rawURL] = resp
+			var sum [sha256.Size]byte
+			resp.Body, sum = c.internLocked(resp.Body)
+			if _, old, evicted := c.entries.Add(rawURL, cacheEntry{resp: resp, sum: sum}); evicted {
+				c.releaseLocked(old.sum)
+				c.evictions.Add(1)
+			}
 		}
 		c.mu.Unlock()
 		if err != nil {
@@ -136,22 +170,33 @@ func (c *CachingFetcher) Fetch(ctx context.Context, rawURL string) (*Response, e
 	}
 }
 
-// internLocked returns the canonical stored copy of body, deduplicating
-// identical bodies by content hash. Callers hold c.mu.
-func (c *CachingFetcher) internLocked(body string) string {
+// internLocked returns the canonical stored copy of body and its hash,
+// deduplicating identical bodies by content. Callers hold c.mu.
+func (c *CachingFetcher) internLocked(body string) (string, [sha256.Size]byte) {
 	sum := sha256.Sum256([]byte(body))
 	if stored, ok := c.bodies[sum]; ok {
 		c.dedupedBytes.Add(uint64(len(body)))
-		return stored
+		stored.refs++
+		return stored.body, sum
 	}
-	c.bodies[sum] = body
-	return body
+	c.bodies[sum] = &internedBody{body: body, refs: 1}
+	return body, sum
+}
+
+// releaseLocked drops one reference to an interned body, deleting it
+// with the last referencing cache entry. Callers hold c.mu.
+func (c *CachingFetcher) releaseLocked(sum [sha256.Size]byte) {
+	if stored, ok := c.bodies[sum]; ok {
+		if stored.refs--; stored.refs <= 0 {
+			delete(c.bodies, sum)
+		}
+	}
 }
 
 // Stats snapshots the cache counters.
 func (c *CachingFetcher) Stats() CacheStats {
 	c.mu.Lock()
-	entries, unique := uint64(len(c.entries)), uint64(len(c.bodies))
+	entries, unique := uint64(c.entries.Len()), uint64(len(c.bodies))
 	c.mu.Unlock()
 	return CacheStats{
 		Hits:         c.hits.Load(),
@@ -159,6 +204,7 @@ func (c *CachingFetcher) Stats() CacheStats {
 		Coalesced:    c.coalesced.Load(),
 		Bypassed:     c.bypassed.Load(),
 		Errors:       c.errors.Load(),
+		Evictions:    c.evictions.Load(),
 		Entries:      entries,
 		UniqueBodies: unique,
 		DedupedBytes: c.dedupedBytes.Load(),

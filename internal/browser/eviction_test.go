@@ -1,0 +1,98 @@
+package browser
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// TestCachingFetcherEviction: a bounded cache holds at most MaxEntries
+// URLs, evicts least-recently-used, and re-fetches evicted URLs.
+func TestCachingFetcherEviction(t *testing.T) {
+	inner := &countingFetcher{}
+	c := NewBoundedCachingFetcher(inner, 2)
+	ctx := context.Background()
+
+	for _, u := range []string{"https://a.test/", "https://b.test/", "https://c.test/"} {
+		if _, err := c.Fetch(ctx, u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := c.Stats()
+	if s.Entries != 2 || s.Evictions != 1 {
+		t.Fatalf("want 2 entries and 1 eviction, got %+v", s)
+	}
+
+	// a.test was evicted (least recently used): fetching it again is a
+	// real fetch; c.test is still a hit.
+	calls := inner.calls.Load()
+	if _, err := c.Fetch(ctx, "https://c.test/"); err != nil {
+		t.Fatal(err)
+	}
+	if inner.calls.Load() != calls {
+		t.Error("recently-used entry was evicted")
+	}
+	if _, err := c.Fetch(ctx, "https://a.test/"); err != nil {
+		t.Fatal(err)
+	}
+	if inner.calls.Load() != calls+1 {
+		t.Error("evicted entry served from cache")
+	}
+}
+
+// TestCachingFetcherEvictionReleasesBodies: evicting the last URL
+// referencing an interned body frees the body; shared bodies survive
+// until their last referencing entry goes.
+func TestCachingFetcherEvictionReleasesBodies(t *testing.T) {
+	inner := &countingFetcher{} // body is "body of <url>": unique per URL
+	c := NewBoundedCachingFetcher(inner, 3)
+	ctx := context.Background()
+
+	for i := 0; i < 10; i++ {
+		if _, err := c.Fetch(ctx, fmt.Sprintf("https://u%d.test/", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := c.Stats()
+	if s.Entries != 3 {
+		t.Fatalf("entries = %d, want 3", s.Entries)
+	}
+	if s.UniqueBodies != 3 {
+		t.Fatalf("unique bodies = %d, want 3 (evicted bodies must be released)", s.UniqueBodies)
+	}
+	if s.Evictions != 7 {
+		t.Fatalf("evictions = %d, want 7", s.Evictions)
+	}
+}
+
+// sameBodyFetcher serves the identical body for every URL, so every
+// cache entry aliases one interned body.
+type sameBodyFetcher struct{}
+
+func (sameBodyFetcher) Fetch(_ context.Context, rawURL string) (*Response, error) {
+	return &Response{Status: 200, Body: "shared body", FinalURL: rawURL}, nil
+}
+
+// TestCachingFetcherSharedBodySurvivesPartialEviction: an interned body
+// referenced by several entries is only freed when the last of them is
+// evicted.
+func TestCachingFetcherSharedBodySurvivesPartialEviction(t *testing.T) {
+	c := NewBoundedCachingFetcher(sameBodyFetcher{}, 2)
+	ctx := context.Background()
+
+	for _, u := range []string{"https://a.test/", "https://b.test/", "https://c.test/"} {
+		if _, err := c.Fetch(ctx, u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One eviction happened, but b and c still reference the body.
+	s := c.Stats()
+	if s.Evictions != 1 || s.UniqueBodies != 1 {
+		t.Fatalf("want 1 eviction with the shared body retained, got %+v", s)
+	}
+	// A cached entry still serves the body.
+	resp, err := c.Fetch(ctx, "https://c.test/")
+	if err != nil || resp.Body != "shared body" {
+		t.Fatalf("cached shared body lost: %q, %v", resp.Body, err)
+	}
+}

@@ -24,6 +24,10 @@ type Response struct {
 	Header   http.Header
 	Body     string
 	FinalURL string // after redirects
+	// BodyTruncated reports that the server offered more bytes than the
+	// fetcher's MaxBodyBytes budget and Body holds only the prefix. The
+	// crawler records such visits as degraded rather than failed.
+	BodyTruncated bool
 }
 
 // Fetcher retrieves resources. The crawler plugs in an HTTP client
@@ -69,15 +73,22 @@ func (f *HTTPFetcher) Fetch(ctx context.Context, rawURL string) (*Response, erro
 	if limit <= 0 {
 		limit = 4 << 20
 	}
-	body, err := io.ReadAll(io.LimitReader(resp.Body, limit))
+	// Read one byte past the budget so truncation is detectable rather
+	// than silent.
+	body, err := io.ReadAll(io.LimitReader(resp.Body, limit+1))
 	if err != nil {
 		return nil, fmt.Errorf("reading %s: %w", rawURL, err)
 	}
+	truncated := int64(len(body)) > limit
+	if truncated {
+		body = body[:limit]
+	}
 	return &Response{
-		Status:   resp.StatusCode,
-		Header:   resp.Header,
-		Body:     string(body),
-		FinalURL: resp.Request.URL.String(),
+		Status:        resp.StatusCode,
+		Header:        resp.Header,
+		Body:          string(body),
+		FinalURL:      resp.Request.URL.String(),
+		BodyTruncated: truncated,
 	}, nil
 }
 

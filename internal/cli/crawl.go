@@ -11,8 +11,10 @@ import (
 	"time"
 
 	"permodyssey/internal/core"
+	"permodyssey/internal/crawler"
 	"permodyssey/internal/policy"
 	"permodyssey/internal/store"
+	"permodyssey/internal/synthweb"
 )
 
 // Crawl is the permcrawl command.
@@ -31,8 +33,17 @@ func Crawl(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	follow := fs.Int("follow-links", 0, "visit up to N same-site internal pages per site (lifts the §6.1 landing-page limitation)")
 	retries := fs.Int("retries", 1, "retry transient failures (timeout, ephemeral) up to N extra attempts with exponential backoff")
 	backoff := fs.Duration("retry-backoff", 100*time.Millisecond, "base delay before the first retry (doubles per attempt)")
-	noCache := fs.Bool("no-cache", false, "disable the shared fetch and script-parse caches")
+	noCache := fs.Bool("no-cache", false, "disable the shared fetch, script-parse, and static-findings caches")
+	cacheEntries := fs.Int("cache-entries", 0, "cap each shared cache at N entries, evicted LRU (0 = unbounded)")
 	resume := fs.Bool("resume", false, "load an existing -out dataset, skip its completed ranks, and append the rest")
+	chaos := fs.Bool("chaos", false, "inject deterministic faults into the synthetic web (resets, slow-loris, malformed headers, redirect loops, flapping hosts, oversized bodies)")
+	chaosSeed := fs.Int64("chaos-seed", 0, "fault-assignment seed (0 = population seed)")
+	chaosRate := fs.Float64("chaos-rate", 0.08, "fraction of healthy sites given a fault")
+	chaosSubRate := fs.Float64("chaos-subresource-rate", 0.10, "fraction of shared widget/CDN hosts that reset mid-body")
+	chaosFaults := fs.String("chaos-faults", "", "comma-separated fault kinds to inject (default all: reset,slow-loris,malformed-header,oversized-header,redirect-loop,flap,oversized-body)")
+	breakerN := fs.Int("breaker-threshold", 5, "consecutive per-host failures before the circuit breaker opens (0 = breaker off)")
+	breakerCooldown := fs.Duration("breaker-cooldown", 500*time.Millisecond, "how long an open circuit waits before half-open probing")
+	maxBody := fs.Int64("max-body", 0, "cap fetched bodies at N bytes; oversized pages become partial records (0 = 4 MiB default)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -46,7 +57,25 @@ func Crawl(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	opts.Crawl.MaxRetries = *retries
 	opts.Crawl.RetryBackoff = *backoff
 	opts.DisableCache = *noCache
+	opts.CacheEntries = *cacheEntries
 	opts.StallTime = 2 * *timeout
+	if *chaos {
+		cc := synthweb.DefaultChaosConfig()
+		cc.Seed = *chaosSeed
+		cc.SiteRate = *chaosRate
+		cc.SubresourceRate = *chaosSubRate
+		if *chaosFaults != "" {
+			kinds, err := synthweb.ParseFaultList(*chaosFaults)
+			if err != nil {
+				fmt.Fprintln(stderr, "permcrawl:", err)
+				return 2
+			}
+			cc.Kinds = kinds
+		}
+		opts.Web.Chaos = cc
+	}
+	opts.Breaker = crawler.BreakerConfig{Threshold: *breakerN, Cooldown: *breakerCooldown}
+	opts.MaxBodyBytes = *maxBody
 	opts.BrowserOpts.Interact = *interact
 	opts.BrowserOpts.ScrollLazyIframes = !*noLazy
 	if *expected {

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"regexp"
+	"strconv"
+	"testing"
+	"time"
+
+	"permodyssey/internal/crawler"
+	"permodyssey/internal/store"
+	"permodyssey/internal/synthweb"
+)
+
+// chaosSoakOptions is the shared configuration of the soak tests: every
+// fault kind enabled at an aggressive rate over a population large
+// enough that each kind appears, with retries and the breaker on.
+func chaosSoakOptions(sites int) MeasurementOptions {
+	opts := DefaultMeasurementOptions()
+	opts.Web.NumSites = sites
+	opts.Web.Seed = 11
+	opts.Web.Chaos = synthweb.ChaosConfig{
+		Enabled:         true,
+		SiteRate:        0.25,
+		SubresourceRate: 0.15,
+		FlapFailures:    2,
+		DripDelay:       30 * time.Millisecond,
+		OversizeBytes:   512 << 10,
+	}
+	opts.Crawl.Workers = 24
+	opts.Crawl.PerSiteTimeout = 300 * time.Millisecond
+	opts.Crawl.MaxRetries = 3
+	opts.Crawl.RetryBackoff = 30 * time.Millisecond
+	opts.StallTime = 600 * time.Millisecond
+	// Threshold low enough that a flapping host's own failures trip its
+	// circuit before the flap recovers.
+	opts.Breaker = crawler.BreakerConfig{Threshold: 2, Cooldown: 20 * time.Millisecond}
+	opts.MaxBodyBytes = 128 << 10
+	opts.CacheEntries = 512
+	return opts
+}
+
+// soakSites returns the soak population size (PERMODYSSEY_SOAK_SITES
+// overrides the 600 default; the chaos contract is exercised from 500
+// up).
+func soakSites(t *testing.T) int {
+	if s := os.Getenv("PERMODYSSEY_SOAK_SITES"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 500 {
+			t.Fatalf("PERMODYSSEY_SOAK_SITES=%q: want an integer >= 500", s)
+		}
+		return n
+	}
+	return 600
+}
+
+// TestChaosSoak crawls a fault-saturated population end to end and
+// checks the robustness contract: no panic escapes, every site yields
+// exactly one record, the outcome buckets partition the dataset, retry
+// accounting reconciles between records, crawler stats, and the
+// analysis table, and the circuit breaker demonstrably tripped and
+// half-open-probed its way back.
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	sites := soakSites(t)
+	opts := chaosSoakOptions(sites)
+	m, err := Run(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, stats := m.Dataset, m.Stats
+
+	// One record per site, no losses, no panics.
+	if len(ds.Records) != sites {
+		t.Fatalf("records: %d, want %d", len(ds.Records), sites)
+	}
+	if stats.Crawl.Panics != 0 {
+		t.Errorf("crawl panicked %d times", stats.Crawl.Panics)
+	}
+	if stats.Crawl.Visited != sites {
+		t.Errorf("visited %d, want %d", stats.Crawl.Visited, sites)
+	}
+
+	// The outcome buckets partition the dataset: ok + partial + every
+	// failure class sums to the record count.
+	counts := ds.FailureCounts()
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != len(ds.Records) {
+		t.Errorf("FailureCounts sum to %d of %d records: %v", total, len(ds.Records), counts)
+	}
+	t.Logf("outcomes: %v", counts)
+	if counts["ok"] == 0 || counts["partial"] == 0 {
+		t.Errorf("want both clean and partial successes, got %v", counts)
+	}
+	// Faults must actually hurt: ephemeral (resets), timeout
+	// (slow-loris), and minor (malformed/oversized headers, redirect
+	// loops) all appear even after retries.
+	for _, class := range []store.FailureClass{store.FailureEphemeral, store.FailureTimeout, store.FailureMinor} {
+		if counts[class] == 0 {
+			t.Errorf("failure class %q never survived retries; chaos too gentle: %v", class, counts)
+		}
+	}
+
+	// Retry accounting reconciles: per-record Retries sum to the
+	// crawler's counter, and the analysis table sums to both.
+	recRetries := 0
+	for _, r := range ds.Records {
+		if r.Retries > 0 && r.FirstAttemptFailure == store.FailureNone {
+			t.Errorf("rank %d: %d retries but no FirstAttemptFailure", r.Rank, r.Retries)
+		}
+		if r.Retries == 0 && r.FirstAttemptFailure != store.FailureNone {
+			t.Errorf("rank %d: FirstAttemptFailure %q without retries", r.Rank, r.FirstAttemptFailure)
+		}
+		recRetries += r.Retries
+	}
+	if recRetries != stats.Crawl.Retries {
+		t.Errorf("record retries %d != crawler retries %d", recRetries, stats.Crawl.Retries)
+	}
+	rt := m.Analysis.RetryOutcomes()
+	if rt.TotalRetries != stats.Crawl.Retries {
+		t.Errorf("retry table total %d != crawler retries %d", rt.TotalRetries, stats.Crawl.Retries)
+	}
+	rowSites, rowRetries := 0, 0
+	for _, row := range rt.Rows {
+		rowSites += row.Sites
+		rowRetries += row.RetriesSpent
+		if row.Recovered+row.Stuck != row.Sites {
+			t.Errorf("retry row %q: recovered %d + stuck %d != sites %d",
+				row.FirstFailure, row.Recovered, row.Stuck, row.Sites)
+		}
+	}
+	if rowSites != rt.RetriedSites || rowRetries != rt.TotalRetries {
+		t.Errorf("retry rows sum to %d sites / %d retries, want %d / %d",
+			rowSites, rowRetries, rt.RetriedSites, rt.TotalRetries)
+	}
+	if rt.RetriedSites == 0 || rt.Recovered == 0 {
+		t.Errorf("want retried and recovered sites under chaos, got %+v", rt)
+	}
+	t.Logf("retries: %d sites retried, %d recovered, %d attempts", rt.RetriedSites, rt.Recovered, rt.TotalRetries)
+
+	// The breaker must have tripped on a flapping or dead host and
+	// half-open-probed afterwards.
+	if stats.Breaker.Trips == 0 {
+		t.Errorf("breaker never tripped: %+v", stats.Breaker)
+	}
+	if stats.Breaker.HalfOpenProbes == 0 {
+		t.Errorf("breaker never half-open probed: %+v", stats.Breaker)
+	}
+	t.Logf("breaker: %+v", stats.Breaker)
+
+	// Partial records carry their reasons; clean ones carry none.
+	for _, r := range ds.Records {
+		if r.Partial != (len(r.DegradedReasons) > 0) {
+			t.Errorf("rank %d: Partial=%v with reasons %v", r.Rank, r.Partial, r.DegradedReasons)
+		}
+	}
+}
+
+// TestChaosResumeEquivalence: interrupting a chaotic crawl and resuming
+// it converges to the same dataset as one uninterrupted run — fault
+// injection is deterministic per (seed, rank) and subresource faults
+// are stateless, so record contents cannot depend on visit scheduling.
+// The timing-driven outcomes (slow-loris, stall-class timeouts) are
+// excluded: their *classification* is stable, but they would make the
+// comparison race the scheduler; the deterministic faults — resets,
+// malformed and oversized headers, redirect loops, flapping hosts,
+// oversized bodies — are the ones whose statefulness could plausibly
+// break resume, and they are all on.
+func TestChaosResumeEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	const sites = 150
+	opts := chaosSoakOptions(sites)
+	opts.Web.NumSites = sites
+	opts.Web.TimeoutRate = 0
+	opts.Web.Chaos.Kinds = []synthweb.Fault{
+		synthweb.FaultReset, synthweb.FaultMalformedHeader, synthweb.FaultOversizedHeader,
+		synthweb.FaultRedirectLoop, synthweb.FaultFlap, synthweb.FaultOversizedBody,
+	}
+	opts.Crawl.PerSiteTimeout = 5 * time.Second
+
+	// Each run gets a fresh server (flap counters restart at zero, like
+	// a crawler process restarting against the live web) and a fresh
+	// stack (caches and breaker state are per-process too).
+	run := func(resume *store.Dataset, only int) *store.Dataset {
+		srv := synthweb.NewServer(opts.Web)
+		srv.StallTime = opts.StallTime
+		if err := srv.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		o := opts
+		o.Crawl.Resume = resume
+		stack := newCrawlStack(srv, o)
+		return stack.crawler.Crawl(context.Background(), stack.targets[:only])
+	}
+
+	full := run(nil, sites)
+	firstHalf := run(nil, sites/2)
+	resumed := run(firstHalf, sites)
+
+	if len(resumed.Records) != len(full.Records) {
+		t.Fatalf("resumed records %d != full %d", len(resumed.Records), len(full.Records))
+	}
+	for i := range full.Records {
+		a, b := normalizeChaosRecord(t, full.Records[i]), normalizeChaosRecord(t, resumed.Records[i])
+		if a != b {
+			t.Errorf("rank %d differs between full and resumed run:\n full:    %s\n resumed: %s",
+				full.Records[i].Rank, a, b)
+		}
+	}
+}
+
+// addrPattern matches the ephemeral host:port pairs net errors embed
+// ("read tcp 127.0.0.1:35194->127.0.0.1:38063: ..."): connection
+// noise, different on every run.
+var addrPattern = regexp.MustCompile(`127\.0\.0\.1:\d+`)
+
+// normalizeChaosRecord strips wall-clock noise (Elapsed, the ephemeral
+// ports inside net error strings) and serializes the rest for
+// comparison. Failure class, error taxonomy, page content, retry
+// counts, partial markers, and degraded reasons must all be
+// schedule-independent.
+func normalizeChaosRecord(t *testing.T, r store.SiteRecord) string {
+	t.Helper()
+	r.Elapsed = 0
+	r.Error = addrPattern.ReplaceAllString(r.Error, "127.0.0.1:0")
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}

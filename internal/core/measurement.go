@@ -18,6 +18,7 @@ import (
 	"permodyssey/internal/browser"
 	"permodyssey/internal/crawler"
 	"permodyssey/internal/script"
+	"permodyssey/internal/static"
 	"permodyssey/internal/store"
 	"permodyssey/internal/synthweb"
 )
@@ -33,13 +34,26 @@ type MeasurementOptions struct {
 	// StallTime is how long timeout-class sites hang (must exceed the
 	// crawl deadline to be classified as timeouts).
 	StallTime time.Duration
-	// DisableCache turns off the shared fetch and script-parse caches.
-	// They are on by default: per-site documents bypass the fetch cache
-	// (each site is visited once), while cross-origin widget documents
-	// and CDN scripts — fetched for thousands of sites — are served from
-	// it, and each distinct script body is parsed once per crawl.
+	// DisableCache turns off the shared fetch, script-parse, and
+	// static-findings caches. They are on by default: per-site documents
+	// bypass the fetch cache (each site is visited once), while
+	// cross-origin widget documents and CDN scripts — fetched for
+	// thousands of sites — are served from it, each distinct script body
+	// is parsed once per crawl, and its pattern scan runs once per crawl.
 	// Caching is observationally transparent (TestCrawlDeterminism).
 	DisableCache bool
+	// CacheEntries caps each cache (fetch responses, parsed programs,
+	// static findings) at this many entries, evicted LRU. 0 = unbounded.
+	CacheEntries int
+	// Breaker enables the per-host circuit breaker between the fetch
+	// cache and the network when Threshold > 0: a host that fails
+	// Threshold times in a row is refused (FailureBreakerOpen) until the
+	// Cooldown passes and a half-open probe succeeds.
+	Breaker crawler.BreakerConfig
+	// MaxBodyBytes caps fetched response bodies; oversized bodies are
+	// truncated and their records marked Partial. 0 = the fetcher's
+	// 4 MiB default.
+	MaxBodyBytes int64
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
 }
@@ -48,9 +62,11 @@ type MeasurementOptions struct {
 // fetch cache saved, what the parse cache saved, and what the crawler
 // retried or resumed.
 type CrawlStats struct {
-	Fetch browser.CacheStats
-	Parse script.ParseStats
-	Crawl crawler.Stats
+	Fetch   browser.CacheStats
+	Parse   script.ParseStats
+	Static  static.CacheStats
+	Crawl   crawler.Stats
+	Breaker crawler.BreakerStats
 }
 
 // DefaultMeasurementOptions mirrors the paper's setup, scaled down.
@@ -92,58 +108,108 @@ func Run(ctx context.Context, opts MeasurementOptions) (*Measurement, error) {
 	defer srv.Close()
 	logf("synthetic web: %d sites on %s (seed %d)", opts.Web.NumSites, srv.Addr(), opts.Web.Seed)
 
-	var fetcher browser.Fetcher = browser.NewHTTPFetcher(srv.Client(0))
-	var cache *browser.CachingFetcher
-	targets := make([]crawler.Target, 0, opts.Web.NumSites)
-	siteHosts := make(map[string]bool, opts.Web.NumSites)
-	for _, s := range srv.Sites() {
-		targets = append(targets, crawler.Target{Rank: s.Rank, URL: s.URL()})
-		siteHosts[s.Host] = true
-	}
-	if !opts.DisableCache {
-		cache = browser.NewCachingFetcher(fetcher)
-		// Per-site documents (landing and internal pages) are fetched
-		// once each — bypass them so cache memory stays bounded by the
-		// shared widget/CDN population.
-		cache.Cacheable = func(rawURL string) bool {
-			u, err := url.Parse(rawURL)
-			if err != nil {
-				return false
-			}
-			return !siteHosts[u.Hostname()]
-		}
-		fetcher = cache
-		opts.BrowserOpts.ScriptCache = script.NewParseCache()
-	}
-	b := browser.New(fetcher, opts.BrowserOpts)
-	c := crawler.New(b, opts.Crawl)
+	stack := newCrawlStack(srv, opts)
 
-	logf("crawling %d sites with %d workers...", len(targets), opts.Crawl.Workers)
-	ds := c.Crawl(ctx, targets)
+	logf("crawling %d sites with %d workers...", len(stack.targets), opts.Crawl.Workers)
+	ds := stack.crawler.Crawl(ctx, stack.targets)
 
 	m := &Measurement{
 		Dataset:  ds,
 		Analysis: analysis.New(ds),
 		Elapsed:  time.Since(start),
-	}
-	m.Stats.Crawl = c.Stats()
-	if cache != nil {
-		m.Stats.Fetch = cache.Stats()
-		m.Stats.Parse = opts.BrowserOpts.ScriptCache.Stats()
+		Stats:    stack.stats(),
 	}
 	logf("crawl finished in %s: %v", m.Elapsed.Round(time.Millisecond), ds.FailureCounts())
 	logf("%s", m.Stats.Summary())
 	return m, nil
 }
 
+// crawlStack is the assembled fetch/browse/crawl pipeline over one
+// synthetic-web server: HTTP fetcher → circuit breaker → shared cache →
+// browser → crawler, with the observability counters of each layer.
+type crawlStack struct {
+	crawler *crawler.Crawler
+	targets []crawler.Target
+
+	cache       *browser.CachingFetcher
+	breaker     *crawler.BreakerFetcher
+	scriptCache *script.ParseCache
+	staticCache *static.Cache
+}
+
+// newCrawlStack builds the pipeline the measurement options describe
+// against an already-started server.
+func newCrawlStack(srv *synthweb.Server, opts MeasurementOptions) *crawlStack {
+	st := &crawlStack{}
+	httpf := browser.NewHTTPFetcher(srv.Client(0))
+	if opts.MaxBodyBytes > 0 {
+		httpf.MaxBodyBytes = opts.MaxBodyBytes
+	}
+	var fetcher browser.Fetcher = httpf
+	if opts.Breaker.Threshold > 0 {
+		// The breaker sits directly above the network, below the cache:
+		// cache hits never count toward a host's health, every real
+		// attempt does.
+		st.breaker = crawler.NewBreakerFetcher(fetcher, opts.Breaker)
+		fetcher = st.breaker
+	}
+	siteHosts := make(map[string]bool, opts.Web.NumSites)
+	for _, s := range srv.Sites() {
+		st.targets = append(st.targets, crawler.Target{Rank: s.Rank, URL: s.URL()})
+		siteHosts[s.Host] = true
+	}
+	if !opts.DisableCache {
+		st.cache = browser.NewBoundedCachingFetcher(fetcher, opts.CacheEntries)
+		// Per-site documents (landing and internal pages) are fetched
+		// once each — bypass them so cache memory stays bounded by the
+		// shared widget/CDN population.
+		st.cache.Cacheable = func(rawURL string) bool {
+			u, err := url.Parse(rawURL)
+			if err != nil {
+				return false
+			}
+			return !siteHosts[u.Hostname()]
+		}
+		fetcher = st.cache
+		st.scriptCache = script.NewBoundedParseCache(opts.CacheEntries)
+		st.staticCache = static.NewCache(nil, opts.CacheEntries)
+		opts.BrowserOpts.ScriptCache = st.scriptCache
+		opts.BrowserOpts.StaticCache = st.staticCache
+	}
+	b := browser.New(fetcher, opts.BrowserOpts)
+	st.crawler = crawler.New(b, opts.Crawl)
+	return st
+}
+
+// stats collects every layer's counters.
+func (st *crawlStack) stats() CrawlStats {
+	s := CrawlStats{Crawl: st.crawler.Stats()}
+	if st.cache != nil {
+		s.Fetch = st.cache.Stats()
+		s.Parse = st.scriptCache.Stats()
+		s.Static = st.staticCache.Stats()
+	}
+	if st.breaker != nil {
+		s.Breaker = st.breaker.Breaker.Stats()
+	}
+	return s
+}
+
 // Summary renders the counters as one log-friendly line.
 func (s CrawlStats) Summary() string {
-	return fmt.Sprintf(
-		"visited %d (resumed %d, retries %d); fetch cache: %d hits, %d misses, %d coalesced, %d bypassed, %d errors, %d entries (%d unique bodies, %s deduped); parse cache: %d hits, %d misses, %d coalesced, %d entries",
-		s.Crawl.Visited, s.Crawl.Resumed, s.Crawl.Retries,
+	line := fmt.Sprintf(
+		"visited %d (resumed %d, retries %d, partial %d, panics %d); fetch cache: %d hits, %d misses, %d coalesced, %d bypassed, %d errors, %d evictions, %d entries (%d unique bodies, %s deduped); parse cache: %d hits, %d misses, %d coalesced, %d evictions, %d entries; static cache: %d hits, %d misses, %d evictions",
+		s.Crawl.Visited, s.Crawl.Resumed, s.Crawl.Retries, s.Crawl.Partial, s.Crawl.Panics,
 		s.Fetch.Hits, s.Fetch.Misses, s.Fetch.Coalesced, s.Fetch.Bypassed,
-		s.Fetch.Errors, s.Fetch.Entries, s.Fetch.UniqueBodies, byteSize(s.Fetch.DedupedBytes),
-		s.Parse.Hits, s.Parse.Misses, s.Parse.Coalesced, s.Parse.Entries)
+		s.Fetch.Errors, s.Fetch.Evictions, s.Fetch.Entries, s.Fetch.UniqueBodies, byteSize(s.Fetch.DedupedBytes),
+		s.Parse.Hits, s.Parse.Misses, s.Parse.Coalesced, s.Parse.Evictions, s.Parse.Entries,
+		s.Static.Hits, s.Static.Misses, s.Static.Evictions)
+	if s.Breaker != (crawler.BreakerStats{}) {
+		line += fmt.Sprintf("; breaker: %d trips, %d half-open probes, %d closes, %d reopens, %d short-circuits, %d open hosts",
+			s.Breaker.Trips, s.Breaker.HalfOpenProbes, s.Breaker.Closes, s.Breaker.Reopens,
+			s.Breaker.ShortCircuits, s.Breaker.OpenHosts)
+	}
+	return line
 }
 
 // byteSize renders n bytes human-readably.

@@ -1,0 +1,216 @@
+package crawler
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"permodyssey/internal/browser"
+)
+
+// ErrCircuitOpen is returned (wrapped, with the host) for fetches the
+// circuit breaker refused because the target host had just failed
+// repeatedly. Classify maps it to store.FailureBreakerOpen, which is
+// transient: the retry backoff outlives the breaker cooldown, so a
+// later attempt becomes the half-open probe.
+var ErrCircuitOpen = errors.New("circuit open")
+
+// BreakerConfig tunes the per-host circuit breaker.
+type BreakerConfig struct {
+	// Threshold is how many consecutive failures open a host's circuit;
+	// 0 disables the breaker.
+	Threshold int
+	// Cooldown is how long an open circuit refuses requests before it
+	// half-opens and lets a single probe through. Keep it at or below
+	// the crawler's retry backoff so a retried visit always gets its
+	// probe.
+	Cooldown time.Duration
+}
+
+// DefaultBreakerConfig trips after 5 consecutive failures and
+// half-opens after 500ms.
+func DefaultBreakerConfig() BreakerConfig {
+	return BreakerConfig{Threshold: 5, Cooldown: 500 * time.Millisecond}
+}
+
+// BreakerStats is a point-in-time snapshot of Breaker counters.
+type BreakerStats struct {
+	// Trips counts closed→open transitions; Reopens half-open probes
+	// that failed and re-opened the circuit.
+	Trips   uint64
+	Reopens uint64
+	// HalfOpenProbes counts requests let through an open circuit after
+	// its cooldown; Closes the probes that succeeded and closed it.
+	HalfOpenProbes uint64
+	Closes         uint64
+	// ShortCircuits counts requests refused while a circuit was open.
+	ShortCircuits uint64
+	// OpenHosts is the number of hosts currently open or half-open.
+	OpenHosts uint64
+}
+
+// circuitState is one host's breaker position.
+type circuitState uint8
+
+const (
+	circuitClosed circuitState = iota
+	circuitOpen
+	circuitHalfOpen // one probe in flight
+)
+
+// hostCircuit tracks one host.
+type hostCircuit struct {
+	state       circuitState
+	consecutive int
+	openedAt    time.Time
+}
+
+// Breaker is a per-host circuit breaker: after Threshold consecutive
+// failures against one host it refuses further requests to that host
+// (short-circuit) until Cooldown has passed, then lets exactly one
+// probe through (half-open). A successful probe closes the circuit; a
+// failed one re-opens it for another cooldown. The paper's crawl lost
+// ~57k sites to flaky origins; a production crawler must stop hammering
+// them without losing the ones that recover.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu    sync.Mutex
+	hosts map[string]*hostCircuit
+
+	trips, reopens, halfOpens, closes, shortCircuits atomic.Uint64
+}
+
+// NewBreaker creates a Breaker; a zero Threshold disables it (Allow
+// always true, Report a no-op).
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = 500 * time.Millisecond
+	}
+	return &Breaker{cfg: cfg, hosts: map[string]*hostCircuit{}}
+}
+
+// Allow reports whether a request to host may proceed right now. A
+// false return is a short-circuit: the caller must not hit the host.
+func (b *Breaker) Allow(host string) bool {
+	if b.cfg.Threshold <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c, ok := b.hosts[host]
+	if !ok {
+		return true
+	}
+	switch c.state {
+	case circuitClosed:
+		return true
+	case circuitHalfOpen:
+		// A probe is already in flight; everyone else waits.
+		b.shortCircuits.Add(1)
+		return false
+	default: // open
+		if time.Since(c.openedAt) >= b.cfg.Cooldown {
+			c.state = circuitHalfOpen
+			b.halfOpens.Add(1)
+			return true
+		}
+		b.shortCircuits.Add(1)
+		return false
+	}
+}
+
+// Report records the outcome of a request Allow let through.
+func (b *Breaker) Report(host string, ok bool) {
+	if b.cfg.Threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c := b.hosts[host]
+	if c == nil {
+		if ok {
+			return // healthy host, nothing to track
+		}
+		c = &hostCircuit{}
+		b.hosts[host] = c
+	}
+	if ok {
+		if c.state != circuitClosed {
+			b.closes.Add(1)
+		}
+		delete(b.hosts, host) // closed with a clean slate
+		return
+	}
+	c.consecutive++
+	switch c.state {
+	case circuitHalfOpen:
+		c.state = circuitOpen
+		c.openedAt = time.Now()
+		b.reopens.Add(1)
+	case circuitClosed:
+		if c.consecutive >= b.cfg.Threshold {
+			c.state = circuitOpen
+			c.openedAt = time.Now()
+			b.trips.Add(1)
+		}
+	}
+}
+
+// Stats snapshots the breaker counters.
+func (b *Breaker) Stats() BreakerStats {
+	b.mu.Lock()
+	open := uint64(0)
+	for _, c := range b.hosts {
+		if c.state != circuitClosed {
+			open++
+		}
+	}
+	b.mu.Unlock()
+	return BreakerStats{
+		Trips:          b.trips.Load(),
+		Reopens:        b.reopens.Load(),
+		HalfOpenProbes: b.halfOpens.Load(),
+		Closes:         b.closes.Load(),
+		ShortCircuits:  b.shortCircuits.Load(),
+		OpenHosts:      open,
+	}
+}
+
+// BreakerFetcher guards every fetch of the wrapped Fetcher with a
+// Breaker, keyed by URL host. It sits directly above the real HTTP
+// fetcher — below the response cache — so cache hits never count and
+// every real network attempt does.
+type BreakerFetcher struct {
+	Inner   browser.Fetcher
+	Breaker *Breaker
+}
+
+// NewBreakerFetcher wraps inner with a fresh Breaker under cfg.
+func NewBreakerFetcher(inner browser.Fetcher, cfg BreakerConfig) *BreakerFetcher {
+	return &BreakerFetcher{Inner: inner, Breaker: NewBreaker(cfg)}
+}
+
+// Fetch implements browser.Fetcher.
+func (f *BreakerFetcher) Fetch(ctx context.Context, rawURL string) (*browser.Response, error) {
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		return nil, err
+	}
+	host := u.Hostname()
+	if !f.Breaker.Allow(host) {
+		return nil, fmt.Errorf("%w for host %s", ErrCircuitOpen, host)
+	}
+	resp, err := f.Inner.Fetch(ctx, rawURL)
+	// A cancelled parent context says nothing about the host's health;
+	// don't let one slow site open circuits for everyone else.
+	if err != nil && (errors.Is(err, context.Canceled) || ctx.Err() != nil) {
+		return resp, err
+	}
+	f.Breaker.Report(host, err == nil)
+	return resp, err
+}

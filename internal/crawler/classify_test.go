@@ -1,0 +1,88 @@
+package crawler
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/url"
+	"syscall"
+	"testing"
+
+	"permodyssey/internal/store"
+)
+
+// TestClassifyTaxonomy pins the whole error taxonomy in one table,
+// including the wrapped forms that net/http and net/url actually
+// produce: a mid-body reset arrives as url.Error → net.OpError →
+// syscall.ECONNRESET, not as a bare string, and must land in the
+// ephemeral class even though the same OpError type also carries dial
+// failures (unreachable).
+func TestClassifyTaxonomy(t *testing.T) {
+	dialErr := &net.OpError{Op: "dial", Net: "tcp", Err: syscall.ECONNREFUSED}
+	readReset := &net.OpError{Op: "read", Net: "tcp", Err: syscall.ECONNRESET}
+	cases := []struct {
+		name string
+		err  error
+		want store.FailureClass
+	}{
+		{"nil", nil, store.FailureNone},
+
+		// Timeouts.
+		{"deadline", context.DeadlineExceeded, store.FailureTimeout},
+		{"wrapped deadline", fmt.Errorf("visit: %w", context.DeadlineExceeded), store.FailureTimeout},
+		{"url timeout", &url.Error{Op: "Get", URL: "https://x.test/", Err: context.DeadlineExceeded}, store.FailureTimeout},
+
+		// Unreachable: DNS and dial-stage failures.
+		{"dns", &net.DNSError{Err: "no such host", Name: "x.test", IsNotFound: true}, store.FailureUnreachable},
+		{"url-wrapped dns", &url.Error{Op: "Get", URL: "https://x.test/", Err: &net.DNSError{Err: "no such host"}}, store.FailureUnreachable},
+		{"dial refused", dialErr, store.FailureUnreachable},
+		{"url-wrapped dial", &url.Error{Op: "Get", URL: "https://x.test/", Err: dialErr}, store.FailureUnreachable},
+		{"http status", errors.New("fetch https://x.test/: status 500"), store.FailureUnreachable},
+
+		// Ephemeral: the connection died mid-exchange.
+		{"read reset", readReset, store.FailureEphemeral},
+		{"url-wrapped reset", &url.Error{Op: "Get", URL: "https://x.test/", Err: readReset}, store.FailureEphemeral},
+		{"bare econnreset", syscall.ECONNRESET, store.FailureEphemeral},
+		{"unexpected EOF", io.ErrUnexpectedEOF, store.FailureEphemeral},
+		{"url-wrapped unexpected EOF", &url.Error{Op: "Get", URL: "https://x.test/", Err: io.ErrUnexpectedEOF}, store.FailureEphemeral},
+		{"stringly EOF", errors.New("fetch: EOF"), store.FailureEphemeral},
+		{"stringly reset", errors.New("read tcp: connection reset by peer"), store.FailureEphemeral},
+		{"write on broken conn", &net.OpError{Op: "write", Net: "tcp", Err: syscall.EPIPE}, store.FailureEphemeral},
+
+		// Minor: protocol garbage the crawler refused to consume.
+		{"malformed response", errors.New("net/http: malformed HTTP response \"x\""), store.FailureMinor},
+		{"malformed header", &url.Error{Op: "Get", URL: "https://x.test/", Err: errors.New("malformed MIME header line")}, store.FailureMinor},
+		{"oversized header", errors.New("net/http: server response headers exceeded 262144 bytes; aborted"), store.FailureMinor},
+		{"redirect loop", &url.Error{Op: "Get", URL: "https://x.test/", Err: errors.New("stopped after 10 redirects")}, store.FailureMinor},
+		{"unknown", errors.New("something odd"), store.FailureMinor},
+
+		// Breaker short-circuit.
+		{"circuit open", fmt.Errorf("%w for host x.test", ErrCircuitOpen), store.FailureBreakerOpen},
+		{"url-wrapped circuit open", &url.Error{Op: "Get", URL: "https://x.test/", Err: ErrCircuitOpen}, store.FailureBreakerOpen},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Classify(tc.err); got != tc.want {
+				t.Errorf("Classify(%v) = %q, want %q", tc.err, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestClassifyTransient pins which classes the retry loop acts on.
+func TestClassifyTransient(t *testing.T) {
+	transient := []store.FailureClass{store.FailureTimeout, store.FailureEphemeral, store.FailureBreakerOpen}
+	persistent := []store.FailureClass{store.FailureNone, store.FailureUnreachable, store.FailureMinor, store.FailureExcluded}
+	for _, f := range transient {
+		if !f.Transient() {
+			t.Errorf("%q should be transient", f)
+		}
+	}
+	for _, f := range persistent {
+		if f.Transient() {
+			t.Errorf("%q should not be transient", f)
+		}
+	}
+}

@@ -12,6 +12,7 @@ package crawler
 import (
 	"context"
 	"errors"
+	"fmt"
 	"io"
 	"net"
 	"net/url"
@@ -19,6 +20,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"permodyssey/internal/browser"
@@ -107,6 +109,13 @@ type Stats struct {
 	// Retries is the total number of extra visit attempts spent on
 	// transient failures.
 	Retries int
+	// Panics is the number of visit attempts that panicked inside the
+	// browser/parser/interpreter and were converted to FailureMinor
+	// records instead of killing the crawl.
+	Panics int
+	// Partial is the number of records that succeeded in degraded form
+	// (a subresource frame, external script, or body tail was lost).
+	Partial int
 }
 
 // Crawler drives a Browser over a target list.
@@ -117,6 +126,8 @@ type Crawler struct {
 	visited atomic.Int64
 	resumed atomic.Int64
 	retries atomic.Int64
+	panics  atomic.Int64
+	partial atomic.Int64
 }
 
 // New creates a Crawler, filling unset Config fields with the package
@@ -131,6 +142,8 @@ func (c *Crawler) Stats() Stats {
 		Visited: int(c.visited.Load()),
 		Resumed: int(c.resumed.Load()),
 		Retries: int(c.retries.Load()),
+		Panics:  int(c.panics.Load()),
+		Partial: int(c.partial.Load()),
 	}
 }
 
@@ -207,6 +220,7 @@ func (c *Crawler) Crawl(ctx context.Context, targets []Target) *store.Dataset {
 func (c *Crawler) visit(ctx context.Context, t Target) store.SiteRecord {
 	start := time.Now()
 	rec := c.attempt(ctx, t)
+	firstFailure := rec.Failure
 	for try := 0; try < c.Config.MaxRetries && rec.Failure.Transient(); try++ {
 		backoff := c.Config.RetryBackoff << uint(try)
 		select {
@@ -218,18 +232,36 @@ func (c *Crawler) visit(ctx context.Context, t Target) store.SiteRecord {
 		c.retries.Add(1)
 		rec = c.attempt(ctx, t)
 		rec.Retries = try + 1
+		rec.FirstAttemptFailure = firstFailure
 	}
 	rec.Elapsed = time.Since(start)
 	return rec
 }
 
-// attempt performs one visit under one per-site deadline.
-func (c *Crawler) attempt(ctx context.Context, t Target) store.SiteRecord {
+// attempt performs one visit under one per-site deadline. A panic
+// anywhere in the browser stack — parser, interpreter, frame walker —
+// is confined to this attempt and becomes a FailureMinor record, so one
+// pathological page can never take down the crawl (the paper's "minor
+// crawler-level errors", 315 sites).
+func (c *Crawler) attempt(ctx context.Context, t Target) (rec store.SiteRecord) {
 	start := time.Now()
+	rec = store.SiteRecord{Rank: t.Rank, URL: t.URL}
+	defer func() {
+		if r := recover(); r != nil {
+			c.panics.Add(1)
+			rec = store.SiteRecord{
+				Rank:    t.Rank,
+				URL:     t.URL,
+				Failure: store.FailureMinor,
+				Error:   fmt.Sprintf("panic: %v", r),
+				Elapsed: time.Since(start),
+			}
+		}
+	}()
 	vctx, cancel := context.WithTimeout(ctx, c.Config.PerSiteTimeout)
 	defer cancel()
 	page, err := c.Browser.Visit(vctx, t.URL)
-	rec := store.SiteRecord{Rank: t.Rank, URL: t.URL, Elapsed: time.Since(start)}
+	rec.Elapsed = time.Since(start)
 	if err != nil {
 		rec.Failure = Classify(err)
 		rec.Error = err.Error()
@@ -244,11 +276,49 @@ func (c *Crawler) attempt(ctx context.Context, t Target) store.SiteRecord {
 		return rec
 	}
 	rec.Page = page
+	if reasons := degradedReasons(page); len(reasons) > 0 {
+		rec.Partial = true
+		rec.DegradedReasons = reasons
+		c.partial.Add(1)
+	}
 	if c.Config.FollowInternalLinks > 0 {
 		rec.InternalPages = c.followLinks(vctx, page)
 		rec.Elapsed = time.Since(start)
 	}
 	return rec
+}
+
+// degradedReasons inspects a successfully-visited page for signs that
+// parts of it were lost in flight: subresource frames that never
+// loaded, external scripts whose fetch failed, or a main document cut
+// at the body-size cap. Such pages stay analyzable — the paper keeps
+// every page whose frame data is complete — but the record is marked
+// Partial so the analysis can report the degraded share honestly.
+func degradedReasons(page *browser.PageResult) []string {
+	seen := map[string]bool{}
+	for _, fr := range page.Frames {
+		if fr.LoadError == "frame load failed" {
+			seen["frame-load-failed"] = true
+		}
+		if fr.BodyTruncated {
+			seen["body-truncated"] = true
+		}
+		for _, se := range fr.ScriptErrors {
+			if strings.HasPrefix(se, "load ") && strings.HasSuffix(se, " failed") {
+				seen["script-load-failed"] = true
+				break
+			}
+		}
+	}
+	if len(seen) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(seen))
+	for r := range seen {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // followLinks visits up to FollowInternalLinks same-site pages linked
@@ -282,12 +352,21 @@ func (c *Crawler) followLinks(ctx context.Context, page *browser.PageResult) []b
 	return out
 }
 
-// Classify maps a visit error to the paper's failure taxonomy.
+// Classify maps a visit error to the paper's failure taxonomy. Order
+// matters: an error that died mid-exchange (a reset, a dropped body) is
+// ephemeral even though Go wraps it in the same *net.OpError / *url.Error
+// types as a refused dial, so the dial-stage check must look at the Op
+// before the type alone decides "unreachable".
 func Classify(err error) store.FailureClass {
 	if err == nil {
 		return store.FailureNone
 	}
-	// Deadline: page-load timeout.
+	// Breaker short-circuit: the crawler refused the request itself.
+	if errors.Is(err, ErrCircuitOpen) {
+		return store.FailureBreakerOpen
+	}
+	// Deadline: page-load timeout (includes slow-loris drips that never
+	// finish inside the per-site budget).
 	if errors.Is(err, context.DeadlineExceeded) {
 		return store.FailureTimeout
 	}
@@ -295,22 +374,38 @@ func Classify(err error) store.FailureClass {
 	if errors.As(err, &ue) && ue.Timeout() {
 		return store.FailureTimeout
 	}
-	// DNS and connection failures: unreachable.
+	// DNS failures: unreachable, regardless of wrapping.
 	var dnsErr *net.DNSError
 	if errors.As(err, &dnsErr) {
 		return store.FailureUnreachable
 	}
+	// Connections that died mid-exchange: the host answered, then the
+	// content vanished under us — the paper's "ephemeral" class. This
+	// must run before the generic OpError check because a reset surfaces
+	// as a read-stage *net.OpError wrapping syscall.ECONNRESET.
+	if errors.Is(err, syscall.ECONNRESET) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return store.FailureEphemeral
+	}
 	var opErr *net.OpError
 	if errors.As(err, &opErr) {
-		return store.FailureUnreachable
+		if opErr.Op == "dial" {
+			// Never got a connection: unreachable.
+			return store.FailureUnreachable
+		}
+		// Read/write on an established connection failed: ephemeral.
+		return store.FailureEphemeral
 	}
 	msg := err.Error()
 	switch {
-	case errors.Is(err, io.ErrUnexpectedEOF), strings.Contains(msg, "unexpected EOF"),
-		strings.Contains(msg, "EOF"):
-		// The body died mid-read: ephemeral content.
+	case strings.Contains(msg, "connection reset"), strings.Contains(msg, "EOF"):
+		// String fallbacks for resets/EOFs that lost their typed chain
+		// through intermediate fmt.Errorf wrapping.
 		return store.FailureEphemeral
-	case strings.Contains(msg, "malformed"):
+	case strings.Contains(msg, "malformed"),
+		strings.Contains(msg, "headers exceeded"),
+		strings.Contains(msg, "redirects"):
+		// Protocol garbage the crawler refused to consume: the paper's
+		// minor crawler-level errors.
 		return store.FailureMinor
 	case strings.Contains(msg, "status "):
 		return store.FailureUnreachable

@@ -1,0 +1,140 @@
+package crawler
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"permodyssey/internal/browser"
+	"permodyssey/internal/store"
+)
+
+// panicFetcher panics on configured URLs and serves a canned page
+// otherwise.
+type panicFetcher struct {
+	panicOn map[string]bool
+}
+
+func (f *panicFetcher) Fetch(_ context.Context, rawURL string) (*browser.Response, error) {
+	if f.panicOn[rawURL] {
+		panic("interpreter stack corrupted by " + rawURL)
+	}
+	return &browser.Response{Status: 200, FinalURL: rawURL,
+		Body: "<html><body><p>ok</p></body></html>"}, nil
+}
+
+// TestPanicIsolation: a panic inside one site's visit becomes a
+// FailureMinor record; the rest of the crawl is untouched.
+func TestPanicIsolation(t *testing.T) {
+	f := &panicFetcher{panicOn: map[string]bool{"https://evil.test/": true}}
+	b := browser.New(f, browser.DefaultOptions())
+	c := New(b, Config{Workers: 2, PerSiteTimeout: time.Second})
+
+	ds := c.Crawl(context.Background(), []Target{
+		{Rank: 1, URL: "https://fine.test/"},
+		{Rank: 2, URL: "https://evil.test/"},
+		{Rank: 3, URL: "https://also-fine.test/"},
+	})
+	if len(ds.Records) != 3 {
+		t.Fatalf("crawl lost records: %d of 3", len(ds.Records))
+	}
+	var evil store.SiteRecord
+	okCount := 0
+	for _, r := range ds.Records {
+		if r.URL == "https://evil.test/" {
+			evil = r
+		} else if r.OK() {
+			okCount++
+		}
+	}
+	if evil.Failure != store.FailureMinor {
+		t.Errorf("panicking site failure = %q, want minor", evil.Failure)
+	}
+	if !strings.Contains(evil.Error, "panic:") {
+		t.Errorf("panicking site error = %q, want a panic message", evil.Error)
+	}
+	if okCount != 2 {
+		t.Errorf("healthy sites measured = %d, want 2", okCount)
+	}
+	if got := c.Stats().Panics; got != 1 {
+		t.Errorf("stats panics = %d, want 1", got)
+	}
+}
+
+// subresourceFetcher serves a main page embedding an iframe and an
+// external script whose hosts are dead, plus a truncated-body page.
+type subresourceFetcher struct{}
+
+func (subresourceFetcher) Fetch(_ context.Context, rawURL string) (*browser.Response, error) {
+	switch {
+	case strings.HasPrefix(rawURL, "https://main.test/"):
+		return &browser.Response{Status: 200, FinalURL: rawURL, Body: `<html><body>
+			<iframe src="https://deadwidget.test/frame"></iframe>
+			<script src="https://deadcdn.test/lib.js"></script>
+			<p>content</p></body></html>`}, nil
+	case strings.HasPrefix(rawURL, "https://truncated.test/"):
+		return &browser.Response{Status: 200, FinalURL: rawURL,
+			Body: "<html><body><p>cut", BodyTruncated: true}, nil
+	case strings.HasPrefix(rawURL, "https://clean.test/"):
+		return &browser.Response{Status: 200, FinalURL: rawURL,
+			Body: "<html><body><p>ok</p></body></html>"}, nil
+	default:
+		return nil, errors.New("read tcp: connection reset by peer")
+	}
+}
+
+// TestPartialRecords: losing a subresource degrades the record to
+// Partial instead of failing it, with the reasons named; clean pages
+// stay unmarked.
+func TestPartialRecords(t *testing.T) {
+	b := browser.New(subresourceFetcher{}, browser.DefaultOptions())
+	c := New(b, Config{Workers: 1, PerSiteTimeout: time.Second})
+
+	ds := c.Crawl(context.Background(), []Target{
+		{Rank: 1, URL: "https://main.test/"},
+		{Rank: 2, URL: "https://truncated.test/"},
+		{Rank: 3, URL: "https://clean.test/"},
+	})
+	byURL := map[string]store.SiteRecord{}
+	for _, r := range ds.Records {
+		byURL[r.URL] = r
+	}
+
+	main := byURL["https://main.test/"]
+	if !main.OK() || !main.Partial {
+		t.Fatalf("subresource-degraded site: OK=%v Partial=%v failure=%q err=%q",
+			main.OK(), main.Partial, main.Failure, main.Error)
+	}
+	want := []string{"frame-load-failed", "script-load-failed"}
+	if len(main.DegradedReasons) != len(want) {
+		t.Fatalf("DegradedReasons = %v, want %v", main.DegradedReasons, want)
+	}
+	for i, r := range want {
+		if main.DegradedReasons[i] != r {
+			t.Errorf("DegradedReasons[%d] = %q, want %q", i, main.DegradedReasons[i], r)
+		}
+	}
+
+	trunc := byURL["https://truncated.test/"]
+	if !trunc.OK() || !trunc.Partial {
+		t.Fatalf("truncated site: OK=%v Partial=%v", trunc.OK(), trunc.Partial)
+	}
+	if len(trunc.DegradedReasons) != 1 || trunc.DegradedReasons[0] != "body-truncated" {
+		t.Errorf("truncated DegradedReasons = %v, want [body-truncated]", trunc.DegradedReasons)
+	}
+
+	clean := byURL["https://clean.test/"]
+	if !clean.OK() || clean.Partial {
+		t.Errorf("clean site: OK=%v Partial=%v reasons=%v", clean.OK(), clean.Partial, clean.DegradedReasons)
+	}
+
+	if got := c.Stats().Partial; got != 2 {
+		t.Errorf("stats partial = %d, want 2", got)
+	}
+	counts := ds.FailureCounts()
+	if counts["partial"] != 2 || counts["ok"] != 1 {
+		t.Errorf("FailureCounts = %v, want partial:2 ok:1", counts)
+	}
+}

@@ -1,0 +1,107 @@
+// Package lru provides the minimal least-recently-used bookkeeping the
+// crawl caches share. A multi-million-site crawl must keep every cache
+// memory-bounded (ROADMAP: cache size bounds); each cache wraps one of
+// these behind its own lock, so the structure itself is deliberately
+// not concurrency-safe.
+package lru
+
+import "container/list"
+
+// entry is one key/value pair on the recency list.
+type entry[K comparable, V any] struct {
+	key   K
+	value V
+}
+
+// Cache is a size-bounded map with LRU eviction. A MaxEntries of zero
+// or less means unbounded (the cache degenerates to a plain map plus
+// recency list). Not safe for concurrent use; callers hold their own
+// lock.
+type Cache[K comparable, V any] struct {
+	// MaxEntries bounds the number of live entries; <= 0 is unbounded.
+	MaxEntries int
+
+	order *list.List
+	items map[K]*list.Element
+}
+
+// New creates an empty cache bounded to maxEntries (<= 0 = unbounded).
+func New[K comparable, V any](maxEntries int) *Cache[K, V] {
+	return &Cache[K, V]{
+		MaxEntries: maxEntries,
+		order:      list.New(),
+		items:      map[K]*list.Element{},
+	}
+}
+
+// Len returns the number of live entries.
+func (c *Cache[K, V]) Len() int { return len(c.items) }
+
+// Get returns the value for key and marks it most recently used.
+func (c *Cache[K, V]) Get(key K) (V, bool) {
+	if el, ok := c.items[key]; ok {
+		c.order.MoveToFront(el)
+		return el.Value.(*entry[K, V]).value, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Peek returns the value without touching recency.
+func (c *Cache[K, V]) Peek(key K) (V, bool) {
+	if el, ok := c.items[key]; ok {
+		return el.Value.(*entry[K, V]).value, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Add inserts or replaces key, marking it most recently used. When the
+// insert pushes the cache past MaxEntries, the least recently used
+// entry is evicted and returned so the caller can release any state
+// tied to it (body interning refcounts, counters).
+func (c *Cache[K, V]) Add(key K, value V) (evictedKey K, evictedValue V, evicted bool) {
+	if el, ok := c.items[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*entry[K, V]).value = value
+		return
+	}
+	c.items[key] = c.order.PushFront(&entry[K, V]{key: key, value: value})
+	if c.MaxEntries > 0 && len(c.items) > c.MaxEntries {
+		return c.removeOldest()
+	}
+	return
+}
+
+// Remove deletes key, reporting whether it was present.
+func (c *Cache[K, V]) Remove(key K) bool {
+	el, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	c.order.Remove(el)
+	delete(c.items, key)
+	return true
+}
+
+// removeOldest evicts the least recently used entry.
+func (c *Cache[K, V]) removeOldest() (K, V, bool) {
+	el := c.order.Back()
+	if el == nil {
+		var zk K
+		var zv V
+		return zk, zv, false
+	}
+	e := el.Value.(*entry[K, V])
+	c.order.Remove(el)
+	delete(c.items, e.key)
+	return e.key, e.value, true
+}
+
+// Each calls fn over every live entry in most-recent-first order.
+func (c *Cache[K, V]) Each(fn func(key K, value V)) {
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry[K, V])
+		fn(e.key, e.value)
+	}
+}

@@ -1,0 +1,73 @@
+package lru
+
+import "testing"
+
+func TestBasicAddGet(t *testing.T) {
+	c := New[string, int](0)
+	c.Add("a", 1)
+	c.Add("b", 2)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d, %v", v, ok)
+	}
+	if _, ok := c.Get("missing"); ok {
+		t.Fatal("Get(missing) must miss")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestEvictionOrder(t *testing.T) {
+	c := New[string, int](2)
+	c.Add("a", 1)
+	c.Add("b", 2)
+	// Touch a so b is the LRU entry.
+	c.Get("a")
+	k, v, evicted := c.Add("c", 3)
+	if !evicted || k != "b" || v != 2 {
+		t.Fatalf("evicted %q=%d (%v), want b=2", k, v, evicted)
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b must be gone")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a must survive")
+	}
+}
+
+func TestReplaceDoesNotEvict(t *testing.T) {
+	c := New[string, int](2)
+	c.Add("a", 1)
+	c.Add("b", 2)
+	if _, _, evicted := c.Add("a", 10); evicted {
+		t.Fatal("replacing a live key must not evict")
+	}
+	if v, _ := c.Get("a"); v != 10 {
+		t.Fatalf("a = %d, want 10", v)
+	}
+}
+
+func TestPeekDoesNotTouchRecency(t *testing.T) {
+	c := New[string, int](2)
+	c.Add("a", 1)
+	c.Add("b", 2)
+	c.Peek("a") // must NOT refresh a
+	if k, _, evicted := c.Add("c", 3); !evicted || k != "a" {
+		t.Fatalf("evicted %q (%v), want a", k, evicted)
+	}
+}
+
+func TestRemoveAndUnbounded(t *testing.T) {
+	c := New[int, int](0)
+	for i := 0; i < 1000; i++ {
+		if _, _, evicted := c.Add(i, i); evicted {
+			t.Fatal("unbounded cache must never evict")
+		}
+	}
+	if !c.Remove(500) || c.Remove(500) {
+		t.Fatal("Remove must report presence exactly once")
+	}
+	if c.Len() != 999 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}

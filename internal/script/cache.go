@@ -4,6 +4,8 @@ import (
 	"crypto/sha256"
 	"sync"
 	"sync/atomic"
+
+	"permodyssey/internal/lru"
 )
 
 // ParseStats is a point-in-time snapshot of ParseCache counters.
@@ -14,7 +16,9 @@ type ParseStats struct {
 	// Coalesced are lookups that joined an in-flight parse of the same
 	// source and shared its result.
 	Coalesced uint64
-	// Entries is the number of distinct sources seen.
+	// Evictions are entries dropped to keep the cache under its cap.
+	Evictions uint64
+	// Entries is the number of distinct sources currently cached.
 	Entries uint64
 }
 
@@ -32,16 +36,28 @@ type parseEntry struct {
 // closures), so a cached *Program is safe to execute concurrently from
 // many realms. Parse failures are cached too: the same source always
 // fails the same way.
+//
+// The cache is LRU-bounded (0 = unbounded): a chaos-heavy or
+// multi-million-site crawl full of one-off inline scripts cannot grow
+// it without limit. Evicting an in-flight entry is harmless — waiters
+// hold the entry pointer; at worst the same source parses twice.
 type ParseCache struct {
 	mu      sync.Mutex
-	entries map[[sha256.Size]byte]*parseEntry
+	entries *lru.Cache[[sha256.Size]byte, *parseEntry]
 
-	hits, misses, coalesced atomic.Uint64
+	hits, misses, coalesced, evictions atomic.Uint64
 }
 
-// NewParseCache creates an empty cache.
+// NewParseCache creates an empty, unbounded cache; use
+// NewBoundedParseCache to cap it.
 func NewParseCache() *ParseCache {
-	return &ParseCache{entries: map[[sha256.Size]byte]*parseEntry{}}
+	return NewBoundedParseCache(0)
+}
+
+// NewBoundedParseCache creates a cache holding at most maxEntries
+// distinct sources (<= 0 = unbounded), evicted least-recently-used.
+func NewBoundedParseCache(maxEntries int) *ParseCache {
+	return &ParseCache{entries: lru.New[[sha256.Size]byte, *parseEntry](maxEntries)}
 }
 
 // Parse returns the cached program for src, parsing it on first sight.
@@ -50,7 +66,7 @@ func NewParseCache() *ParseCache {
 func (c *ParseCache) Parse(src string) (*Program, error) {
 	sum := sha256.Sum256([]byte(src))
 	c.mu.Lock()
-	if e, ok := c.entries[sum]; ok {
+	if e, ok := c.entries.Get(sum); ok {
 		c.mu.Unlock()
 		select {
 		case <-e.done:
@@ -62,7 +78,9 @@ func (c *ParseCache) Parse(src string) (*Program, error) {
 		return e.prog, e.err
 	}
 	e := &parseEntry{done: make(chan struct{})}
-	c.entries[sum] = e
+	if _, _, evicted := c.entries.Add(sum, e); evicted {
+		c.evictions.Add(1)
+	}
 	c.mu.Unlock()
 
 	c.misses.Add(1)
@@ -74,12 +92,13 @@ func (c *ParseCache) Parse(src string) (*Program, error) {
 // Stats snapshots the cache counters.
 func (c *ParseCache) Stats() ParseStats {
 	c.mu.Lock()
-	entries := uint64(len(c.entries))
+	entries := uint64(c.entries.Len())
 	c.mu.Unlock()
 	return ParseStats{
 		Hits:      c.hits.Load(),
 		Misses:    c.misses.Load(),
 		Coalesced: c.coalesced.Load(),
+		Evictions: c.evictions.Load(),
 		Entries:   entries,
 	}
 }

@@ -1,0 +1,37 @@
+package script
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestParseCacheEviction: a bounded cache drops the least-recently-used
+// source and re-parses it on the next sight.
+func TestParseCacheEviction(t *testing.T) {
+	c := NewBoundedParseCache(2)
+	src := func(i int) string { return fmt.Sprintf("var x%d = %d;", i, i) }
+
+	for i := 0; i < 3; i++ {
+		if _, err := c.Parse(src(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := c.Stats()
+	if s.Entries != 2 || s.Evictions != 1 {
+		t.Fatalf("want 2 entries and 1 eviction, got %+v", s)
+	}
+
+	// src(0) was evicted: parsing it again is a miss; src(2) is a hit.
+	if _, err := c.Parse(src(2)); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats(); got.Hits != 1 {
+		t.Fatalf("recently-used source not a hit: %+v", got)
+	}
+	if _, err := c.Parse(src(0)); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats(); got.Misses != 4 {
+		t.Fatalf("evicted source should re-parse (4 misses), got %+v", got)
+	}
+}

@@ -33,6 +33,10 @@ const (
 	// FailureExcluded: visited but excluded from analysis for incomplete
 	// frame data (the paper's 65,169 exclusions).
 	FailureExcluded FailureClass = "excluded"
+	// FailureBreakerOpen: the per-host circuit breaker was open — the
+	// crawler refused to hammer a host that had just failed repeatedly.
+	// Transient by definition: a later half-open probe may pass.
+	FailureBreakerOpen FailureClass = "breaker-open"
 )
 
 // SiteRecord is one site's outcome.
@@ -49,8 +53,21 @@ type SiteRecord struct {
 	InternalPages []browser.PageResult `json:"internal_pages,omitempty"`
 	// Retries is how many extra visit attempts transient failures cost
 	// before this record settled (0 when the first attempt stood).
-	Retries int           `json:"retries,omitempty"`
-	Elapsed time.Duration `json:"elapsed_ns"`
+	Retries int `json:"retries,omitempty"`
+	// FirstAttemptFailure records how the first visit attempt failed
+	// when retries followed it — the raw material for the
+	// first-attempt-vs-recovered analysis. Empty when the first attempt
+	// stood (no retries).
+	FirstAttemptFailure FailureClass `json:"first_attempt_failure,omitempty"`
+	// Partial marks a degraded-but-usable record: the main document
+	// loaded and was analyzed, but some subresource — a widget frame, an
+	// external script, the tail of an oversized body — did not survive.
+	// Partial records stay in the analyzable set.
+	Partial bool `json:"partial,omitempty"`
+	// DegradedReasons lists what degraded a Partial record
+	// ("frame-load-failed", "script-load-failed", "body-truncated").
+	DegradedReasons []string      `json:"degraded_reasons,omitempty"`
+	Elapsed         time.Duration `json:"elapsed_ns"`
 }
 
 // OK reports whether the site was measured successfully.
@@ -58,10 +75,11 @@ func (r SiteRecord) OK() bool { return r.Failure == FailureNone && r.Page != nil
 
 // Transient reports whether a retry of this failure class could
 // plausibly succeed: timeouts (a slow server may answer within a fresh
-// deadline) and ephemeral mid-body deaths. Unreachable hosts (DNS) and
-// minor protocol garbage are persistent site properties.
+// deadline), ephemeral mid-body deaths, and circuit-breaker refusals
+// (the breaker half-opens after its cooldown). Unreachable hosts (DNS)
+// and minor protocol garbage are persistent site properties.
 func (f FailureClass) Transient() bool {
-	return f == FailureTimeout || f == FailureEphemeral
+	return f == FailureTimeout || f == FailureEphemeral || f == FailureBreakerOpen
 }
 
 // Dataset is an in-memory result set.
@@ -83,13 +101,19 @@ func (d *Dataset) Successful() []SiteRecord {
 	return out
 }
 
-// FailureCounts tallies records per failure class (including "ok").
+// FailureCounts tallies records per failure class, with successful
+// records split into "ok" (clean) and "partial" (degraded-but-usable),
+// so the buckets partition the dataset: every record lands in exactly
+// one.
 func (d *Dataset) FailureCounts() map[FailureClass]int {
 	out := map[FailureClass]int{}
 	for _, r := range d.Records {
-		if r.OK() {
+		switch {
+		case r.OK() && r.Partial:
+			out["partial"]++
+		case r.OK():
 			out["ok"]++
-		} else {
+		default:
 			out[r.Failure]++
 		}
 	}

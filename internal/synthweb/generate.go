@@ -79,6 +79,12 @@ type Site struct {
 	Kind     SiteKind
 	Category Category
 
+	// Fault is the chaos-layer failure mode injected on top of an
+	// otherwise-healthy site (FaultNone when chaos is off or the site
+	// was spared). Only KindOK sites carry faults: the polite SiteKind
+	// taxonomy already covers the others.
+	Fault Fault
+
 	// Headers ("" = absent).
 	PermissionsPolicy string
 	FeaturePolicy     string
@@ -122,6 +128,10 @@ type Config struct {
 
 	LocalIframeRate float64 // 54.1% of embedded documents are local
 	PlainIframeRate float64 // filler iframes to reach 3.2 per framed site
+
+	// Chaos is the fault-injection layer (off by default): hostile
+	// server behaviours layered over the polite failure taxonomy.
+	Chaos ChaosConfig
 }
 
 // DefaultConfig returns the paper-calibrated configuration.
@@ -189,6 +199,17 @@ func (c Config) Generate(rank int) Site {
 		s.Kind = KindMinor
 	default:
 		s.Kind = KindOK
+	}
+
+	// Chaos fault, from its own decorrelated stream so toggling chaos
+	// never perturbs the rest of the population.
+	if s.Kind == KindOK && c.Chaos.Enabled && c.Chaos.SiteRate > 0 {
+		cc := c.Chaos.withDefaults(c.Seed)
+		crng := rand.New(rand.NewSource(siteSeed(cc.Seed, rank, 0x7)))
+		if crng.Float64() < cc.SiteRate {
+			kinds := cc.kinds()
+			s.Fault = kinds[crng.Intn(len(kinds))]
+		}
 	}
 
 	// Category.

@@ -3,6 +3,7 @@ package synthweb
 import (
 	"context"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"strings"
@@ -31,6 +32,12 @@ type Server struct {
 	// StallTime is how long KindTimeout sites hang before responding;
 	// set it above the crawler's per-site deadline.
 	StallTime time.Duration
+
+	// chaos is the resolved fault-injection config; flapCount tracks
+	// how many requests each flapping host has failed so far.
+	chaos     ChaosConfig
+	flapMu    sync.Mutex
+	flapCount map[string]int
 }
 
 // NewServer builds (but does not start) a Server for the population.
@@ -41,6 +48,8 @@ func NewServer(cfg Config) *Server {
 		scriptURL: map[string]string{},
 		widgetKey: map[string]int{},
 		StallTime: 2 * time.Second,
+		chaos:     cfg.Chaos.withDefaults(cfg.Seed),
+		flapCount: map[string]int{},
 	}
 	for rank := 1; rank <= cfg.NumSites; rank++ {
 		site := cfg.Generate(rank)
@@ -124,6 +133,10 @@ func (s *Server) Transport() http.RoundTripper {
 		MaxIdleConns:        128,
 		MaxIdleConnsPerHost: 4,
 		IdleConnTimeout:     2 * time.Second,
+		// Bound response headers so FaultOversizedHeader hosts fail the
+		// way a hardened production crawler would, instead of buffering
+		// the transport's default 10 MiB per response.
+		MaxResponseHeaderBytes: 256 << 10,
 	}
 }
 
@@ -147,6 +160,10 @@ func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
 
 	// Script CDNs.
 	if body, ok := s.scriptURL[host+r.URL.Path]; ok {
+		if s.Config.Chaos.SubresourceFault(s.Config.Seed, host) != FaultNone {
+			s.resetMidBody(w)
+			return
+		}
 		w.Header().Set("Content-Type", "application/javascript")
 		fmt.Fprint(w, body)
 		return
@@ -159,6 +176,10 @@ func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
 
 	// Widget hosts.
 	if idx, ok := s.widgetKey[host]; ok {
+		if s.Config.Chaos.SubresourceFault(s.Config.Seed, host) != FaultNone {
+			s.resetMidBody(w)
+			return
+		}
 		s.serveWidget(w, r, idx)
 		return
 	}
@@ -224,6 +245,13 @@ func (s *Server) serveSite(w http.ResponseWriter, r *http.Request, rank int) {
 		return
 	}
 
+	// Chaos fault, layered over an otherwise-healthy site. applyFault
+	// reports false when the fault lets this particular request through
+	// (a flapping host that has recovered).
+	if site.Fault != FaultNone && s.applyFault(w, r, site) {
+		return
+	}
+
 	// Healthy site.
 	switch {
 	case r.URL.Path == "/" || r.URL.Path == "/index.html":
@@ -254,5 +282,135 @@ func (s *Server) serveSite(w http.ResponseWriter, r *http.Request, rank int) {
 			return
 		}
 		http.NotFound(w, r)
+	}
+}
+
+// applyFault executes one chaos fault for a request to a fault-carrying
+// site. It reports whether the request was consumed; false means the
+// fault lets this request through (a recovered flapping host) and the
+// healthy site should be served.
+func (s *Server) applyFault(w http.ResponseWriter, r *http.Request, site Site) bool {
+	switch site.Fault {
+	case FaultReset:
+		s.resetMidBody(w)
+	case FaultSlowLoris:
+		s.dripBody(w, r)
+	case FaultMalformedHeader:
+		s.malformedHeader(w)
+	case FaultOversizedHeader:
+		// A single header value past the client transport's
+		// MaxResponseHeaderBytes budget; the body never matters.
+		w.Header().Set("X-Chaos-Padding", strings.Repeat("x", 512<<10))
+		w.Header().Set("Content-Type", "text/html")
+		fmt.Fprint(w, "<html><body>oversized header</body></html>")
+	case FaultRedirectLoop:
+		// Two paths that 302 to each other until the client gives up.
+		target := "/chaos-loop-a"
+		if r.URL.Path == "/chaos-loop-a" {
+			target = "/chaos-loop-b"
+		}
+		http.Redirect(w, r, target, http.StatusFound)
+	case FaultFlap:
+		s.flapMu.Lock()
+		failed := s.flapCount[site.Host]
+		if failed >= s.chaos.FlapFailures {
+			s.flapMu.Unlock()
+			return false // recovered: serve the healthy site
+		}
+		s.flapCount[site.Host] = failed + 1
+		s.flapMu.Unlock()
+		s.resetMidBody(w)
+	case FaultOversizedBody:
+		if r.URL.Path != "/" && r.URL.Path != "/index.html" {
+			return false
+		}
+		s.oversizedBody(w, site)
+	default:
+		return false
+	}
+	return true
+}
+
+// resetMidBody promises a body, sends a fragment of it, then closes the
+// connection with a TCP RST — the client observes a mid-body
+// connection-reset (or unexpected EOF) error.
+func (s *Server) resetMidBody(w http.ResponseWriter) {
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		w.WriteHeader(http.StatusInternalServerError)
+		return
+	}
+	conn, buf, err := hj.Hijack()
+	if err != nil {
+		return
+	}
+	buf.WriteString("HTTP/1.1 200 OK\r\nContent-Type: text/html\r\nContent-Length: 4096\r\n\r\n<html><body>res")
+	buf.Flush()
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetLinger(0) // RST instead of FIN
+	}
+	conn.Close()
+}
+
+// dripBody serves headers promptly, then drips the body a few bytes at
+// a time until the client hangs up — the slow-loris server. The page
+// deadline, not this loop, ends the exchange.
+func (s *Server) dripBody(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	fmt.Fprint(w, "<html><body>")
+	if flusher != nil {
+		flusher.Flush()
+	}
+	ticker := time.NewTicker(s.chaos.DripDelay)
+	defer ticker.Stop()
+	// Hard cap so an unattended connection cannot drip forever.
+	for i := 0; i < 100000; i++ {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-ticker.C:
+		}
+		fmt.Fprint(w, "<!-- drip -->")
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// malformedHeader speaks a response whose header section is not HTTP.
+func (s *Server) malformedHeader(w http.ResponseWriter) {
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		w.WriteHeader(http.StatusInternalServerError)
+		return
+	}
+	conn, buf, err := hj.Hijack()
+	if err != nil {
+		return
+	}
+	buf.WriteString("HTTP/1.1 200 OK\r\nthis header line has no colon\r\n\r\n<html></html>")
+	buf.Flush()
+	conn.Close()
+}
+
+// oversizedBody serves the site's real landing page followed by padding
+// past the fetcher's MaxBodyBytes, forcing the body-truncation path
+// while keeping the truncated prefix a complete, parseable document.
+func (s *Server) oversizedBody(w http.ResponseWriter, site Site) {
+	if site.PermissionsPolicy != "" {
+		w.Header().Set("Permissions-Policy", site.PermissionsPolicy)
+	}
+	w.Header().Set("Content-Type", "text/html")
+	fmt.Fprint(w, s.Config.RenderHTML(site))
+	pad := strings.Repeat("<!-- padding padding padding -->", 1024) // 32 KiB
+	written := 0
+	for written < s.chaos.OversizeBytes {
+		n, err := io.WriteString(w, pad)
+		written += n
+		if err != nil {
+			return
+		}
 	}
 }

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Compare a fresh BENCH_*.json artifact against a baseline one and fail
+# when any benchmark's ns/op regressed past the tolerance. A missing
+# baseline (first run, cache miss) is not a failure — the gate only
+# bites once a baseline exists.
+#
+# Usage: scripts/benchcmp.sh baseline.json current.json
+#   PERMODYSSEY_BENCH_THRESHOLD  allowed ns/op growth fraction (default 0.35)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline="${1:?usage: scripts/benchcmp.sh baseline.json current.json}"
+current="${2:?usage: scripts/benchcmp.sh baseline.json current.json}"
+threshold="${PERMODYSSEY_BENCH_THRESHOLD:-0.35}"
+
+if [ ! -f "$baseline" ]; then
+    echo "benchcmp: no baseline at $baseline; skipping comparison (first run)" >&2
+    exit 0
+fi
+
+go run ./cmd/benchjson -compare -threshold "$threshold" "$baseline" "$current"

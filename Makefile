@@ -2,10 +2,15 @@
 # GitHub Actions tier-1 gate; `make bench` produces a BENCH_*.json
 # perf artifact.
 
-.PHONY: ci test bench benchcmp soak fmt build
+.PHONY: ci test bench benchcmp soak replay fmt build
 
 ci:
 	./scripts/ci.sh
+
+# Offline-replay gate: warm crawl with -cache-dir, offline re-crawl,
+# identical reports, zero network fetches.
+replay:
+	./scripts/replay.sh
 
 test:
 	go test ./...

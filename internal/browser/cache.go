@@ -11,29 +11,39 @@ import (
 
 // CacheStats is a point-in-time snapshot of CachingFetcher counters.
 type CacheStats struct {
-	// Hits are lookups answered from the cache without touching the
-	// inner fetcher.
-	Hits uint64
-	// Misses are lookups that performed a real inner fetch.
-	Misses uint64
+	// Hits are lookups answered from the in-memory cache without
+	// touching the disk archive or the inner fetcher.
+	Hits uint64 `json:"hits"`
+	// Misses are lookups that fell through the in-memory cache (to the
+	// disk archive when one is attached, else to the inner fetcher).
+	Misses uint64 `json:"misses"`
 	// Coalesced are lookups that joined an in-flight fetch of the same
 	// URL and shared its result (singleflight de-duplication).
-	Coalesced uint64
-	// Bypassed are lookups the Cacheable policy routed straight to the
-	// inner fetcher (per-site documents).
-	Bypassed uint64
-	// Errors are inner fetches that failed; failures are never cached.
-	Errors uint64
+	Coalesced uint64 `json:"coalesced"`
+	// Bypassed are lookups the Cacheable policy routed past the
+	// in-memory cache (per-site documents); they still consult the disk
+	// archive when one is attached.
+	Bypassed uint64 `json:"bypassed"`
+	// Errors are fetches that failed; failures are never cached in
+	// memory.
+	Errors uint64 `json:"errors"`
 	// Evictions are entries dropped to keep the cache under MaxEntries.
-	Evictions uint64
+	Evictions uint64 `json:"evictions"`
 	// Entries is the number of cached URLs; UniqueBodies the number of
 	// distinct response bodies behind them (content addressing shares
 	// identical bodies served under different URLs).
-	Entries      uint64
-	UniqueBodies uint64
+	Entries      uint64 `json:"entries"`
+	UniqueBodies uint64 `json:"unique_bodies"`
 	// DedupedBytes is memory saved by body interning: bytes of cached
 	// bodies that alias an already-stored identical body.
-	DedupedBytes uint64
+	DedupedBytes uint64 `json:"deduped_bytes"`
+	// NetworkFetches counts calls that reached the inner fetcher — the
+	// crawl's true network cost after both cache tiers. Offline replay
+	// must leave it at zero.
+	NetworkFetches uint64 `json:"network_fetches"`
+	// Disk snapshots the persistent archive tier; zero when none is
+	// attached.
+	Disk ArchiveStats `json:"disk"`
 }
 
 // inflightFetch is one in-progress fetch other callers can wait on.
@@ -86,6 +96,14 @@ type CachingFetcher struct {
 	// bypasses the per-site document hosts and caches everything else
 	// (the cross-origin widget and CDN resources shared between sites).
 	Cacheable func(rawURL string) bool
+	// Disk, when non-nil, is a persistent read-through/write-through
+	// tier consulted between the in-memory cache and the inner fetcher.
+	// Unlike the in-memory tier it also serves Cacheable-bypassed URLs:
+	// the per-site documents must be archived for offline replay, and
+	// on disk they cost no crawl memory. In strict offline mode the
+	// archive's Load returns an error on every miss and the inner
+	// fetcher is never called.
+	Disk ResponseArchive
 
 	mu       sync.Mutex
 	entries  *lru.Cache[string, cacheEntry]
@@ -95,6 +113,7 @@ type CachingFetcher struct {
 	hits, misses, coalesced, bypassed, errors atomic.Uint64
 	evictions                                 atomic.Uint64
 	dedupedBytes                              atomic.Uint64
+	networkFetches                            atomic.Uint64
 }
 
 // NewCachingFetcher wraps inner with an empty, unbounded cache; use
@@ -118,7 +137,7 @@ func NewBoundedCachingFetcher(inner Fetcher, maxEntries int) *CachingFetcher {
 func (c *CachingFetcher) Fetch(ctx context.Context, rawURL string) (*Response, error) {
 	if c.Cacheable != nil && !c.Cacheable(rawURL) {
 		c.bypassed.Add(1)
-		return c.Inner.Fetch(ctx, rawURL)
+		return c.fetchThrough(ctx, rawURL)
 	}
 	for {
 		c.mu.Lock()
@@ -148,15 +167,21 @@ func (c *CachingFetcher) Fetch(ctx context.Context, rawURL string) (*Response, e
 		c.mu.Unlock()
 
 		c.misses.Add(1)
-		resp, err := c.Inner.Fetch(ctx, rawURL)
+		resp, err := c.fetchThrough(ctx, rawURL)
 
 		c.mu.Lock()
 		delete(c.inflight, rawURL)
 		if err == nil {
 			var sum [sha256.Size]byte
 			resp.Body, sum = c.internLocked(resp.Body)
-			if _, old, evicted := c.entries.Add(rawURL, cacheEntry{resp: resp, sum: sum}); evicted {
+			old, replaced, _, ev, evicted := c.entries.Add(rawURL, cacheEntry{resp: resp, sum: sum})
+			if replaced {
+				// The overwritten entry's interned body loses a reference
+				// or it would never be released.
 				c.releaseLocked(old.sum)
+			}
+			if evicted {
+				c.releaseLocked(ev.sum)
 				c.evictions.Add(1)
 			}
 		}
@@ -168,6 +193,32 @@ func (c *CachingFetcher) Fetch(ctx context.Context, rawURL string) (*Response, e
 		close(fl.done)
 		return resp, err
 	}
+}
+
+// fetchThrough consults the persistent archive tier, then the network.
+// Successful network fetches are written through to the archive;
+// failures are archived too (minus crawler-local conditions the archive
+// filters out) so offline replay reproduces them.
+func (c *CachingFetcher) fetchThrough(ctx context.Context, rawURL string) (*Response, error) {
+	if c.Disk != nil {
+		resp, err := c.Disk.Load(rawURL)
+		if err != nil {
+			return nil, err
+		}
+		if resp != nil {
+			return resp, nil
+		}
+	}
+	c.networkFetches.Add(1)
+	resp, err := c.Inner.Fetch(ctx, rawURL)
+	if c.Disk != nil {
+		if err == nil {
+			c.Disk.Store(rawURL, resp)
+		} else {
+			c.Disk.StoreFailure(rawURL, err)
+		}
+	}
+	return resp, err
 }
 
 // internLocked returns the canonical stored copy of body and its hash,
@@ -198,15 +249,20 @@ func (c *CachingFetcher) Stats() CacheStats {
 	c.mu.Lock()
 	entries, unique := uint64(c.entries.Len()), uint64(len(c.bodies))
 	c.mu.Unlock()
-	return CacheStats{
-		Hits:         c.hits.Load(),
-		Misses:       c.misses.Load(),
-		Coalesced:    c.coalesced.Load(),
-		Bypassed:     c.bypassed.Load(),
-		Errors:       c.errors.Load(),
-		Evictions:    c.evictions.Load(),
-		Entries:      entries,
-		UniqueBodies: unique,
-		DedupedBytes: c.dedupedBytes.Load(),
+	s := CacheStats{
+		Hits:           c.hits.Load(),
+		Misses:         c.misses.Load(),
+		Coalesced:      c.coalesced.Load(),
+		Bypassed:       c.bypassed.Load(),
+		Errors:         c.errors.Load(),
+		Evictions:      c.evictions.Load(),
+		Entries:        entries,
+		UniqueBodies:   unique,
+		DedupedBytes:   c.dedupedBytes.Load(),
+		NetworkFetches: c.networkFetches.Load(),
 	}
+	if c.Disk != nil {
+		s.Disk = c.Disk.Stats()
+	}
+	return s
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -182,6 +183,75 @@ func TestCrawlCommand(t *testing.T) {
 	// Bad flag → usage exit.
 	if c := Crawl(context.Background(), []string{"-bogus"}, &out, &errOut); c != 2 {
 		t.Errorf("bad flag: code=%d", c)
+	}
+}
+
+// TestCrawlOfflineReplay is the CLI shape of the offline-replay CI
+// job: warm crawl with -cache-dir, offline re-crawl of the same
+// population, identical reports and zero network fetches.
+func TestCrawlOfflineReplay(t *testing.T) {
+	dir := t.TempDir()
+	cache := filepath.Join(dir, "archive")
+	base := []string{
+		"-sites", "60", "-seed", "19", "-workers", "8",
+		"-timeout", "2s", "-retries", "0", "-cache-dir", cache,
+	}
+	crawl := func(out, stats string, offline bool) string {
+		t.Helper()
+		args := append([]string{}, base...)
+		args = append(args, "-out", out, "-stats-json", stats)
+		if offline {
+			args = append(args, "-offline")
+		}
+		var stdout, stderr bytes.Buffer
+		if code := Crawl(context.Background(), args, &stdout, &stderr); code != 0 {
+			t.Fatalf("crawl(offline=%v): code=%d stderr=%q", offline, code, stderr.String())
+		}
+		rout, rerr, rcode := run(t, reportFn, "-in", out, "-json")
+		if rcode != 0 {
+			t.Fatalf("report: code=%d stderr=%q", rcode, rerr)
+		}
+		return rout
+	}
+
+	warmStats := filepath.Join(dir, "warm-stats.json")
+	replayStats := filepath.Join(dir, "replay-stats.json")
+	warmReport := crawl(filepath.Join(dir, "warm.jsonl"), warmStats, false)
+	replayReport := crawl(filepath.Join(dir, "replay.jsonl"), replayStats, true)
+
+	if warmReport != replayReport {
+		t.Error("offline replay produced a different analysis report")
+	}
+	var stats struct {
+		Fetch struct {
+			NetworkFetches uint64 `json:"network_fetches"`
+			Disk           struct {
+				Hits   uint64 `json:"hits"`
+				Writes uint64 `json:"writes"`
+			} `json:"disk"`
+		}
+	}
+	raw, err := os.ReadFile(replayStats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Fetch.NetworkFetches != 0 {
+		t.Errorf("offline replay made %d network fetches, want 0", stats.Fetch.NetworkFetches)
+	}
+	if stats.Fetch.Disk.Hits == 0 {
+		t.Error("offline replay recorded no archive hits")
+	}
+
+	// The incompatible flag combinations exit with usage errors.
+	var stdout, stderr bytes.Buffer
+	if code := Crawl(context.Background(), []string{"-offline"}, &stdout, &stderr); code != 2 {
+		t.Errorf("-offline without -cache-dir: code=%d", code)
+	}
+	if code := Crawl(context.Background(), []string{"-cache-dir", cache, "-no-cache"}, &stdout, &stderr); code != 2 {
+		t.Errorf("-cache-dir with -no-cache: code=%d", code)
 	}
 }
 

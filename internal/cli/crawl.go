@@ -44,7 +44,18 @@ func Crawl(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	breakerN := fs.Int("breaker-threshold", 5, "consecutive per-host failures before the circuit breaker opens (0 = breaker off)")
 	breakerCooldown := fs.Duration("breaker-cooldown", 500*time.Millisecond, "how long an open circuit waits before half-open probing")
 	maxBody := fs.Int64("max-body", 0, "cap fetched bodies at N bytes; oversized pages become partial records (0 = 4 MiB default)")
+	cacheDir := fs.String("cache-dir", "", "persist every fetch outcome to a content-addressed archive rooted here; later runs read it back instead of refetching")
+	offline := fs.Bool("offline", false, "strict replay from -cache-dir: no network fetches, archived failures replay as recorded, misses become unreachable failures")
+	statsJSON := fs.String("stats-json", "", "write the run's cache/crawl/archive counters as indented JSON to this file")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *offline && *cacheDir == "" {
+		fmt.Fprintln(stderr, "permcrawl: -offline requires -cache-dir")
+		return 2
+	}
+	if *cacheDir != "" && *noCache {
+		fmt.Fprintln(stderr, "permcrawl: -cache-dir is incompatible with -no-cache")
 		return 2
 	}
 
@@ -76,6 +87,8 @@ func Crawl(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	opts.Breaker = crawler.BreakerConfig{Threshold: *breakerN, Cooldown: *breakerCooldown}
 	opts.MaxBodyBytes = *maxBody
+	opts.CacheDir = *cacheDir
+	opts.Offline = *offline
 	opts.BrowserOpts.Interact = *interact
 	opts.BrowserOpts.ScrollLazyIframes = !*noLazy
 	if *expected {
@@ -94,6 +107,18 @@ func Crawl(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	// (tolerating a truncated final line) and append only new records.
 	if *resume {
 		if prior, err := store.LoadPartialFile(*out); err == nil && len(prior.Records) > 0 {
+			// Canceled records are artifacts of the interruption, not site
+			// outcomes: drop them here too, or the rewritten prefix would
+			// keep the stale record alongside the re-crawled one.
+			kept, dropped := prior.Records[:0], 0
+			for _, r := range prior.Records {
+				if r.Failure == store.FailureCanceled {
+					dropped++
+					continue
+				}
+				kept = append(kept, r)
+			}
+			prior.Records = kept
 			opts.Crawl.Resume = prior
 			// Rewrite the complete prefix: an interrupted crawl may have
 			// left a truncated final line, which appending would corrupt.
@@ -101,7 +126,11 @@ func Crawl(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintln(stderr, "permcrawl: resume:", err)
 				return 1
 			}
-			fmt.Fprintf(stderr, "resuming: %d records already in %s\n", len(prior.Records), *out)
+			fmt.Fprintf(stderr, "resuming: %d records already in %s", len(prior.Records), *out)
+			if dropped > 0 {
+				fmt.Fprintf(stderr, " (%d canceled records dropped for re-crawl)", dropped)
+			}
+			fmt.Fprintln(stderr)
 		} else if err != nil && !os.IsNotExist(err) {
 			fmt.Fprintln(stderr, "permcrawl: resume:", err)
 			return 1
@@ -150,6 +179,16 @@ func Crawl(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stderr, "dataset written to %s (%d records, %s)\n",
 		*out, len(m.Dataset.Records), m.Elapsed.Round(time.Millisecond))
+	if *statsJSON != "" {
+		buf, err := json.MarshalIndent(m.Stats, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*statsJSON, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, "permcrawl: writing stats:", err)
+			return 1
+		}
+	}
 	if *report {
 		fmt.Fprintln(stdout, m.Report())
 	}

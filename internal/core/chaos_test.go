@@ -199,7 +199,11 @@ func TestChaosResumeEquivalence(t *testing.T) {
 		defer srv.Close()
 		o := opts
 		o.Crawl.Resume = resume
-		stack := newCrawlStack(srv, o)
+		stack, err := newCrawlStack(srv, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer stack.close()
 		return stack.crawler.Crawl(context.Background(), stack.targets[:only])
 	}
 

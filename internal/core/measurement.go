@@ -17,6 +17,7 @@ import (
 	"permodyssey/internal/analysis"
 	"permodyssey/internal/browser"
 	"permodyssey/internal/crawler"
+	"permodyssey/internal/diskcache"
 	"permodyssey/internal/script"
 	"permodyssey/internal/static"
 	"permodyssey/internal/store"
@@ -54,6 +55,19 @@ type MeasurementOptions struct {
 	// truncated and their records marked Partial. 0 = the fetcher's
 	// 4 MiB default.
 	MaxBodyBytes int64
+	// CacheDir, when non-empty, roots a persistent content-addressed
+	// resource archive (internal/diskcache) under the in-memory fetch
+	// cache: every fetch outcome — responses and classified failures —
+	// is written through, and a later run against the same directory
+	// reads them back instead of refetching. Requires the cache enabled
+	// (incompatible with DisableCache).
+	CacheDir string
+	// Offline switches the archive to strict replay: every fetch is
+	// served from CacheDir, archived failures replay as their recorded
+	// failure class, and a URL missing from the archive is an error
+	// (classified unreachable) rather than a network fetch. Requires
+	// CacheDir.
+	Offline bool
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
 }
@@ -108,7 +122,11 @@ func Run(ctx context.Context, opts MeasurementOptions) (*Measurement, error) {
 	defer srv.Close()
 	logf("synthetic web: %d sites on %s (seed %d)", opts.Web.NumSites, srv.Addr(), opts.Web.Seed)
 
-	stack := newCrawlStack(srv, opts)
+	stack, err := newCrawlStack(srv, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer stack.close()
 
 	logf("crawling %d sites with %d workers...", len(stack.targets), opts.Crawl.Workers)
 	ds := stack.crawler.Crawl(ctx, stack.targets)
@@ -135,11 +153,31 @@ type crawlStack struct {
 	breaker     *crawler.BreakerFetcher
 	scriptCache *script.ParseCache
 	staticCache *static.Cache
+	archive     *diskcache.Archive
+}
+
+// archiveClass adapts crawler.Classify into the diskcache failure
+// filter: crawl-local conditions — cancellation, an open circuit
+// breaker — are artifacts of this run, not site properties, and must
+// not be archived as if replay should reproduce them.
+func archiveClass(err error) string {
+	switch c := crawler.Classify(err); c {
+	case store.FailureNone, store.FailureCanceled, store.FailureBreakerOpen:
+		return ""
+	default:
+		return string(c)
+	}
 }
 
 // newCrawlStack builds the pipeline the measurement options describe
 // against an already-started server.
-func newCrawlStack(srv *synthweb.Server, opts MeasurementOptions) *crawlStack {
+func newCrawlStack(srv *synthweb.Server, opts MeasurementOptions) (*crawlStack, error) {
+	if opts.Offline && opts.CacheDir == "" {
+		return nil, fmt.Errorf("core: Offline requires CacheDir")
+	}
+	if opts.CacheDir != "" && opts.DisableCache {
+		return nil, fmt.Errorf("core: CacheDir requires the cache enabled (incompatible with DisableCache)")
+	}
 	st := &crawlStack{}
 	httpf := browser.NewHTTPFetcher(srv.Client(0))
 	if opts.MaxBodyBytes > 0 {
@@ -170,6 +208,20 @@ func newCrawlStack(srv *synthweb.Server, opts MeasurementOptions) *crawlStack {
 			}
 			return !siteHosts[u.Hostname()]
 		}
+		if opts.CacheDir != "" {
+			// The disk archive sits under the in-memory cache and, unlike
+			// it, also covers bypassed per-site documents — offline replay
+			// needs every resource, not just the shared ones.
+			ar, err := diskcache.Open(opts.CacheDir, diskcache.Options{
+				Offline:  opts.Offline,
+				Classify: archiveClass,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("core: opening resource archive: %w", err)
+			}
+			st.archive = ar
+			st.cache.Disk = ar
+		}
 		fetcher = st.cache
 		st.scriptCache = script.NewBoundedParseCache(opts.CacheEntries)
 		st.staticCache = static.NewCache(nil, opts.CacheEntries)
@@ -178,7 +230,15 @@ func newCrawlStack(srv *synthweb.Server, opts MeasurementOptions) *crawlStack {
 	}
 	b := browser.New(fetcher, opts.BrowserOpts)
 	st.crawler = crawler.New(b, opts.Crawl)
-	return st
+	return st, nil
+}
+
+// close releases resources the stack holds open (the archive's manifest
+// append handle).
+func (st *crawlStack) close() {
+	if st.archive != nil {
+		st.archive.Close()
+	}
 }
 
 // stats collects every layer's counters.
@@ -208,6 +268,12 @@ func (s CrawlStats) Summary() string {
 		line += fmt.Sprintf("; breaker: %d trips, %d half-open probes, %d closes, %d reopens, %d short-circuits, %d open hosts",
 			s.Breaker.Trips, s.Breaker.HalfOpenProbes, s.Breaker.Closes, s.Breaker.Reopens,
 			s.Breaker.ShortCircuits, s.Breaker.OpenHosts)
+	}
+	if s.Fetch.Disk != (browser.ArchiveStats{}) {
+		line += fmt.Sprintf("; archive: %d disk hits, %d writes, %d corrupt recovered, %s stored, %d entries (%d objects), %d network fetches",
+			s.Fetch.Disk.Hits, s.Fetch.Disk.Writes, s.Fetch.Disk.CorruptRecovered,
+			byteSize(s.Fetch.Disk.BytesStored), s.Fetch.Disk.Entries, s.Fetch.Disk.Objects,
+			s.Fetch.NetworkFetches)
 	}
 	return line
 }

@@ -10,6 +10,7 @@ import (
 	"syscall"
 	"testing"
 
+	"permodyssey/internal/browser"
 	"permodyssey/internal/store"
 )
 
@@ -48,19 +49,38 @@ func TestClassifyTaxonomy(t *testing.T) {
 		{"unexpected EOF", io.ErrUnexpectedEOF, store.FailureEphemeral},
 		{"url-wrapped unexpected EOF", &url.Error{Op: "Get", URL: "https://x.test/", Err: io.ErrUnexpectedEOF}, store.FailureEphemeral},
 		{"stringly EOF", errors.New("fetch: EOF"), store.FailureEphemeral},
+		{"stringly unexpected EOF", errors.New("fetch https://x.test/: unexpected EOF"), store.FailureEphemeral},
 		{"stringly reset", errors.New("read tcp: connection reset by peer"), store.FailureEphemeral},
 		{"write on broken conn", &net.OpError{Op: "write", Net: "tcp", Err: syscall.EPIPE}, store.FailureEphemeral},
 
-		// Minor: protocol garbage the crawler refused to consume.
+		// Minor: protocol garbage the crawler refused to consume. The
+		// EOF fallback must not hijack these even when their message
+		// happens to mention EOF (it runs after the minor-class checks
+		// and matches only "unexpected EOF" or a wrapped io.EOF suffix).
 		{"malformed response", errors.New("net/http: malformed HTTP response \"x\""), store.FailureMinor},
 		{"malformed header", &url.Error{Op: "Get", URL: "https://x.test/", Err: errors.New("malformed MIME header line")}, store.FailureMinor},
+		{"malformed mentioning EOF", errors.New("net/http: malformed chunked encoding before EOF"), store.FailureMinor},
 		{"oversized header", errors.New("net/http: server response headers exceeded 262144 bytes; aborted"), store.FailureMinor},
 		{"redirect loop", &url.Error{Op: "Get", URL: "https://x.test/", Err: errors.New("stopped after 10 redirects")}, store.FailureMinor},
+		{"redirect loop mentioning EOF", errors.New("stopped after 10 redirects; last response ended in EOF"), store.FailureMinor},
+		{"EOF substring mid-word", errors.New("parsing GEOFENCE frame failed"), store.FailureMinor},
 		{"unknown", errors.New("something odd"), store.FailureMinor},
 
 		// Breaker short-circuit.
 		{"circuit open", fmt.Errorf("%w for host x.test", ErrCircuitOpen), store.FailureBreakerOpen},
 		{"url-wrapped circuit open", &url.Error{Op: "Get", URL: "https://x.test/", Err: ErrCircuitOpen}, store.FailureBreakerOpen},
+
+		// Cancellation: the crawl shut down mid-visit. Transient, so
+		// resume re-crawls instead of persisting a minor failure.
+		{"canceled", context.Canceled, store.FailureCanceled},
+		{"wrapped canceled", fmt.Errorf("visit: %w", context.Canceled), store.FailureCanceled},
+		{"url-wrapped canceled", &url.Error{Op: "Get", URL: "https://x.test/", Err: context.Canceled}, store.FailureCanceled},
+
+		// Offline replay: archived failures keep their recorded class;
+		// a genuine archive miss is the DNS-failure analogue.
+		{"replayed timeout", &browser.ReplayedFailure{Class: string(store.FailureTimeout), Msg: "Get \"https://x.test/\": context deadline exceeded"}, store.FailureTimeout},
+		{"replayed ephemeral", &browser.ReplayedFailure{Class: string(store.FailureEphemeral), Msg: "reading https://x.test/: unexpected EOF"}, store.FailureEphemeral},
+		{"offline miss", fmt.Errorf("%w: https://x.test/", browser.ErrNotArchived), store.FailureUnreachable},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -73,7 +93,7 @@ func TestClassifyTaxonomy(t *testing.T) {
 
 // TestClassifyTransient pins which classes the retry loop acts on.
 func TestClassifyTransient(t *testing.T) {
-	transient := []store.FailureClass{store.FailureTimeout, store.FailureEphemeral, store.FailureBreakerOpen}
+	transient := []store.FailureClass{store.FailureTimeout, store.FailureEphemeral, store.FailureBreakerOpen, store.FailureCanceled}
 	persistent := []store.FailureClass{store.FailureNone, store.FailureUnreachable, store.FailureMinor, store.FailureExcluded}
 	for _, f := range transient {
 		if !f.Transient() {

@@ -157,9 +157,15 @@ func (c *Crawler) Crawl(ctx context.Context, targets []Target) *store.Dataset {
 	if c.Config.Resume != nil {
 		completed := make(map[int]bool, len(c.Config.Resume.Records))
 		for _, r := range c.Config.Resume.Records {
+			if r.Failure == store.FailureCanceled {
+				// A cancelled visit is an artifact of the interrupted
+				// run, not a site outcome: drop the record and re-crawl
+				// its rank.
+				continue
+			}
 			completed[r.Rank] = true
+			ds.Records = append(ds.Records, r)
 		}
-		ds.Records = append(ds.Records, c.Config.Resume.Records...)
 		pending = make([]Target, 0, len(targets))
 		for _, t := range targets {
 			if completed[t.Rank] {
@@ -365,6 +371,23 @@ func Classify(err error) store.FailureClass {
 	if errors.Is(err, ErrCircuitOpen) {
 		return store.FailureBreakerOpen
 	}
+	// Archived failures replayed offline carry the class the original
+	// crawl recorded; report it verbatim.
+	var rf *browser.ReplayedFailure
+	if errors.As(err, &rf) {
+		return store.FailureClass(rf.Class)
+	}
+	// Strict offline replay miss: the archive is the whole web in that
+	// mode, and this URL is not on it — the DNS-failure analogue.
+	if errors.Is(err, browser.ErrNotArchived) {
+		return store.FailureUnreachable
+	}
+	// Crawl shutdown: the visit was cancelled mid-flight. Transient —
+	// the site was never actually judged — so resume re-crawls it
+	// instead of persisting a bogus minor failure.
+	if errors.Is(err, context.Canceled) {
+		return store.FailureCanceled
+	}
 	// Deadline: page-load timeout (includes slow-loris drips that never
 	// finish inside the per-site budget).
 	if errors.Is(err, context.DeadlineExceeded) {
@@ -397,16 +420,25 @@ func Classify(err error) store.FailureClass {
 	}
 	msg := err.Error()
 	switch {
-	case strings.Contains(msg, "connection reset"), strings.Contains(msg, "EOF"):
-		// String fallbacks for resets/EOFs that lost their typed chain
-		// through intermediate fmt.Errorf wrapping.
-		return store.FailureEphemeral
 	case strings.Contains(msg, "malformed"),
 		strings.Contains(msg, "headers exceeded"),
 		strings.Contains(msg, "redirects"):
 		// Protocol garbage the crawler refused to consume: the paper's
-		// minor crawler-level errors.
+		// minor crawler-level errors. Checked before the EOF fallback —
+		// a minor-class message that merely mentions "EOF" ("malformed
+		// chunk before EOF") must not be promoted to ephemeral, where
+		// the retry loop would waste attempts on it.
 		return store.FailureMinor
+	case strings.Contains(msg, "connection reset"),
+		strings.Contains(msg, "unexpected EOF"),
+		strings.HasSuffix(msg, ": EOF"),
+		msg == "EOF":
+		// String fallbacks for resets/EOFs that lost their typed chain
+		// through intermediate fmt.Errorf wrapping. A bare substring
+		// match on "EOF" is too loose (it hijacks any message that
+		// mentions EOF); accept only "unexpected EOF" or a wrapped
+		// io.EOF, which Go always renders as a ": EOF" suffix.
+		return store.FailureEphemeral
 	case strings.Contains(msg, "status "):
 		return store.FailureUnreachable
 	default:

@@ -162,3 +162,112 @@ func TestCrawlResume(t *testing.T) {
 		}
 	}
 }
+
+// TestResumeRecrawlsCanceledRecords is the regression test for the
+// resume-skips-cancelled-ranks bug: before Classify learned about
+// context.Canceled, a visit interrupted by crawl shutdown was recorded
+// as FailureMinor — persistent — so resume carried the record over and
+// never re-visited the site. Now the record carries FailureCanceled and
+// resume drops it: the rank is re-crawled, while genuinely persistent
+// failures from the prior run are still skipped.
+func TestResumeRecrawlsCanceledRecords(t *testing.T) {
+	prior := &store.Dataset{Records: []store.SiteRecord{
+		{Rank: 1, URL: "https://a.test/", Failure: store.FailureCanceled, Error: "context canceled"},
+		{Rank: 2, URL: "https://b.test/", Failure: store.FailureUnreachable, Error: "no such host"},
+	}}
+	// The live fetcher succeeds for every URL, so any rank that actually
+	// gets re-visited produces an OK record — which is exactly how we
+	// tell "re-crawled" from "carried over".
+	f := &flakyFetcher{failures: map[string]int{}, fail: timeoutErr}
+	b := browser.New(f, browser.DefaultOptions())
+	c := New(b, Config{Workers: 2, PerSiteTimeout: time.Second, Resume: prior})
+
+	ds := c.Crawl(context.Background(), []Target{
+		{Rank: 1, URL: "https://a.test/"},
+		{Rank: 2, URL: "https://b.test/"},
+	})
+
+	byRank := map[int]store.SiteRecord{}
+	for _, r := range ds.Records {
+		byRank[r.Rank] = r
+	}
+	if len(byRank) != 2 {
+		t.Fatalf("got %d distinct ranks, want 2: %+v", len(byRank), ds.Records)
+	}
+	if rec := byRank[1]; !rec.OK() {
+		t.Errorf("canceled rank 1 was not re-crawled: failure=%q err=%q", rec.Failure, rec.Error)
+	}
+	if rec := byRank[2]; rec.Failure != store.FailureUnreachable {
+		t.Errorf("persistent rank 2 should carry over unreachable, got failure=%q", rec.Failure)
+	}
+	if got := c.Stats().Resumed; got != 1 {
+		t.Errorf("resumed = %d, want 1 (only the persistent record)", got)
+	}
+	if got := c.Stats().Visited; got != 1 {
+		t.Errorf("visited = %d, want 1 (only the canceled rank)", got)
+	}
+}
+
+// TestCancelMidCrawlThenResume drives the bug end to end: cancel a
+// crawl mid-flight against a hanging site, check the interrupted
+// record's class is transient FailureCanceled, then resume and verify
+// the site is measured for real.
+func TestCancelMidCrawlThenResume(t *testing.T) {
+	release := make(chan struct{})
+	hang := newHangingFetcher(release)
+	b := browser.New(hang, browser.DefaultOptions())
+	c := New(b, Config{Workers: 1, PerSiteTimeout: time.Minute})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		<-hang.started()
+		cancel()
+	}()
+	partial := c.Crawl(ctx, []Target{{Rank: 1, URL: "https://slow.test/"}})
+	close(release)
+
+	if len(partial.Records) != 1 {
+		t.Fatalf("got %d records, want 1", len(partial.Records))
+	}
+	if got := partial.Records[0].Failure; got != store.FailureCanceled {
+		t.Fatalf("interrupted visit classified %q, want %q", got, store.FailureCanceled)
+	}
+	if !partial.Records[0].Failure.Transient() {
+		t.Fatal("canceled class must be transient")
+	}
+
+	f := &flakyFetcher{failures: map[string]int{}, fail: timeoutErr}
+	rb := browser.New(f, browser.DefaultOptions())
+	rc := New(rb, Config{Workers: 1, PerSiteTimeout: time.Second, Resume: partial})
+	ds := rc.Crawl(context.Background(), []Target{{Rank: 1, URL: "https://slow.test/"}})
+	if len(ds.Records) != 1 || !ds.Records[0].OK() {
+		t.Fatalf("resume did not re-crawl the canceled rank: %+v", ds.Records)
+	}
+	if got := rc.Stats().Resumed; got != 0 {
+		t.Errorf("resumed = %d, want 0 (canceled record must be dropped)", got)
+	}
+}
+
+// hangingFetcher blocks until released or the context dies, signalling
+// once the first fetch has begun.
+type hangingFetcher struct {
+	startOnce sync.Once
+	start     chan struct{}
+	release   chan struct{}
+}
+
+func newHangingFetcher(release chan struct{}) *hangingFetcher {
+	return &hangingFetcher{start: make(chan struct{}), release: release}
+}
+
+func (h *hangingFetcher) started() <-chan struct{} { return h.start }
+
+func (h *hangingFetcher) Fetch(ctx context.Context, rawURL string) (*browser.Response, error) {
+	h.startOnce.Do(func() { close(h.start) })
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-h.release:
+		return &browser.Response{Status: 200, FinalURL: rawURL, Body: "<html></html>"}, nil
+	}
+}

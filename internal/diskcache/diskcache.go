@@ -1,0 +1,392 @@
+// Package diskcache persists fetched resources as a content-addressed
+// on-disk archive, the step that turns a crawl into a replayable
+// dataset: objects are stored once by SHA-256 under
+// objects/ab/cdef..., and a JSONL manifest maps each URL to its
+// outcome — the object's hash plus status/headers for successes, the
+// failure class and message for fetches that failed. A repeat crawl of
+// the same population reads everything back and skips the network
+// entirely; strict offline mode replays a finished crawl byte for
+// byte, failures included, and turns every genuine miss into a
+// distinguishable error instead of a network fetch (the
+// archive-then-replay design Web Execution Bundles argues is what
+// makes web measurements reproducible and auditable).
+//
+// The archive is built to survive the crawler dying on top of it:
+// objects land via temp-file-plus-rename so a crash never leaves a
+// half-written object under its final name; the manifest is appended
+// one line per outcome and a truncated or corrupt tail is dropped on
+// open (and compacted away); and a hash-mismatched, truncated, or
+// missing object is treated as a miss and re-fetched — corruption
+// degrades the archive, it never fails the crawl.
+package diskcache
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"permodyssey/internal/browser"
+)
+
+const (
+	manifestName = "manifest.jsonl"
+	objectsDir   = "objects"
+)
+
+// entry is one manifest line: the archived outcome of fetching URL.
+// Exactly one of Hash (success; the body lives in the object store) or
+// FailureClass (archived failure) is set.
+type entry struct {
+	URL           string      `json:"url"`
+	Hash          string      `json:"hash,omitempty"`
+	Size          int64       `json:"size,omitempty"`
+	Status        int         `json:"status,omitempty"`
+	Header        http.Header `json:"header,omitempty"`
+	FinalURL      string      `json:"final_url,omitempty"`
+	BodyTruncated bool        `json:"body_truncated,omitempty"`
+	FailureClass  string      `json:"failure_class,omitempty"`
+	FailureMsg    string      `json:"failure_msg,omitempty"`
+}
+
+// indexed is an entry plus its overwrite generation, bumped on every
+// re-store of the same URL so a Load that judged a stale read corrupt
+// cannot delete an object a concurrent Store just renamed into place.
+type indexed struct {
+	entry
+	gen uint64
+}
+
+// Options tunes an Archive.
+type Options struct {
+	// Offline switches the archive to strict replay: loads serve
+	// archived responses and replay archived failures, every miss
+	// (including a corrupt object) returns an error wrapping
+	// browser.ErrNotArchived, and nothing on disk is modified.
+	Offline bool
+	// Classify maps a failed fetch to the failure-taxonomy class
+	// (store.FailureClass string) archived with it. Returning "" skips
+	// archiving that failure — crawler-local conditions such as
+	// cancellation or an open circuit breaker are not site properties
+	// and must not poison replay. nil disables failure archiving.
+	Classify func(err error) string
+}
+
+// Archive is a content-addressed resource archive rooted at one
+// directory. Safe for concurrent use by any number of crawl stacks in
+// one process; multi-process sharing is limited to read-side safety
+// (object writes are atomic, but two processes appending one manifest
+// interleave).
+type Archive struct {
+	dir      string
+	offline  bool
+	classify func(err error) string
+
+	mu       sync.Mutex
+	index    map[string]*indexed
+	manifest *os.File // append handle; nil when offline or closed
+
+	hits, writes, corrupt, bytesStored atomic.Uint64
+}
+
+// Open loads (or creates) the archive rooted at dir. The manifest is
+// read tolerantly — a truncated tail or corrupt line from an
+// interrupted crawl is dropped, later duplicates of a URL win — and
+// compacted back to one line per URL before the append handle opens.
+// In offline mode nothing is written, not even the compaction.
+func Open(dir string, opts Options) (*Archive, error) {
+	a := &Archive{
+		dir:      dir,
+		offline:  opts.Offline,
+		classify: opts.Classify,
+		index:    map[string]*indexed{},
+	}
+	if err := os.MkdirAll(filepath.Join(dir, objectsDir), 0o755); err != nil {
+		return nil, fmt.Errorf("diskcache: %w", err)
+	}
+	path := filepath.Join(dir, manifestName)
+	clean, err := a.loadManifest(path)
+	if err != nil {
+		return nil, err
+	}
+	if a.offline {
+		return a, nil
+	}
+	if !clean {
+		if err := a.compact(path); err != nil {
+			return nil, err
+		}
+	}
+	mf, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("diskcache: %w", err)
+	}
+	a.manifest = mf
+	return a, nil
+}
+
+// loadManifest reads the manifest into the index, reporting whether the
+// file was already one clean line per URL (false forces compaction).
+func (a *Archive) loadManifest(path string) (clean bool, err error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return true, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("diskcache: %w", err)
+	}
+	defer f.Close()
+	clean = true
+	br := bufio.NewReader(f)
+	for {
+		line, readErr := br.ReadBytes('\n')
+		if n := len(line); n > 0 && line[n-1] == '\n' {
+			var e entry
+			if json.Unmarshal(line, &e) == nil && e.URL != "" {
+				if _, dup := a.index[e.URL]; dup {
+					clean = false // duplicate: append-during-crawl churn
+				}
+				a.index[e.URL] = &indexed{entry: e}
+			} else {
+				clean = false // corrupt line: drop it
+			}
+		} else if n > 0 {
+			clean = false // truncated tail from an interrupted crawl
+		}
+		if readErr != nil {
+			return clean, nil
+		}
+	}
+}
+
+// compact atomically rewrites the manifest as one line per URL.
+func (a *Archive) compact(path string) error {
+	tmp, err := os.CreateTemp(a.dir, ".manifest-*")
+	if err != nil {
+		return fmt.Errorf("diskcache: compacting: %w", err)
+	}
+	bw := bufio.NewWriter(tmp)
+	enc := json.NewEncoder(bw)
+	for _, ix := range a.index {
+		if err := enc.Encode(ix.entry); err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return fmt.Errorf("diskcache: compacting: %w", err)
+		}
+	}
+	if err := bw.Flush(); err == nil {
+		err = tmp.Close()
+	} else {
+		tmp.Close()
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("diskcache: compacting: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("diskcache: compacting: %w", err)
+	}
+	return nil
+}
+
+// Load implements browser.ResponseArchive. Online, it returns
+// (nil, nil) for anything it cannot serve — unarchived URLs, archived
+// failures (the site may be healthy again; re-fetch it), and corrupt
+// or truncated objects, which are dropped so the re-fetch rewrites
+// them. Offline, archived failures replay as *browser.ReplayedFailure
+// and every miss is an error wrapping browser.ErrNotArchived.
+func (a *Archive) Load(rawURL string) (*browser.Response, error) {
+	a.mu.Lock()
+	ix, ok := a.index[rawURL]
+	if !ok {
+		a.mu.Unlock()
+		return a.miss(rawURL)
+	}
+	e, gen := ix.entry, ix.gen
+	a.mu.Unlock()
+
+	if e.Hash == "" {
+		if a.offline {
+			a.hits.Add(1)
+			return nil, &browser.ReplayedFailure{Class: e.FailureClass, Msg: e.FailureMsg}
+		}
+		return nil, nil
+	}
+	body, err := os.ReadFile(a.objectPath(e.Hash))
+	if err == nil && int64(len(body)) == e.Size {
+		if sum := sha256.Sum256(body); hex.EncodeToString(sum[:]) == e.Hash {
+			a.hits.Add(1)
+			return &browser.Response{
+				Status:        e.Status,
+				Header:        e.Header,
+				Body:          string(body),
+				FinalURL:      e.FinalURL,
+				BodyTruncated: e.BodyTruncated,
+			}, nil
+		}
+	}
+	// Corrupt, truncated, or missing object: degrade to a miss so the
+	// caller re-fetches. Online, drop the index entry and the bad
+	// object so the re-fetch rewrites both — unless a concurrent Store
+	// already replaced them (generation check).
+	a.corrupt.Add(1)
+	if !a.offline {
+		a.mu.Lock()
+		if cur, ok := a.index[rawURL]; ok && cur.gen == gen {
+			delete(a.index, rawURL)
+			os.Remove(a.objectPath(e.Hash))
+		}
+		a.mu.Unlock()
+	}
+	return a.miss(rawURL)
+}
+
+// miss is the no-entry outcome: nil online, distinguishable offline.
+func (a *Archive) miss(rawURL string) (*browser.Response, error) {
+	if a.offline {
+		return nil, fmt.Errorf("%w: %s", browser.ErrNotArchived, rawURL)
+	}
+	return nil, nil
+}
+
+// Store implements browser.ResponseArchive: the object lands first
+// (temp file + rename; skipped when an intact copy of the same content
+// already exists), then the manifest line. A disk error degrades the
+// archive silently — the crawl itself already has the response.
+func (a *Archive) Store(rawURL string, resp *browser.Response) {
+	if a.offline || resp == nil {
+		return
+	}
+	sum := sha256.Sum256([]byte(resp.Body))
+	e := entry{
+		URL:           rawURL,
+		Hash:          hex.EncodeToString(sum[:]),
+		Size:          int64(len(resp.Body)),
+		Status:        resp.Status,
+		Header:        resp.Header,
+		FinalURL:      resp.FinalURL,
+		BodyTruncated: resp.BodyTruncated,
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if err := a.writeObjectLocked(e.Hash, resp.Body); err != nil {
+		return
+	}
+	a.appendLocked(e)
+}
+
+// StoreFailure implements browser.ResponseArchive: a failed fetch is
+// archived with its taxonomy class so offline replay reproduces the
+// failure. Crawler-local conditions (Classify returns "") are skipped.
+func (a *Archive) StoreFailure(rawURL string, fetchErr error) {
+	if a.offline || a.classify == nil || fetchErr == nil {
+		return
+	}
+	class := a.classify(fetchErr)
+	if class == "" {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.appendLocked(entry{URL: rawURL, FailureClass: class, FailureMsg: fetchErr.Error()})
+}
+
+// writeObjectLocked stores body under its content hash, atomically. An
+// existing object of the right size is trusted (content addressing:
+// same hash, same bytes); a wrong-sized one — a truncated write from a
+// crash — is repaired by the rename. Callers hold a.mu.
+func (a *Archive) writeObjectLocked(hash, body string) error {
+	path := a.objectPath(hash)
+	if fi, err := os.Stat(path); err == nil && fi.Size() == int64(len(body)) {
+		return nil
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".obj-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.WriteString(body); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	a.bytesStored.Add(uint64(len(body)))
+	return nil
+}
+
+// appendLocked writes one manifest line and updates the index. Each
+// line is a single Write call, so a crash mid-append corrupts at most
+// the tail — which Open drops. Callers hold a.mu.
+func (a *Archive) appendLocked(e entry) {
+	line, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	if a.manifest != nil {
+		if _, err := a.manifest.Write(append(line, '\n')); err != nil {
+			return
+		}
+	}
+	if ix := a.index[e.URL]; ix != nil {
+		ix.entry, ix.gen = e, ix.gen+1
+	} else {
+		a.index[e.URL] = &indexed{entry: e, gen: 1}
+	}
+	a.writes.Add(1)
+}
+
+func (a *Archive) objectPath(hash string) string {
+	return filepath.Join(a.dir, objectsDir, hash[:2], hash[2:])
+}
+
+// Stats implements browser.ResponseArchive.
+func (a *Archive) Stats() browser.ArchiveStats {
+	a.mu.Lock()
+	entries := uint64(len(a.index))
+	hashes := map[string]struct{}{}
+	for _, ix := range a.index {
+		if ix.Hash != "" {
+			hashes[ix.Hash] = struct{}{}
+		}
+	}
+	a.mu.Unlock()
+	return browser.ArchiveStats{
+		Hits:             a.hits.Load(),
+		Writes:           a.writes.Load(),
+		CorruptRecovered: a.corrupt.Load(),
+		BytesStored:      a.bytesStored.Load(),
+		Entries:          entries,
+		Objects:          uint64(len(hashes)),
+	}
+}
+
+// Close releases the manifest append handle. Stores after Close still
+// update the in-memory index and object store but no longer reach the
+// manifest; close the archive only once the crawl is done with it.
+func (a *Archive) Close() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.manifest == nil {
+		return nil
+	}
+	err := a.manifest.Close()
+	a.manifest = nil
+	return err
+}

@@ -1,0 +1,471 @@
+package diskcache
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"permodyssey/internal/browser"
+)
+
+func mustOpen(t *testing.T, dir string, opts Options) *Archive {
+	t.Helper()
+	a, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	return a
+}
+
+func resp(body string) *browser.Response {
+	return &browser.Response{
+		Status:   200,
+		Header:   http.Header{"Content-Type": []string{"text/html"}},
+		Body:     body,
+		FinalURL: "https://final.test/",
+	}
+}
+
+// classifyAll archives every failure under one class, for tests that
+// don't care about the taxonomy.
+func classifyAll(error) string { return "ephemeral" }
+
+func TestRoundtripAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	a := mustOpen(t, dir, Options{Classify: classifyAll})
+	a.Store("https://a.test/", resp("body A"))
+	a.Store("https://b.test/", resp("body B"))
+	a.StoreFailure("https://down.test/", errors.New("connection reset"))
+
+	check := func(a *Archive, label string) {
+		t.Helper()
+		got, err := a.Load("https://a.test/")
+		if err != nil || got == nil {
+			t.Fatalf("%s: Load(a) = %v, %v", label, got, err)
+		}
+		if got.Body != "body A" || got.Status != 200 || got.FinalURL != "https://final.test/" {
+			t.Errorf("%s: Load(a) lost fields: %+v", label, got)
+		}
+		if got.Header.Get("Content-Type") != "text/html" {
+			t.Errorf("%s: Load(a) lost headers: %v", label, got.Header)
+		}
+		// Online mode never serves archived failures: the site may be
+		// healthy again, so the caller should re-fetch it.
+		if got, err := a.Load("https://down.test/"); got != nil || err != nil {
+			t.Errorf("%s: Load(down) = %v, %v; want nil, nil online", label, got, err)
+		}
+		// Unknown URL is a plain miss online.
+		if got, err := a.Load("https://never.test/"); got != nil || err != nil {
+			t.Errorf("%s: Load(never) = %v, %v; want nil, nil", label, got, err)
+		}
+	}
+	check(a, "same process")
+	if s := a.Stats(); s.Writes != 3 || s.Entries != 3 || s.Objects != 2 || s.BytesStored == 0 {
+		t.Errorf("stats = %+v, want 3 writes, 3 entries, 2 objects", s)
+	}
+	a.Close()
+
+	check(mustOpen(t, dir, Options{}), "after reopen")
+}
+
+func TestObjectDedupAcrossURLs(t *testing.T) {
+	a := mustOpen(t, t.TempDir(), Options{})
+	a.Store("https://cdn-a.test/lib.js", resp("shared body"))
+	a.Store("https://cdn-b.test/lib.js", resp("shared body"))
+	s := a.Stats()
+	if s.Entries != 2 || s.Objects != 1 {
+		t.Errorf("stats = %+v, want 2 entries sharing 1 object", s)
+	}
+	if want := uint64(len("shared body")); s.BytesStored != want {
+		t.Errorf("bytes stored = %d, want %d (second store must not rewrite)", s.BytesStored, want)
+	}
+}
+
+// TestManifestCompaction: append-during-crawl leaves one line per
+// outcome, including overwrites; reopening compacts back to one line
+// per URL with the last outcome winning.
+func TestManifestCompaction(t *testing.T) {
+	dir := t.TempDir()
+	a := mustOpen(t, dir, Options{Classify: classifyAll})
+	a.StoreFailure("https://x.test/", errors.New("reset"))
+	a.Store("https://x.test/", resp("recovered"))
+	a.Store("https://y.test/", resp("y"))
+	a.Close()
+
+	if got := manifestLines(t, dir); got != 3 {
+		t.Fatalf("manifest has %d lines before compaction, want 3 (append-only)", got)
+	}
+	b := mustOpen(t, dir, Options{})
+	if got := manifestLines(t, dir); got != 2 {
+		t.Errorf("manifest has %d lines after reopen, want 2 (compacted)", got)
+	}
+	got, err := b.Load("https://x.test/")
+	if err != nil || got == nil || got.Body != "recovered" {
+		t.Errorf("Load(x) = %v, %v; want the later success to win", got, err)
+	}
+}
+
+// TestTruncatedManifestTail: a crash mid-append leaves a partial final
+// line; open drops it, keeps the complete prefix, and compacts.
+func TestTruncatedManifestTail(t *testing.T) {
+	dir := t.TempDir()
+	a := mustOpen(t, dir, Options{})
+	a.Store("https://ok.test/", resp("intact"))
+	a.Close()
+
+	path := filepath.Join(dir, manifestName)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"url":"https://torn.test/","hash":"ab`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	b := mustOpen(t, dir, Options{})
+	if got, err := b.Load("https://ok.test/"); err != nil || got == nil || got.Body != "intact" {
+		t.Errorf("intact prefix lost after truncated tail: %v, %v", got, err)
+	}
+	if got, err := b.Load("https://torn.test/"); got != nil || err != nil {
+		t.Errorf("truncated tail resurrected: %v, %v", got, err)
+	}
+	if got := manifestLines(t, dir); got != 1 {
+		t.Errorf("manifest has %d lines after recovery, want 1", got)
+	}
+}
+
+// TestCorruptLineDropped: a corrupt (non-JSON) interior line is
+// dropped without losing its neighbours.
+func TestCorruptLineDropped(t *testing.T) {
+	dir := t.TempDir()
+	a := mustOpen(t, dir, Options{})
+	a.Store("https://first.test/", resp("first"))
+	a.Close()
+	path := filepath.Join(dir, manifestName)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append([]byte("!!not json!!\n"), raw...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b := mustOpen(t, dir, Options{})
+	if got, err := b.Load("https://first.test/"); err != nil || got == nil {
+		t.Errorf("record after corrupt line lost: %v, %v", got, err)
+	}
+}
+
+// TestCorruptObjectDegradesToMiss: a bit-flipped object fails hash
+// verification, counts as a corrupt recovery, and becomes a miss so
+// the caller re-fetches; the re-store repairs the archive.
+func TestCorruptObjectDegradesToMiss(t *testing.T) {
+	dir := t.TempDir()
+	a := mustOpen(t, dir, Options{})
+	a.Store("https://x.test/", resp("pristine body"))
+	flipObjectByte(t, dir)
+
+	if got, err := a.Load("https://x.test/"); got != nil || err != nil {
+		t.Fatalf("corrupt object served: %v, %v; want miss", got, err)
+	}
+	if s := a.Stats(); s.CorruptRecovered != 1 {
+		t.Errorf("corrupt recoveries = %d, want 1", s.CorruptRecovered)
+	}
+	// The re-fetch path stores again and the archive heals.
+	a.Store("https://x.test/", resp("pristine body"))
+	if got, err := a.Load("https://x.test/"); err != nil || got == nil || got.Body != "pristine body" {
+		t.Errorf("archive did not heal after re-store: %v, %v", got, err)
+	}
+}
+
+// TestTruncatedObjectDegradesToMiss: a half-written object (wrong
+// size) is a miss, not an error.
+func TestTruncatedObjectDegradesToMiss(t *testing.T) {
+	dir := t.TempDir()
+	a := mustOpen(t, dir, Options{})
+	a.Store("https://x.test/", resp("a body long enough to truncate"))
+	truncateObject(t, dir)
+	if got, err := a.Load("https://x.test/"); got != nil || err != nil {
+		t.Fatalf("truncated object served: %v, %v; want miss", got, err)
+	}
+	if s := a.Stats(); s.CorruptRecovered != 1 {
+		t.Errorf("corrupt recoveries = %d, want 1", s.CorruptRecovered)
+	}
+}
+
+// TestMissingObjectDegradesToMiss: the manifest references an object
+// someone deleted; still a miss, never fatal.
+func TestMissingObjectDegradesToMiss(t *testing.T) {
+	dir := t.TempDir()
+	a := mustOpen(t, dir, Options{})
+	a.Store("https://x.test/", resp("body"))
+	removeObjects(t, dir)
+	if got, err := a.Load("https://x.test/"); got != nil || err != nil {
+		t.Fatalf("missing object: %v, %v; want miss", got, err)
+	}
+}
+
+func TestOfflineMissIsDistinguishable(t *testing.T) {
+	a := mustOpen(t, t.TempDir(), Options{Offline: true})
+	got, err := a.Load("https://never.test/")
+	if got != nil {
+		t.Fatalf("offline miss returned a response: %+v", got)
+	}
+	if !errors.Is(err, browser.ErrNotArchived) {
+		t.Fatalf("offline miss error = %v, want wrap of ErrNotArchived", err)
+	}
+	if !strings.Contains(err.Error(), "https://never.test/") {
+		t.Errorf("offline miss error should name the URL: %v", err)
+	}
+}
+
+func TestOfflineReplaysArchivedFailures(t *testing.T) {
+	dir := t.TempDir()
+	a := mustOpen(t, dir, Options{Classify: func(error) string { return "timeout" }})
+	a.Store("https://ok.test/", resp("fine"))
+	a.StoreFailure("https://slow.test/", errors.New("context deadline exceeded"))
+	a.Close()
+
+	b := mustOpen(t, dir, Options{Offline: true})
+	if got, err := b.Load("https://ok.test/"); err != nil || got == nil || got.Body != "fine" {
+		t.Errorf("offline success replay: %v, %v", got, err)
+	}
+	_, err := b.Load("https://slow.test/")
+	var rf *browser.ReplayedFailure
+	if !errors.As(err, &rf) {
+		t.Fatalf("offline failure replay error = %v, want *ReplayedFailure", err)
+	}
+	if rf.Class != "timeout" || !strings.Contains(rf.Msg, "deadline") {
+		t.Errorf("replayed failure = %+v, want recorded class and message", rf)
+	}
+	if s := b.Stats(); s.Hits != 2 {
+		t.Errorf("offline hits = %d, want 2 (failure replays count)", s.Hits)
+	}
+}
+
+// TestOfflineWritesNothing: strict replay never modifies the archive —
+// no stores, no failure stores, no compaction, even when the manifest
+// has append churn that online open would compact away.
+func TestOfflineWritesNothing(t *testing.T) {
+	dir := t.TempDir()
+	a := mustOpen(t, dir, Options{})
+	a.Store("https://x.test/", resp("v1"))
+	a.Store("https://x.test/", resp("v2")) // duplicate line: compaction bait
+	a.Close()
+
+	before, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := mustOpen(t, dir, Options{Offline: true, Classify: classifyAll})
+	b.Store("https://new.test/", resp("nope"))
+	b.StoreFailure("https://new2.test/", errors.New("nope"))
+	if got, err := b.Load("https://new.test/"); got != nil || !errors.Is(err, browser.ErrNotArchived) {
+		t.Errorf("offline Store took effect: %v, %v", got, err)
+	}
+	after, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Error("offline mode modified the manifest")
+	}
+	if s := b.Stats(); s.Writes != 0 {
+		t.Errorf("offline writes = %d, want 0", s.Writes)
+	}
+}
+
+// TestOfflineCorruptObjectIsMiss: offline cannot re-fetch, so a
+// corrupt object is an ErrNotArchived miss — and the archive is left
+// untouched for a later online repair.
+func TestOfflineCorruptObjectIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	a := mustOpen(t, dir, Options{})
+	a.Store("https://x.test/", resp("body"))
+	a.Close()
+	flipObjectByte(t, dir)
+
+	b := mustOpen(t, dir, Options{Offline: true})
+	_, err := b.Load("https://x.test/")
+	if !errors.Is(err, browser.ErrNotArchived) {
+		t.Fatalf("offline corrupt load error = %v, want ErrNotArchived", err)
+	}
+	if s := b.Stats(); s.CorruptRecovered != 1 {
+		t.Errorf("corrupt recoveries = %d, want 1", s.CorruptRecovered)
+	}
+	if countObjects(t, dir) != 1 {
+		t.Error("offline mode deleted the corrupt object")
+	}
+}
+
+func TestStoreFailureSkipsCrawlLocalClasses(t *testing.T) {
+	a := mustOpen(t, t.TempDir(), Options{Classify: func(err error) string {
+		if errors.Is(err, context.Canceled) {
+			return "" // crawl-local: not a site property
+		}
+		return "unreachable"
+	}})
+	a.StoreFailure("https://interrupted.test/", context.Canceled)
+	a.StoreFailure("https://gone.test/", errors.New("no such host"))
+	if s := a.Stats(); s.Entries != 1 || s.Writes != 1 {
+		t.Errorf("stats = %+v, want only the unreachable failure archived", s)
+	}
+}
+
+func TestStoreFailureNilClassify(t *testing.T) {
+	a := mustOpen(t, t.TempDir(), Options{})
+	a.StoreFailure("https://x.test/", errors.New("boom"))
+	if s := a.Stats(); s.Entries != 0 {
+		t.Errorf("nil Classify archived a failure: %+v", s)
+	}
+}
+
+// TestConcurrentStoreLoad hammers one archive from many goroutines —
+// the shape of several crawl workers sharing one stack — under -race.
+func TestConcurrentStoreLoad(t *testing.T) {
+	a := mustOpen(t, t.TempDir(), Options{Classify: classifyAll})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				url := fmt.Sprintf("https://r%d.test/", i%10)
+				switch i % 3 {
+				case 0:
+					a.Store(url, resp(fmt.Sprintf("body %d", i%10)))
+				case 1:
+					if r, err := a.Load(url); err != nil {
+						t.Errorf("Load(%s): %v", url, err)
+					} else if r != nil && !strings.HasPrefix(r.Body, "body ") {
+						t.Errorf("Load(%s) garbled body %q", url, r.Body)
+					}
+				case 2:
+					a.StoreFailure(fmt.Sprintf("https://f%d.test/", i%10), errors.New("reset"))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	a.Close()
+	if s := a.Stats(); s.Entries == 0 {
+		t.Error("concurrent run archived nothing")
+	}
+}
+
+// TestTwoCrawlStacksOneArchive: two independent CachingFetchers (the
+// two-crawler shape) share one archive; the second serves everything
+// from disk without touching its own network.
+func TestTwoCrawlStacksOneArchive(t *testing.T) {
+	a := mustOpen(t, t.TempDir(), Options{})
+	urls := []string{"https://a.test/", "https://b.test/", "https://c.test/"}
+
+	first := browser.NewCachingFetcher(fetcherFunc(func(_ context.Context, u string) (*browser.Response, error) {
+		return resp("body of " + u), nil
+	}))
+	first.Disk = a
+	for _, u := range urls {
+		if _, err := first.Fetch(context.Background(), u); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	second := browser.NewCachingFetcher(fetcherFunc(func(_ context.Context, u string) (*browser.Response, error) {
+		t.Errorf("second stack hit the network for %s", u)
+		return nil, errors.New("network")
+	}))
+	second.Disk = a
+	for _, u := range urls {
+		got, err := second.Fetch(context.Background(), u)
+		if err != nil || got.Body != "body of "+u {
+			t.Fatalf("second stack Fetch(%s) = %v, %v", u, got, err)
+		}
+	}
+	if s := second.Stats(); s.NetworkFetches != 0 {
+		t.Errorf("second stack network fetches = %d, want 0", s.NetworkFetches)
+	}
+}
+
+type fetcherFunc func(ctx context.Context, rawURL string) (*browser.Response, error)
+
+func (f fetcherFunc) Fetch(ctx context.Context, rawURL string) (*browser.Response, error) {
+	return f(ctx, rawURL)
+}
+
+// --- filesystem fault helpers ---
+
+func manifestLines(t *testing.T, dir string) int {
+	t.Helper()
+	f, err := os.Open(filepath.Join(dir, manifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	n := 0
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		n++
+	}
+	return n
+}
+
+func objectFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	var out []string
+	err := filepath.Walk(filepath.Join(dir, objectsDir), func(path string, fi os.FileInfo, err error) error {
+		if err == nil && !fi.IsDir() {
+			out = append(out, path)
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func countObjects(t *testing.T, dir string) int { return len(objectFiles(t, dir)) }
+
+func flipObjectByte(t *testing.T, dir string) {
+	t.Helper()
+	for _, path := range objectFiles(t, dir) {
+		raw, err := os.ReadFile(path)
+		if err != nil || len(raw) == 0 {
+			t.Fatal("cannot corrupt object", path, err)
+		}
+		raw[0] ^= 0xFF
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	t.Fatal("no object to corrupt")
+}
+
+func truncateObject(t *testing.T, dir string) {
+	t.Helper()
+	for _, path := range objectFiles(t, dir) {
+		if err := os.Truncate(path, 3); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	t.Fatal("no object to truncate")
+}
+
+func removeObjects(t *testing.T, dir string) {
+	t.Helper()
+	for _, path := range objectFiles(t, dir) {
+		if err := os.Remove(path); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

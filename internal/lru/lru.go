@@ -56,19 +56,24 @@ func (c *Cache[K, V]) Peek(key K) (V, bool) {
 	return zero, false
 }
 
-// Add inserts or replaces key, marking it most recently used. When the
-// insert pushes the cache past MaxEntries, the least recently used
-// entry is evicted and returned so the caller can release any state
-// tied to it (body interning refcounts, counters).
-func (c *Cache[K, V]) Add(key K, value V) (evictedKey K, evictedValue V, evicted bool) {
+// Add inserts or replaces key, marking it most recently used. Both ways
+// an Add can displace a live value are reported so the caller can
+// release any state tied to it (body interning refcounts, counters):
+// overwriting an existing key returns the old value with replaced=true,
+// and a fresh insert that pushes the cache past MaxEntries evicts and
+// returns the least recently used entry. The two cases are mutually
+// exclusive — a replace never changes the entry count.
+func (c *Cache[K, V]) Add(key K, value V) (old V, replaced bool, evictedKey K, evictedValue V, evicted bool) {
 	if el, ok := c.items[key]; ok {
 		c.order.MoveToFront(el)
-		el.Value.(*entry[K, V]).value = value
+		e := el.Value.(*entry[K, V])
+		old, replaced = e.value, true
+		e.value = value
 		return
 	}
 	c.items[key] = c.order.PushFront(&entry[K, V]{key: key, value: value})
 	if c.MaxEntries > 0 && len(c.items) > c.MaxEntries {
-		return c.removeOldest()
+		evictedKey, evictedValue, evicted = c.removeOldest()
 	}
 	return
 }

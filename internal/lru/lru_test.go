@@ -23,7 +23,7 @@ func TestEvictionOrder(t *testing.T) {
 	c.Add("b", 2)
 	// Touch a so b is the LRU entry.
 	c.Get("a")
-	k, v, evicted := c.Add("c", 3)
+	_, _, k, v, evicted := c.Add("c", 3)
 	if !evicted || k != "b" || v != 2 {
 		t.Fatalf("evicted %q=%d (%v), want b=2", k, v, evicted)
 	}
@@ -35,15 +35,41 @@ func TestEvictionOrder(t *testing.T) {
 	}
 }
 
-func TestReplaceDoesNotEvict(t *testing.T) {
+// TestReplaceReturnsOldValue: overwriting a live key must hand the
+// displaced value back, so callers tracking per-value state (interned
+// body refcounts) can release it — silently dropping it leaks.
+func TestReplaceReturnsOldValue(t *testing.T) {
 	c := New[string, int](2)
 	c.Add("a", 1)
 	c.Add("b", 2)
-	if _, _, evicted := c.Add("a", 10); evicted {
+	old, replaced, _, _, evicted := c.Add("a", 10)
+	if evicted {
 		t.Fatal("replacing a live key must not evict")
+	}
+	if !replaced || old != 1 {
+		t.Fatalf("replace reported old=%d replaced=%v, want 1, true", old, replaced)
 	}
 	if v, _ := c.Get("a"); v != 10 {
 		t.Fatalf("a = %d, want 10", v)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (replace keeps the entry count)", c.Len())
+	}
+	// A fresh insert must not claim a replace happened.
+	if _, replaced, _, _, _ := c.Add("c", 3); replaced {
+		t.Fatal("fresh insert must not report replaced")
+	}
+}
+
+// TestReplaceRefreshesRecency: a replace counts as a use — the
+// replaced key must become the most recently used entry.
+func TestReplaceRefreshesRecency(t *testing.T) {
+	c := New[string, int](2)
+	c.Add("a", 1)
+	c.Add("b", 2)
+	c.Add("a", 10) // a is now most recent; b is the LRU entry
+	if _, _, k, _, evicted := c.Add("c", 3); !evicted || k != "b" {
+		t.Fatalf("evicted %q (%v), want b", k, evicted)
 	}
 }
 
@@ -52,7 +78,7 @@ func TestPeekDoesNotTouchRecency(t *testing.T) {
 	c.Add("a", 1)
 	c.Add("b", 2)
 	c.Peek("a") // must NOT refresh a
-	if k, _, evicted := c.Add("c", 3); !evicted || k != "a" {
+	if _, _, k, _, evicted := c.Add("c", 3); !evicted || k != "a" {
 		t.Fatalf("evicted %q (%v), want a", k, evicted)
 	}
 }
@@ -60,7 +86,7 @@ func TestPeekDoesNotTouchRecency(t *testing.T) {
 func TestRemoveAndUnbounded(t *testing.T) {
 	c := New[int, int](0)
 	for i := 0; i < 1000; i++ {
-		if _, _, evicted := c.Add(i, i); evicted {
+		if _, _, _, _, evicted := c.Add(i, i); evicted {
 			t.Fatal("unbounded cache must never evict")
 		}
 	}

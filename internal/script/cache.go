@@ -78,7 +78,7 @@ func (c *ParseCache) Parse(src string) (*Program, error) {
 		return e.prog, e.err
 	}
 	e := &parseEntry{done: make(chan struct{})}
-	if _, _, evicted := c.entries.Add(sum, e); evicted {
+	if _, _, _, _, evicted := c.entries.Add(sum, e); evicted {
 		c.evictions.Add(1)
 	}
 	c.mu.Unlock()

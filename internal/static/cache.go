@@ -62,7 +62,7 @@ func (c *Cache) Analyze(src, scriptURL string) []Finding {
 		c.misses.Add(1)
 		cached = c.analyzer.Analyze(src, "")
 		c.mu.Lock()
-		if _, _, evicted := c.entries.Add(sum, cached); evicted {
+		if _, _, _, _, evicted := c.entries.Add(sum, cached); evicted {
 			c.evictions.Add(1)
 		}
 		c.mu.Unlock()

@@ -37,6 +37,12 @@ const (
 	// crawler refused to hammer a host that had just failed repeatedly.
 	// Transient by definition: a later half-open probe may pass.
 	FailureBreakerOpen FailureClass = "breaker-open"
+	// FailureCanceled: the crawl itself was cancelled while this visit
+	// was in flight. An artifact of the interrupted run, not a site
+	// property — resume drops these records and re-crawls their ranks
+	// (a non-transient class here would persist the misclassification
+	// and skip the sites forever).
+	FailureCanceled FailureClass = "canceled"
 )
 
 // SiteRecord is one site's outcome.
@@ -75,11 +81,14 @@ func (r SiteRecord) OK() bool { return r.Failure == FailureNone && r.Page != nil
 
 // Transient reports whether a retry of this failure class could
 // plausibly succeed: timeouts (a slow server may answer within a fresh
-// deadline), ephemeral mid-body deaths, and circuit-breaker refusals
-// (the breaker half-opens after its cooldown). Unreachable hosts (DNS)
-// and minor protocol garbage are persistent site properties.
+// deadline), ephemeral mid-body deaths, circuit-breaker refusals (the
+// breaker half-opens after its cooldown), and cancelled visits (a
+// resumed crawl visits them again under a live context). Unreachable
+// hosts (DNS) and minor protocol garbage are persistent site
+// properties.
 func (f FailureClass) Transient() bool {
-	return f == FailureTimeout || f == FailureEphemeral || f == FailureBreakerOpen
+	return f == FailureTimeout || f == FailureEphemeral || f == FailureBreakerOpen ||
+		f == FailureCanceled
 }
 
 // Dataset is an in-memory result set.

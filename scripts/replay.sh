@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Offline-replay gate: a warm crawl with -cache-dir followed by an
+# offline re-crawl of the same population must produce byte-identical
+# analysis reports with zero network fetches — the archive really does
+# turn a crawl into a replayable dataset. CI runs this as the
+# offline-replay job; `make replay` runs it locally.
+#
+# -retries 0 keeps warm and replay exactly comparable: with retries, a
+# spuriously-slow first attempt could be archived, then overwritten by
+# a successful retry, leaving the replayed retry counts one short.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SITES="${PERMODYSSEY_REPLAY_SITES:-400}"
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+
+go build -o "$work/permcrawl" ./cmd/permcrawl
+go build -o "$work/permreport" ./cmd/permreport
+
+common=(-sites "$SITES" -seed 7 -workers 32 -timeout 2s -retries 0
+    -cache-dir "$work/archive")
+
+echo "== warm crawl ($SITES sites, populating the archive) =="
+"$work/permcrawl" "${common[@]}" -out "$work/warm.jsonl" \
+    -stats-json "$work/warm-stats.json"
+
+echo "== offline replay (network forbidden) =="
+"$work/permcrawl" "${common[@]}" -offline -out "$work/replay.jsonl" \
+    -stats-json "$work/replay-stats.json"
+
+"$work/permreport" -in "$work/warm.jsonl" -json >"$work/warm-report.json"
+"$work/permreport" -in "$work/replay.jsonl" -json >"$work/replay-report.json"
+
+if ! diff -u "$work/warm-report.json" "$work/replay-report.json"; then
+    echo "replay gate: warm and offline reports differ" >&2
+    exit 1
+fi
+
+if ! grep -q '"network_fetches": 0' "$work/replay-stats.json"; then
+    echo "replay gate: offline replay reached the network" >&2
+    cat "$work/replay-stats.json" >&2
+    exit 1
+fi
+
+echo "replay gate: reports identical, zero network fetches"

@@ -2,7 +2,7 @@
 # GitHub Actions tier-1 gate; `make bench` produces a BENCH_*.json
 # perf artifact.
 
-.PHONY: ci test bench benchcmp soak replay fmt build
+.PHONY: ci test bench bench-sched benchcmp soak replay fmt build
 
 ci:
 	./scripts/ci.sh
@@ -17,6 +17,11 @@ test:
 
 bench:
 	./scripts/bench.sh
+
+# Scheduler throughput gate: chaos crawl, blocking baseline vs the
+# host-aware scheduler; fails below a 25% wall-clock win.
+bench-sched:
+	./scripts/bench_sched.sh
 
 # make benchcmp BASE=BENCH_old.json CUR=BENCH_local.json
 benchcmp:

@@ -519,6 +519,67 @@ func crawlBench(b *testing.B, cached bool) {
 func BenchmarkCrawlUncached(b *testing.B) { crawlBench(b, false) }
 func BenchmarkCrawlCached(b *testing.B)   { crawlBench(b, true) }
 
+// ---- Crawl-at-scale: host-aware scheduler under chaos ----
+
+// chaosSchedBench crawls a fault-heavy population with retries on, once
+// per iteration against a fresh server (flap counters restart), either
+// through the scheduler's non-blocking deferral heap or the legacy
+// blocking-backoff baseline. The fault mix is fail-fast and
+// deterministic — resets and flapping hosts, the kinds that trigger
+// retries — so the measured gap is scheduling, not fault timing: the
+// baseline burns each backoff inside a worker while the scheduler's
+// workers keep crawling.
+func chaosSchedBench(b *testing.B, blocking bool) {
+	cfg := synthweb.DefaultConfig()
+	cfg.NumSites = envSites("PERMODYSSEY_BENCH_CHAOS_SITES", 300)
+	cfg.Seed = benchSeed + 6
+	cfg.UnreachableRate, cfg.TimeoutRate, cfg.EphemeralRate, cfg.MinorRate = 0, 0, 0, 0
+	cfg.Chaos = synthweb.ChaosConfig{
+		Enabled:      true,
+		SiteRate:     0.4,
+		FlapFailures: 2,
+		Kinds:        []synthweb.Fault{synthweb.FaultReset, synthweb.FaultFlap},
+	}
+
+	var retries, requeued int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv := synthweb.NewServer(cfg)
+		if err := srv.Start(); err != nil {
+			b.Fatal(err)
+		}
+		var targets []crawler.Target
+		for _, s := range srv.Sites() {
+			targets = append(targets, crawler.Target{Rank: s.Rank, URL: s.URL()})
+		}
+		br := browser.New(browser.NewHTTPFetcher(srv.Client(0)), browser.DefaultOptions())
+		c := crawler.New(br, crawler.Config{
+			Workers: 12, PerSiteTimeout: 2 * time.Second,
+			MaxRetries: 2, RetryBackoff: 80 * time.Millisecond,
+			BlockingBackoff: blocking,
+		})
+		ds := c.Crawl(context.Background(), targets)
+		srv.Close()
+		if len(ds.Records) != cfg.NumSites {
+			b.Fatal("short crawl")
+		}
+		st := c.Stats()
+		retries, requeued = st.Retries, st.Requeued
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(retries), "retries/op")
+	b.ReportMetric(float64(requeued), "requeued/op")
+	mode := "scheduler (non-blocking deferral)"
+	if blocking {
+		mode = "blocking backoff baseline"
+	}
+	printOnce(b.Name(), fmt.Sprintf("%d sites under chaos, %s: %d retries, %d requeued\n",
+		cfg.NumSites, mode, retries, requeued))
+}
+
+func BenchmarkCrawlChaosBlocking(b *testing.B)  { chaosSchedBench(b, true) }
+func BenchmarkCrawlChaosScheduler(b *testing.B) { chaosSchedBench(b, false) }
+
 // BenchmarkFullPipeline measures a complete small measurement
 // (generate → serve → crawl → analyze), the end-to-end cost unit.
 func BenchmarkFullPipeline(b *testing.B) {

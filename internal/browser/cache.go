@@ -27,8 +27,16 @@ type CacheStats struct {
 	// Errors are fetches that failed; failures are never cached in
 	// memory.
 	Errors uint64 `json:"errors"`
-	// Evictions are entries dropped to keep the cache under MaxEntries.
-	Evictions uint64 `json:"evictions"`
+	// Evictions are entries dropped to keep the cache under its entry
+	// or byte bound; BytesEvicted is the summed body bytes they were
+	// charged for.
+	Evictions    uint64 `json:"evictions"`
+	BytesEvicted uint64 `json:"bytes_evicted"`
+	// CachedBytes is the body bytes currently charged to live entries.
+	// Each entry is charged its full body length even when interning
+	// shares the backing storage, so this is an upper bound on body
+	// memory (DedupedBytes tracks the sharing).
+	CachedBytes uint64 `json:"cached_bytes"`
 	// Entries is the number of cached URLs; UniqueBodies the number of
 	// distinct response bodies behind them (content addressing shares
 	// identical bodies served under different URLs).
@@ -83,9 +91,13 @@ type internedBody struct {
 // own context. Bodies are interned by content hash, so identical bodies
 // served under different URLs are stored once.
 //
-// MaxEntries bounds the cache with LRU eviction (0 = unbounded), so a
-// multi-million-site crawl cannot grow it without limit; evicting the
-// last entry referencing an interned body releases the body too.
+// The cache is bounded two ways, both LRU-evicted (each 0 = off): a
+// max entry count and a max total of body bytes, so that neither many
+// small entries nor a few huge bodies can grow it without limit on a
+// multi-million-site crawl. Each entry is charged its full body length
+// even when interning shares the storage — a conservative bound.
+// Evicting the last entry referencing an interned body releases the
+// body too.
 //
 // Cached *Response values are shared between callers and must be
 // treated as read-only, like MapFetcher entries.
@@ -112,6 +124,7 @@ type CachingFetcher struct {
 
 	hits, misses, coalesced, bypassed, errors atomic.Uint64
 	evictions                                 atomic.Uint64
+	bytesEvicted                              atomic.Uint64
 	dedupedBytes                              atomic.Uint64
 	networkFetches                            atomic.Uint64
 }
@@ -125,9 +138,17 @@ func NewCachingFetcher(inner Fetcher) *CachingFetcher {
 // NewBoundedCachingFetcher wraps inner with a cache holding at most
 // maxEntries URLs (<= 0 = unbounded), evicted least-recently-used.
 func NewBoundedCachingFetcher(inner Fetcher, maxEntries int) *CachingFetcher {
+	return NewByteBoundedCachingFetcher(inner, maxEntries, 0)
+}
+
+// NewByteBoundedCachingFetcher wraps inner with a cache bounded both by
+// entry count and by total cached body bytes (each <= 0 = that bound
+// off), evicted least-recently-used. A single body larger than maxBytes
+// is served but never retained.
+func NewByteBoundedCachingFetcher(inner Fetcher, maxEntries int, maxBytes int64) *CachingFetcher {
 	return &CachingFetcher{
 		Inner:    inner,
-		entries:  lru.New[string, cacheEntry](maxEntries),
+		entries:  lru.NewWithBytes[string, cacheEntry](maxEntries, maxBytes),
 		bodies:   map[[sha256.Size]byte]*internedBody{},
 		inflight: map[string]*inflightFetch{},
 	}
@@ -174,15 +195,16 @@ func (c *CachingFetcher) Fetch(ctx context.Context, rawURL string) (*Response, e
 		if err == nil {
 			var sum [sha256.Size]byte
 			resp.Body, sum = c.internLocked(resp.Body)
-			old, replaced, _, ev, evicted := c.entries.Add(rawURL, cacheEntry{resp: resp, sum: sum})
+			old, replaced, evs := c.entries.AddWithSize(rawURL, cacheEntry{resp: resp, sum: sum}, int64(len(resp.Body)))
 			if replaced {
 				// The overwritten entry's interned body loses a reference
 				// or it would never be released.
 				c.releaseLocked(old.sum)
 			}
-			if evicted {
-				c.releaseLocked(ev.sum)
+			for _, ev := range evs {
+				c.releaseLocked(ev.Value.sum)
 				c.evictions.Add(1)
+				c.bytesEvicted.Add(uint64(ev.Size))
 			}
 		}
 		c.mu.Unlock()
@@ -248,6 +270,7 @@ func (c *CachingFetcher) releaseLocked(sum [sha256.Size]byte) {
 func (c *CachingFetcher) Stats() CacheStats {
 	c.mu.Lock()
 	entries, unique := uint64(c.entries.Len()), uint64(len(c.bodies))
+	cachedBytes := uint64(c.entries.Bytes())
 	c.mu.Unlock()
 	s := CacheStats{
 		Hits:           c.hits.Load(),
@@ -256,6 +279,8 @@ func (c *CachingFetcher) Stats() CacheStats {
 		Bypassed:       c.bypassed.Load(),
 		Errors:         c.errors.Load(),
 		Evictions:      c.evictions.Load(),
+		BytesEvicted:   c.bytesEvicted.Load(),
+		CachedBytes:    cachedBytes,
 		Entries:        entries,
 		UniqueBodies:   unique,
 		DedupedBytes:   c.dedupedBytes.Load(),

@@ -3,6 +3,7 @@ package browser
 import (
 	"context"
 	"fmt"
+	"strings"
 	"testing"
 )
 
@@ -94,5 +95,73 @@ func TestCachingFetcherSharedBodySurvivesPartialEviction(t *testing.T) {
 	resp, err := c.Fetch(ctx, "https://c.test/")
 	if err != nil || resp.Body != "shared body" {
 		t.Fatalf("cached shared body lost: %q, %v", resp.Body, err)
+	}
+}
+
+// sizedBodyFetcher serves a body of per-URL configured length.
+type sizedBodyFetcher struct{ sizes map[string]int }
+
+func (f sizedBodyFetcher) Fetch(_ context.Context, rawURL string) (*Response, error) {
+	return &Response{Status: 200, Body: strings.Repeat("x", f.sizes[rawURL]), FinalURL: rawURL}, nil
+}
+
+// TestCachingFetcherByteBudget: the byte bound evicts enough entries to
+// stay under budget even when the entry count is far below its own cap,
+// releases the evicted interned bodies, and accounts the bytes.
+func TestCachingFetcherByteBudget(t *testing.T) {
+	inner := sizedBodyFetcher{sizes: map[string]int{
+		"https://a.test/": 400,
+		"https://b.test/": 400,
+		"https://c.test/": 700,
+	}}
+	c := NewByteBoundedCachingFetcher(inner, 100, 1000)
+	ctx := context.Background()
+
+	for _, u := range []string{"https://a.test/", "https://b.test/", "https://c.test/"} {
+		if _, err := c.Fetch(ctx, u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 400+400+700 = 1500: a and b must both go to fit c's 700.
+	s := c.Stats()
+	if s.Evictions != 2 || s.BytesEvicted != 800 {
+		t.Fatalf("want 2 evictions / 800 bytes evicted, got %+v", s)
+	}
+	if s.Entries != 1 || s.CachedBytes != 700 || s.UniqueBodies != 1 {
+		t.Fatalf("want only c cached (700 B, 1 body), got %+v", s)
+	}
+}
+
+// TestCachingFetcherOversizedBodyNeverCached: a body alone bigger than
+// the whole byte budget is served to the caller but not retained, and
+// its interned body is released immediately.
+func TestCachingFetcherOversizedBodyNeverCached(t *testing.T) {
+	inner := sizedBodyFetcher{sizes: map[string]int{
+		"https://small.test/": 100,
+		"https://huge.test/":  5000,
+	}}
+	c := NewByteBoundedCachingFetcher(inner, 0, 1000)
+	ctx := context.Background()
+
+	if _, err := c.Fetch(ctx, "https://small.test/"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Fetch(ctx, "https://huge.test/")
+	if err != nil || len(resp.Body) != 5000 {
+		t.Fatalf("oversized body not served intact: %d bytes, %v", len(resp.Body), err)
+	}
+	s := c.Stats()
+	if s.Entries != 0 || s.CachedBytes != 0 || s.UniqueBodies != 0 {
+		t.Fatalf("oversized body (or its victims) retained: %+v", s)
+	}
+	if s.Evictions != 2 || s.BytesEvicted != 5100 {
+		t.Fatalf("want 2 evictions / 5100 bytes (small + huge itself), got %+v", s)
+	}
+	// The huge URL stays fetchable — it just always misses.
+	if _, err := c.Fetch(ctx, "https://huge.test/"); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().Misses; got != 3 {
+		t.Errorf("misses = %d, want 3 (huge never cached)", got)
 	}
 }

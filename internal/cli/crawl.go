@@ -33,8 +33,11 @@ func Crawl(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	follow := fs.Int("follow-links", 0, "visit up to N same-site internal pages per site (lifts the §6.1 landing-page limitation)")
 	retries := fs.Int("retries", 1, "retry transient failures (timeout, ephemeral) up to N extra attempts with exponential backoff")
 	backoff := fs.Duration("retry-backoff", 100*time.Millisecond, "base delay before the first retry (doubles per attempt)")
+	hostConc := fs.Int("host-concurrency", crawler.DefaultHostConcurrency, "cap concurrently in-flight visits per host (negative = unlimited)")
+	deferBreaker := fs.Bool("defer-breaker-open", true, "defer visits to breaker-open hosts until the half-open probe time instead of recording breaker-open failures")
 	noCache := fs.Bool("no-cache", false, "disable the shared fetch, script-parse, and static-findings caches")
 	cacheEntries := fs.Int("cache-entries", 0, "cap each shared cache at N entries, evicted LRU (0 = unbounded)")
+	cacheBytes := fs.Int64("cache-bytes", 0, "cap the fetch cache's total cached body bytes, evicted LRU (0 = unbounded)")
 	resume := fs.Bool("resume", false, "load an existing -out dataset, skip its completed ranks, and append the rest")
 	chaos := fs.Bool("chaos", false, "inject deterministic faults into the synthetic web (resets, slow-loris, malformed headers, redirect loops, flapping hosts, oversized bodies)")
 	chaosSeed := fs.Int64("chaos-seed", 0, "fault-assignment seed (0 = population seed)")
@@ -67,8 +70,11 @@ func Crawl(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	opts.Crawl.FollowInternalLinks = *follow
 	opts.Crawl.MaxRetries = *retries
 	opts.Crawl.RetryBackoff = *backoff
+	opts.Crawl.HostConcurrency = *hostConc
+	opts.Crawl.DeferBreakerOpen = *deferBreaker
 	opts.DisableCache = *noCache
 	opts.CacheEntries = *cacheEntries
+	opts.CacheBytes = *cacheBytes
 	opts.StallTime = 2 * *timeout
 	if *chaos {
 		cc := synthweb.DefaultChaosConfig()

@@ -33,10 +33,17 @@ func chaosSoakOptions(sites int) MeasurementOptions {
 	opts.Crawl.PerSiteTimeout = 300 * time.Millisecond
 	opts.Crawl.MaxRetries = 3
 	opts.Crawl.RetryBackoff = 30 * time.Millisecond
+	opts.Crawl.HostConcurrency = 4
+	opts.Crawl.DeferBreakerOpen = true
 	opts.StallTime = 600 * time.Millisecond
 	// Threshold low enough that a flapping host's own failures trip its
-	// circuit before the flap recovers.
-	opts.Breaker = crawler.BreakerConfig{Threshold: 2, Cooldown: 20 * time.Millisecond}
+	// circuit before the flap recovers. The cooldown deliberately
+	// exceeds the retry backoffs (30–120ms) by a wide margin: retries of
+	// freshly-tripped hosts come up while their circuits are still open,
+	// so the scheduler must defer them to the probe time — the soak
+	// asserts it did. (Without DeferBreakerOpen a cooldown this long
+	// would burn those retries as breaker-open records.)
+	opts.Breaker = crawler.BreakerConfig{Threshold: 2, Cooldown: 500 * time.Millisecond}
 	opts.MaxBodyBytes = 128 << 10
 	opts.CacheEntries = 512
 	return opts
@@ -154,6 +161,28 @@ func TestChaosSoak(t *testing.T) {
 		t.Errorf("breaker never half-open probed: %+v", stats.Breaker)
 	}
 	t.Logf("breaker: %+v", stats.Breaker)
+
+	// Scheduler accounting: every retry is a non-blocking requeue, the
+	// deferral heap saw every requeue plus every breaker deferral, and —
+	// with the cooldown exceeding the early backoffs — retries against
+	// tripped circuits were deferred to the probe time instead of burned
+	// as breaker-open dispatches.
+	if stats.Crawl.Requeued != stats.Crawl.Retries {
+		t.Errorf("requeued %d != retries %d: a retry blocked a worker", stats.Crawl.Requeued, stats.Crawl.Retries)
+	}
+	if stats.Crawl.Deferred != stats.Crawl.Requeued+stats.Crawl.BreakerDeferred {
+		t.Errorf("deferred %d != requeued %d + breaker-deferred %d",
+			stats.Crawl.Deferred, stats.Crawl.Requeued, stats.Crawl.BreakerDeferred)
+	}
+	if stats.Crawl.BreakerDeferred == 0 {
+		t.Errorf("no breaker deferrals despite cooldown > backoff: %+v", stats.Crawl)
+	}
+	if cap := opts.Crawl.HostConcurrency; stats.Crawl.MaxHostInFlight > cap {
+		t.Errorf("max host in-flight %d exceeds cap %d", stats.Crawl.MaxHostInFlight, cap)
+	}
+	t.Logf("sched: %d requeued, %d deferred (%d breaker), max ready %d, max host in-flight %d",
+		stats.Crawl.Requeued, stats.Crawl.Deferred, stats.Crawl.BreakerDeferred,
+		stats.Crawl.MaxReadyDepth, stats.Crawl.MaxHostInFlight)
 
 	// Partial records carry their reasons; clean ones carry none.
 	for _, r := range ds.Records {

@@ -46,6 +46,10 @@ type MeasurementOptions struct {
 	// CacheEntries caps each cache (fetch responses, parsed programs,
 	// static findings) at this many entries, evicted LRU. 0 = unbounded.
 	CacheEntries int
+	// CacheBytes caps the fetch cache's total cached body bytes, evicted
+	// LRU alongside the entry cap; a single body larger than the budget
+	// is served but never retained. 0 = unbounded.
+	CacheBytes int64
 	// Breaker enables the per-host circuit breaker between the fetch
 	// cache and the network when Threshold > 0: a host that fails
 	// Threshold times in a row is refused (FailureBreakerOpen) until the
@@ -190,6 +194,9 @@ func newCrawlStack(srv *synthweb.Server, opts MeasurementOptions) (*crawlStack, 
 		// attempt does.
 		st.breaker = crawler.NewBreakerFetcher(fetcher, opts.Breaker)
 		fetcher = st.breaker
+		// Hand the breaker to the crawl scheduler so visits to open
+		// circuits are deferred to the probe time, not short-circuited.
+		opts.Crawl.Breaker = st.breaker.Breaker
 	}
 	siteHosts := make(map[string]bool, opts.Web.NumSites)
 	for _, s := range srv.Sites() {
@@ -197,7 +204,7 @@ func newCrawlStack(srv *synthweb.Server, opts MeasurementOptions) (*crawlStack, 
 		siteHosts[s.Host] = true
 	}
 	if !opts.DisableCache {
-		st.cache = browser.NewBoundedCachingFetcher(fetcher, opts.CacheEntries)
+		st.cache = browser.NewByteBoundedCachingFetcher(fetcher, opts.CacheEntries, opts.CacheBytes)
 		// Per-site documents (landing and internal pages) are fetched
 		// once each — bypass them so cache memory stays bounded by the
 		// shared widget/CDN population.
@@ -258,10 +265,13 @@ func (st *crawlStack) stats() CrawlStats {
 // Summary renders the counters as one log-friendly line.
 func (s CrawlStats) Summary() string {
 	line := fmt.Sprintf(
-		"visited %d (resumed %d, retries %d, partial %d, panics %d); fetch cache: %d hits, %d misses, %d coalesced, %d bypassed, %d errors, %d evictions, %d entries (%d unique bodies, %s deduped); parse cache: %d hits, %d misses, %d coalesced, %d evictions, %d entries; static cache: %d hits, %d misses, %d evictions",
+		"visited %d (resumed %d, retries %d, partial %d, panics %d); sched: %d requeued, %d deferred (%d breaker), max ready %d, max host in-flight %d; fetch cache: %d hits, %d misses, %d coalesced, %d bypassed, %d errors, %d evictions (%s), %d entries (%s, %d unique bodies, %s deduped); parse cache: %d hits, %d misses, %d coalesced, %d evictions, %d entries; static cache: %d hits, %d misses, %d evictions",
 		s.Crawl.Visited, s.Crawl.Resumed, s.Crawl.Retries, s.Crawl.Partial, s.Crawl.Panics,
+		s.Crawl.Requeued, s.Crawl.Deferred, s.Crawl.BreakerDeferred,
+		s.Crawl.MaxReadyDepth, s.Crawl.MaxHostInFlight,
 		s.Fetch.Hits, s.Fetch.Misses, s.Fetch.Coalesced, s.Fetch.Bypassed,
-		s.Fetch.Errors, s.Fetch.Evictions, s.Fetch.Entries, s.Fetch.UniqueBodies, byteSize(s.Fetch.DedupedBytes),
+		s.Fetch.Errors, s.Fetch.Evictions, byteSize(s.Fetch.BytesEvicted),
+		s.Fetch.Entries, byteSize(s.Fetch.CachedBytes), s.Fetch.UniqueBodies, byteSize(s.Fetch.DedupedBytes),
 		s.Parse.Hits, s.Parse.Misses, s.Parse.Coalesced, s.Parse.Evictions, s.Parse.Entries,
 		s.Static.Hits, s.Static.Misses, s.Static.Evictions)
 	if s.Breaker != (crawler.BreakerStats{}) {

@@ -25,9 +25,11 @@ type BreakerConfig struct {
 	// 0 disables the breaker.
 	Threshold int
 	// Cooldown is how long an open circuit refuses requests before it
-	// half-opens and lets a single probe through. Keep it at or below
-	// the crawler's retry backoff so a retried visit always gets its
-	// probe.
+	// half-opens and lets a single probe through. With the scheduler's
+	// breaker deferral on (Config.DeferBreakerOpen) a retried visit is
+	// parked until the probe time whatever the backoff; without it, keep
+	// the cooldown at or below the crawler's retry backoff so a retried
+	// visit always gets its probe.
 	Cooldown time.Duration
 }
 
@@ -122,6 +124,37 @@ func (b *Breaker) Allow(host string) bool {
 		b.shortCircuits.Add(1)
 		return false
 	}
+}
+
+// NextProbe reports whether a request to host could be admitted right
+// now without mutating any circuit state, and — when it could not —
+// the earliest instant the circuit will next admit a probe. The crawl
+// scheduler consults it before dispatching a visit so that sites on an
+// open circuit are deferred to the half-open time instead of burning a
+// dispatch on a short-circuit. Unlike Allow it never transitions the
+// circuit to half-open and never counts a short-circuit; the fetch
+// path's Allow still arbitrates who becomes the actual probe.
+func (b *Breaker) NextProbe(host string) (at time.Time, allow bool) {
+	if b.cfg.Threshold <= 0 {
+		return time.Time{}, true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c, ok := b.hosts[host]
+	if !ok || c.state == circuitClosed {
+		return time.Time{}, true
+	}
+	if c.state == circuitHalfOpen {
+		// A probe is in flight; its outcome lands within roughly one
+		// cooldown (success closes the circuit, failure re-opens it and
+		// restarts the clock), so that is when to look again.
+		return time.Now().Add(b.cfg.Cooldown), false
+	}
+	probeAt := c.openedAt.Add(b.cfg.Cooldown)
+	if !time.Now().Before(probeAt) {
+		return time.Time{}, true
+	}
+	return probeAt, false
 }
 
 // Report records the outcome of a request Allow let through.

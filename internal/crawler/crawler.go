@@ -58,9 +58,30 @@ type Config struct {
 	// with a transient class (timeout, ephemeral — see
 	// store.FailureClass.Transient). 0 disables retries.
 	MaxRetries int
-	// RetryBackoff is the sleep before the first retry, doubling per
-	// subsequent attempt (exponential backoff).
+	// RetryBackoff is the delay before the first retry, doubling per
+	// subsequent attempt (exponential backoff). The scheduler serves it
+	// by re-queueing the visit with a deadline — the worker moves on to
+	// other sites meanwhile — unless BlockingBackoff reverts to
+	// sleeping inside the worker.
 	RetryBackoff time.Duration
+	// HostConcurrency caps concurrently in-flight visits per host so
+	// one slow host cannot monopolize the pool. 0 means
+	// DefaultHostConcurrency; negative disables the cap.
+	HostConcurrency int
+	// Breaker, when non-nil, is the per-host circuit breaker guarding
+	// the fetch path (core wires the BreakerFetcher's Breaker here). It
+	// lets the scheduler observe circuit state at dispatch time.
+	Breaker *Breaker
+	// DeferBreakerOpen defers a visit whose host's circuit is open
+	// until the breaker's half-open probe time instead of dispatching
+	// it into a guaranteed breaker-open short-circuit. Requires
+	// Breaker.
+	DeferBreakerOpen bool
+	// BlockingBackoff reverts to the legacy retry behaviour: the worker
+	// sleeps out each backoff instead of re-queueing the visit. Kept as
+	// the measurable baseline for the scheduler benchmarks; leave it
+	// off in production crawls.
+	BlockingBackoff bool
 	// Resume, when non-nil, is a partial dataset from an interrupted
 	// crawl: its records are carried over verbatim and their ranks are
 	// skipped, so interrupt-then-resume converges to the same dataset
@@ -93,6 +114,9 @@ func (cfg Config) withDefaults() Config {
 	if cfg.RetryBackoff <= 0 {
 		cfg.RetryBackoff = DefaultRetryBackoff
 	}
+	if cfg.HostConcurrency == 0 {
+		cfg.HostConcurrency = DefaultHostConcurrency
+	}
 	return cfg
 }
 
@@ -116,6 +140,23 @@ type Stats struct {
 	// Partial is the number of records that succeeded in degraded form
 	// (a subresource frame, external script, or body tail was lost).
 	Partial int
+	// Requeued is the number of transient-failure retries the scheduler
+	// re-queued with a backoff deadline instead of sleeping inside a
+	// worker. In scheduler mode (the default) it tracks Retries; under
+	// BlockingBackoff it stays zero.
+	Requeued int
+	// Deferred is the total number of entries parked on the scheduler's
+	// time-deferral heap: backoff requeues plus breaker deferrals.
+	Deferred int
+	// BreakerDeferred counts dispatches avoided because the target
+	// host's circuit was open: the visit was deferred to the half-open
+	// probe time instead of being burned as a breaker-open record.
+	BreakerDeferred int
+	// MaxReadyDepth is the high-water mark of the scheduler's ready
+	// queue; MaxHostInFlight the largest per-host visit concurrency
+	// observed (bounded by Config.HostConcurrency when the cap is on).
+	MaxReadyDepth   int
+	MaxHostInFlight int
 }
 
 // Crawler drives a Browser over a target list.
@@ -128,6 +169,12 @@ type Crawler struct {
 	retries atomic.Int64
 	panics  atomic.Int64
 	partial atomic.Int64
+
+	requeued        atomic.Int64
+	deferred        atomic.Int64
+	breakerDeferred atomic.Int64
+	maxReady        atomic.Int64
+	maxHostInflight atomic.Int64
 }
 
 // New creates a Crawler, filling unset Config fields with the package
@@ -139,19 +186,34 @@ func New(b *browser.Browser, cfg Config) *Crawler {
 // Stats snapshots the crawl counters.
 func (c *Crawler) Stats() Stats {
 	return Stats{
-		Visited: int(c.visited.Load()),
-		Resumed: int(c.resumed.Load()),
-		Retries: int(c.retries.Load()),
-		Panics:  int(c.panics.Load()),
-		Partial: int(c.partial.Load()),
+		Visited:         int(c.visited.Load()),
+		Resumed:         int(c.resumed.Load()),
+		Retries:         int(c.retries.Load()),
+		Panics:          int(c.panics.Load()),
+		Partial:         int(c.partial.Load()),
+		Requeued:        int(c.requeued.Load()),
+		Deferred:        int(c.deferred.Load()),
+		BreakerDeferred: int(c.breakerDeferred.Load()),
+		MaxReadyDepth:   int(c.maxReady.Load()),
+		MaxHostInFlight: int(c.maxHostInflight.Load()),
 	}
 }
 
 // Crawl visits every target and returns the dataset, ordered by rank.
 // With Config.Resume set, targets whose rank already has a record are
 // skipped and the prior records are carried into the result.
+//
+// Dispatch runs through the host-aware scheduler: pending targets fill
+// a ready queue, workers pull from it, transiently-failed visits are
+// re-queued with their backoff deadline instead of blocking a worker,
+// visits to a host whose circuit is open are deferred to the half-open
+// probe time (Config.DeferBreakerOpen), and per-host in-flight caps
+// keep one slow host from monopolizing the pool. The final dataset is
+// identical to the old flat pool's — rank-sorted, resume-equivalent,
+// with the same retry budget per site — only the worker-seconds spent
+// waiting move off the workers.
 func (c *Crawler) Crawl(ctx context.Context, targets []Target) *store.Dataset {
-	ds := &store.Dataset{}
+	ds := &store.Dataset{Records: make([]store.SiteRecord, 0, len(targets))}
 	pending := targets
 	done := 0
 	if c.Config.Resume != nil {
@@ -177,29 +239,30 @@ func (c *Crawler) Crawl(ctx context.Context, targets []Target) *store.Dataset {
 		c.resumed.Add(int64(done))
 	}
 
-	jobs := make(chan Target)
-	results := make(chan store.SiteRecord)
+	sched := newScheduler(c.Config.HostConcurrency, c.Config.Breaker, c.Config.DeferBreakerOpen)
+	for _, t := range pending {
+		sched.enqueue(t)
+	}
+	// The scheduler's cond cannot watch ctx directly; a watcher stops it
+	// on cancellation so blocked workers wake and exit.
+	watchDone := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			sched.stop()
+		case <-watchDone:
+		}
+	}()
 
+	results := make(chan store.SiteRecord, c.Config.Workers)
 	var wg sync.WaitGroup
 	for i := 0; i < c.Config.Workers; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for t := range jobs {
-				results <- c.visit(ctx, t)
-			}
+			c.worker(ctx, sched, results)
 		}()
 	}
-	go func() {
-		defer close(jobs)
-		for _, t := range pending {
-			select {
-			case jobs <- t:
-			case <-ctx.Done():
-				return
-			}
-		}
-	}()
 	go func() {
 		wg.Wait()
 		close(results)
@@ -216,13 +279,75 @@ func (c *Crawler) Crawl(ctx context.Context, targets []Target) *store.Dataset {
 			c.Config.Progress(done, len(targets))
 		}
 	}
+	close(watchDone)
+	sched.stop()
+	c.harvestSchedStats(sched)
 	sort.Slice(ds.Records, func(i, j int) bool { return ds.Records[i].Rank < ds.Records[j].Rank })
 	return ds
 }
 
+// worker pulls dispatchable entries from the scheduler until the crawl
+// drains. One pull is one visit attempt; a transient failure with
+// budget left re-queues the entry with its backoff deadline and the
+// worker immediately pulls other work — the backoff costs no
+// worker-seconds. Under Config.BlockingBackoff the worker instead runs
+// the legacy in-place retry loop, the measurable baseline.
+func (c *Crawler) worker(ctx context.Context, sched *scheduler, results chan<- store.SiteRecord) {
+	cfg := c.Config
+	for {
+		e, ok := sched.next(ctx)
+		if !ok {
+			return
+		}
+		if cfg.BlockingBackoff {
+			rec := c.visit(ctx, e.t)
+			sched.finish(e)
+			results <- rec
+			continue
+		}
+		rec := c.attempt(ctx, e.t)
+		if rec.Failure.Transient() && e.retries < cfg.MaxRetries && ctx.Err() == nil {
+			if e.retries == 0 {
+				e.first = rec.Failure
+			}
+			backoff := cfg.RetryBackoff << uint(e.retries)
+			e.retries++
+			c.retries.Add(1)
+			sched.requeue(e, time.Now().Add(backoff))
+			continue
+		}
+		rec.Retries = e.retries
+		if e.retries > 0 {
+			rec.FirstAttemptFailure = e.first
+		}
+		rec.Elapsed = time.Since(e.start)
+		sched.finish(e)
+		results <- rec
+	}
+}
+
+// harvestSchedStats folds one crawl's scheduler counters into the
+// crawler's cumulative stats.
+func (c *Crawler) harvestSchedStats(s *scheduler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c.requeued.Add(s.requeued)
+	c.deferred.Add(s.deferredTotal)
+	c.breakerDeferred.Add(s.breakerDeferred)
+	if s.maxReady > c.maxReady.Load() {
+		c.maxReady.Store(s.maxReady)
+	}
+	if s.maxHostInflight > c.maxHostInflight.Load() {
+		c.maxHostInflight.Store(s.maxHostInflight)
+	}
+}
+
 // visit measures one site, retrying transient failures with exponential
-// backoff up to Config.MaxRetries extra attempts. Each attempt gets a
-// fresh per-site deadline; Elapsed covers all attempts plus backoff.
+// backoff up to Config.MaxRetries extra attempts, sleeping each backoff
+// inside the calling worker — the legacy blocking path kept as the
+// scheduler's benchmark baseline (Config.BlockingBackoff). Each attempt
+// gets a fresh per-site deadline; Elapsed covers all attempts plus
+// backoff.
 func (c *Crawler) visit(ctx context.Context, t Target) store.SiteRecord {
 	start := time.Now()
 	rec := c.attempt(ctx, t)
@@ -338,6 +463,12 @@ func (c *Crawler) followLinks(ctx context.Context, page *browser.PageResult) []b
 	var out []browser.PageResult
 	seen := map[string]bool{page.URL: true, top.FinalURL: true}
 	for _, link := range page.Links {
+		if ctx.Err() != nil {
+			// The per-site budget (or the crawl) is already over; without
+			// this check the loop would keep iterating links until the
+			// next Visit call noticed the dead context.
+			break
+		}
 		if len(out) >= c.Config.FollowInternalLinks {
 			break
 		}

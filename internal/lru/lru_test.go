@@ -97,3 +97,72 @@ func TestRemoveAndUnbounded(t *testing.T) {
 		t.Fatalf("Len = %d", c.Len())
 	}
 }
+
+// TestByteBudgetEviction: the byte bound evicts LRU entries until the
+// budget holds again, reporting every one with its charged size.
+func TestByteBudgetEviction(t *testing.T) {
+	c := NewWithBytes[string, string](0, 100)
+	c.AddWithSize("a", "A", 40)
+	c.AddWithSize("b", "B", 40)
+	if c.Bytes() != 80 {
+		t.Fatalf("Bytes = %d, want 80", c.Bytes())
+	}
+	// 70 more bytes must push out both a and b: 150 over budget, still
+	// 110 after a alone goes.
+	_, _, evicted := c.AddWithSize("c", "C", 70)
+	if len(evicted) != 2 || evicted[0].Key != "a" || evicted[1].Key != "b" {
+		t.Fatalf("evicted %+v, want a then b", evicted)
+	}
+	if evicted[0].Size != 40 || evicted[1].Size != 40 {
+		t.Fatalf("evicted sizes %+v, want 40 each", evicted)
+	}
+	if c.Len() != 1 || c.Bytes() != 70 {
+		t.Fatalf("Len=%d Bytes=%d, want 1/70", c.Len(), c.Bytes())
+	}
+}
+
+// TestByteBudgetOversizedEntry: a single entry larger than the whole
+// budget cannot be retained — it evicts everything including itself.
+func TestByteBudgetOversizedEntry(t *testing.T) {
+	c := NewWithBytes[string, string](0, 100)
+	c.AddWithSize("a", "A", 30)
+	_, _, evicted := c.AddWithSize("huge", "H", 500)
+	if len(evicted) != 2 || evicted[1].Key != "huge" {
+		t.Fatalf("evicted %+v, want a then huge itself", evicted)
+	}
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Fatalf("Len=%d Bytes=%d, want empty", c.Len(), c.Bytes())
+	}
+}
+
+// TestByteBudgetReplaceSwapsCharge: overwriting a key swaps its byte
+// charge rather than double-counting, and Remove refunds it.
+func TestByteBudgetReplaceSwapsCharge(t *testing.T) {
+	c := NewWithBytes[string, string](0, 100)
+	c.AddWithSize("a", "A", 30)
+	old, replaced, evicted := c.AddWithSize("a", "A2", 70)
+	if !replaced || old != "A" || len(evicted) != 0 {
+		t.Fatalf("replace: old=%q replaced=%v evicted=%+v", old, replaced, evicted)
+	}
+	if c.Bytes() != 70 {
+		t.Fatalf("Bytes = %d, want 70 (charge swapped, not summed)", c.Bytes())
+	}
+	c.AddWithSize("b", "B", 30)
+	if !c.Remove("a") || c.Bytes() != 30 {
+		t.Fatalf("Remove(a): Bytes = %d, want 30", c.Bytes())
+	}
+}
+
+// TestByteBudgetWithEntryBound: both bounds apply together — whichever
+// trips first evicts.
+func TestByteBudgetWithEntryBound(t *testing.T) {
+	c := NewWithBytes[string, int](2, 100)
+	c.AddWithSize("a", 1, 10)
+	c.AddWithSize("b", 2, 10)
+	if _, _, ev := c.AddWithSize("c", 3, 10); len(ev) != 1 || ev[0].Key != "a" {
+		t.Fatalf("entry bound: evicted %+v, want a", ev)
+	}
+	if _, _, ev := c.AddWithSize("d", 4, 95); len(ev) != 2 {
+		t.Fatalf("byte bound: evicted %+v, want b and c", ev)
+	}
+}

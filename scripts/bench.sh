@@ -8,12 +8,14 @@
 # 1500 shared-dataset sites and the full 20k-site crawl benchmark):
 #   PERMODYSSEY_BENCH_SITES        shared analysis dataset size
 #   PERMODYSSEY_BENCH_CRAWL_SITES  BenchmarkCrawl{Cached,Uncached} size
+#   PERMODYSSEY_BENCH_CHAOS_SITES  BenchmarkCrawlChaos{Blocking,Scheduler} size
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_local.json}"
 export PERMODYSSEY_BENCH_SITES="${PERMODYSSEY_BENCH_SITES:-300}"
 export PERMODYSSEY_BENCH_CRAWL_SITES="${PERMODYSSEY_BENCH_CRAWL_SITES:-600}"
+export PERMODYSSEY_BENCH_CHAOS_SITES="${PERMODYSSEY_BENCH_CHAOS_SITES:-150}"
 
 go test -run '^$' -bench . -benchtime 1x -timeout 30m . \
     | tee /dev/stderr \

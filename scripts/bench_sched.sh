@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Scheduler throughput gate: run the chaos crawl benchmarks — the
+# blocking-backoff baseline against the host-aware scheduler — archive
+# them as a BENCH_SCHED_*.json artifact, and fail unless the scheduler
+# beats the baseline by the required wall-clock margin. The fault mix
+# retries aggressively, so the gap measures exactly the worker-seconds
+# the baseline burns sleeping out backoffs.
+#
+# Usage: scripts/bench_sched.sh [output.json]
+#   PERMODYSSEY_BENCH_CHAOS_SITES  chaos population size (default 300)
+#   PERMODYSSEY_SCHED_MIN_WIN      required fractional win (default 0.25)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_SCHED_local.json}"
+export PERMODYSSEY_BENCH_CHAOS_SITES="${PERMODYSSEY_BENCH_CHAOS_SITES:-300}"
+min_win="${PERMODYSSEY_SCHED_MIN_WIN:-0.25}"
+
+txt="$(mktemp)"
+trap 'rm -f "$txt"' EXIT
+go test -run '^$' -bench 'BenchmarkCrawlChaos(Blocking|Scheduler)$' -benchtime 3x -timeout 30m . \
+    | tee "$txt" >&2
+go run ./cmd/benchjson < "$txt" > "$out"
+echo "bench artifact written to $out" >&2
+
+blocking="$(awk '$1 ~ /^BenchmarkCrawlChaosBlocking/ {print $3}' "$txt")"
+sched="$(awk '$1 ~ /^BenchmarkCrawlChaosScheduler/ {print $3}' "$txt")"
+if [ -z "$blocking" ] || [ -z "$sched" ]; then
+    echo "bench_sched: missing benchmark results in output" >&2
+    exit 1
+fi
+awk -v b="$blocking" -v s="$sched" -v w="$min_win" 'BEGIN {
+    win = (b - s) / b
+    printf "scheduler %.2fs/op vs blocking %.2fs/op: %.1f%% wall-clock win (gate: >= %.0f%%)\n",
+        s / 1e9, b / 1e9, win * 100, w * 100
+    exit win >= w ? 0 : 1
+}' >&2

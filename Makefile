@@ -2,7 +2,7 @@
 # GitHub Actions tier-1 gate; `make bench` produces a BENCH_*.json
 # perf artifact.
 
-.PHONY: ci test bench bench-sched benchcmp soak replay fmt build
+.PHONY: ci test bench bench-sched benchcmp soak replay fleet-soak fmt build
 
 ci:
 	./scripts/ci.sh
@@ -11,6 +11,11 @@ ci:
 # identical reports, zero network fetches.
 replay:
 	./scripts/replay.sh
+
+# Fleet-soak gate: 4-process sharded chaos crawl over one shared
+# archive, merged, byte-identical to a single-process run.
+fleet-soak:
+	./scripts/fleet_soak.sh
 
 test:
 	go test ./...

@@ -1,0 +1,29 @@
+// Command permfleet runs a distributed crawl: it forks N copies of
+// itself as crawl workers, partitions the rank space among them
+// (worker i crawls ranks ≡ i mod N), lets them populate one shared
+// content-addressed archive through per-shard manifests, and merges
+// the per-shard checkpoints and manifests back into the single
+// dataset and archive a one-process crawl would have produced.
+//
+// Usage:
+//
+//	permfleet -procs 4 -out crawl.jsonl -cache-dir archive -- -sites 2000 -seed 13 -chaos
+//	permfleet -procs 4 -out crawl.jsonl -merge-only   # re-merge after a worker failure
+package main
+
+import (
+	"context"
+	"os"
+
+	"permodyssey/internal/cli"
+)
+
+func main() {
+	args := os.Args[1:]
+	// Re-exec dispatch: the driver spawns this same binary with a
+	// sentinel first argument to run one shard's crawl.
+	if len(args) > 0 && args[0] == cli.WorkerSentinel {
+		os.Exit(cli.Crawl(context.Background(), args[1:], os.Stdout, os.Stderr))
+	}
+	os.Exit(cli.Fleet(context.Background(), args, os.Stdout, os.Stderr))
+}

@@ -50,6 +50,7 @@ func Crawl(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	cacheDir := fs.String("cache-dir", "", "persist every fetch outcome to a content-addressed archive rooted here; later runs read it back instead of refetching")
 	offline := fs.Bool("offline", false, "strict replay from -cache-dir: no network fetches, archived failures replay as recorded, misses become unreachable failures")
 	statsJSON := fs.String("stats-json", "", "write the run's cache/crawl/archive counters as indented JSON to this file")
+	shardSpec := fs.String("shard", "", "fleet mode: crawl only ranks ≡ i (mod n), given as \"i/n\"; with -cache-dir the archive manifest is written to a per-shard file so n processes can share one archive (see permfleet)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -59,6 +60,11 @@ func Crawl(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	if *cacheDir != "" && *noCache {
 		fmt.Fprintln(stderr, "permcrawl: -cache-dir is incompatible with -no-cache")
+		return 2
+	}
+	shard, shards, err := ParseShardSpec(*shardSpec)
+	if err != nil {
+		fmt.Fprintln(stderr, "permcrawl:", err)
 		return 2
 	}
 
@@ -95,6 +101,7 @@ func Crawl(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	opts.MaxBodyBytes = *maxBody
 	opts.CacheDir = *cacheDir
 	opts.Offline = *offline
+	opts.Shard, opts.Shards = shard, shards
 	opts.BrowserOpts.Interact = *interact
 	opts.BrowserOpts.ScrollLazyIframes = !*noLazy
 	if *expected {

@@ -1,0 +1,208 @@
+package cli
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"sync"
+
+	"permodyssey/internal/diskcache"
+	"permodyssey/internal/fleet"
+)
+
+// WorkerSentinel is the first argument that makes the permfleet binary
+// run as a crawl worker instead of the driver: the driver re-execs its
+// own binary so the fleet needs no second executable on PATH.
+const WorkerSentinel = "crawl-worker"
+
+// ParseShardSpec parses the -shard "i/n" flag into (shard, shards).
+// The empty spec means no sharding (0, 0).
+func ParseShardSpec(spec string) (shard, shards int, err error) {
+	if spec == "" {
+		return 0, 0, nil
+	}
+	is, ns, ok := strings.Cut(spec, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("-shard %q: want \"i/n\" (e.g. 0/4)", spec)
+	}
+	shard, err = strconv.Atoi(is)
+	if err == nil {
+		shards, err = strconv.Atoi(ns)
+	}
+	if err != nil {
+		return 0, 0, fmt.Errorf("-shard %q: want two integers \"i/n\"", spec)
+	}
+	if shards < 1 || shard < 0 || shard >= shards {
+		return 0, 0, fmt.Errorf("-shard %q: want 0 <= i < n", spec)
+	}
+	return shard, shards, nil
+}
+
+// Fleet is the permfleet command: it forks -procs copies of its own
+// binary as crawl workers, hands each one rank partition of the
+// population (-shard i/n) and its own checkpoint and stats files, lets
+// them populate one shared -cache-dir archive through per-shard
+// manifests, and merges the results — datasets via fleet.MergeFiles,
+// the archive via diskcache.MergeShards — into exactly what one
+// process crawling the whole population would have produced.
+//
+// Crawl flags for the workers go after "--":
+//
+//	permfleet -procs 4 -out crawl.jsonl -cache-dir archive -- -sites 2000 -seed 13 -chaos
+func Fleet(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("permfleet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	procs := fs.Int("procs", 4, "worker processes (each crawls ranks ≡ its index mod -procs)")
+	out := fs.String("out", "crawl.jsonl", "merged dataset path; shard i streams to <out>.shard<i>")
+	cacheDir := fs.String("cache-dir", "", "shared content-addressed archive directory; each worker appends a per-shard manifest, merged after the crawl")
+	self := fs.String("self", "", "worker binary to exec (default: this binary re-execed with a \""+WorkerSentinel+"\" first argument)")
+	mergeOnly := fs.Bool("merge-only", false, "skip the crawl; merge existing <out>.shard<i> files (and -cache-dir manifests) from a previous run")
+	keepShards := fs.Bool("keep-shards", false, "keep the per-shard dataset files after a successful merge")
+	expect := fs.Int("expect-records", -1, "fail unless the merged dataset has exactly N records (-1 = no check)")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: permfleet [driver flags] -- [permcrawl flags]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *procs < 1 {
+		fmt.Fprintln(stderr, "permfleet: -procs must be >= 1")
+		return 2
+	}
+	shardPath := func(i int) string { return fmt.Sprintf("%s.shard%d", *out, i) }
+
+	if !*mergeOnly {
+		bin := *self
+		if bin == "" {
+			exe, err := os.Executable()
+			if err != nil {
+				fmt.Fprintln(stderr, "permfleet: locating own binary:", err)
+				return 1
+			}
+			bin = exe
+		}
+		// Worker argv: the user's crawl flags first, the driver's own
+		// assignments last — flag parsing lets later flags win, so the
+		// partition, output, and archive wiring cannot be overridden from
+		// the passthrough side.
+		var wg sync.WaitGroup
+		errs := make([]error, *procs)
+		for i := 0; i < *procs; i++ {
+			workerArgs := []string{WorkerSentinel}
+			workerArgs = append(workerArgs, fs.Args()...)
+			workerArgs = append(workerArgs,
+				"-shard", fmt.Sprintf("%d/%d", i, *procs),
+				"-out", shardPath(i),
+				"-stats-json", shardPath(i)+".stats.json",
+			)
+			if *cacheDir != "" {
+				workerArgs = append(workerArgs, "-cache-dir", *cacheDir)
+			}
+			cmd := exec.CommandContext(ctx, bin, workerArgs...)
+			pw := &prefixWriter{w: stderr, prefix: fmt.Sprintf("[shard %d] ", i)}
+			cmd.Stdout = pw
+			cmd.Stderr = pw
+			wg.Add(1)
+			go func(i int, cmd *exec.Cmd, pw *prefixWriter) {
+				defer wg.Done()
+				err := cmd.Run()
+				pw.Flush()
+				if err != nil {
+					errs[i] = fmt.Errorf("shard %d: %w", i, err)
+				}
+			}(i, cmd, pw)
+		}
+		wg.Wait()
+		failed := 0
+		for _, err := range errs {
+			if err != nil {
+				failed++
+				fmt.Fprintln(stderr, "permfleet:", err)
+			}
+		}
+		if failed > 0 {
+			fmt.Fprintf(stderr, "permfleet: %d of %d workers failed; shard files kept for -merge-only after a fix\n", failed, *procs)
+			return 1
+		}
+	}
+
+	shardPaths := make([]string, *procs)
+	for i := range shardPaths {
+		shardPaths[i] = shardPath(i)
+	}
+	merged, rep, err := fleet.MergeFiles(*out, shardPaths...)
+	if err != nil {
+		fmt.Fprintln(stderr, "permfleet:", err)
+		return 1
+	}
+	fmt.Fprintln(stderr, rep)
+
+	if *cacheDir != "" {
+		ms, err := diskcache.MergeShards(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(stderr, "permfleet: merging archive manifests:", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "archive: merged %d manifest shards (%d lines) into %d URLs (%d reconciled, %d successes preferred)\n",
+			ms.Shards, ms.Lines, ms.URLs, ms.Reconciled, ms.SuccessesPreferred)
+		if ms.MissingObjects > 0 {
+			fmt.Fprintf(stderr, "permfleet: DATA LOSS: %d manifest entries have no object in the archive\n", ms.MissingObjects)
+			return 1
+		}
+	}
+
+	if *expect >= 0 && len(merged.Records) != *expect {
+		fmt.Fprintf(stderr, "permfleet: merged %d records, want %d — shard files kept for inspection\n", len(merged.Records), *expect)
+		return 1
+	}
+	if !*keepShards {
+		for _, p := range shardPaths {
+			os.Remove(p)
+		}
+	}
+	fmt.Fprintf(stdout, "fleet dataset written to %s (%d records from %d shards)\n", *out, len(merged.Records), *procs)
+	return 0
+}
+
+// prefixWriter tags every line of a worker's interleaved output with
+// its shard, buffering partial lines so concurrent workers cannot
+// splice into each other mid-line.
+type prefixWriter struct {
+	mu     sync.Mutex
+	w      io.Writer
+	prefix string
+	buf    bytes.Buffer
+}
+
+func (p *prefixWriter) Write(b []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.buf.Write(b)
+	for {
+		line, err := p.buf.ReadString('\n')
+		if err != nil {
+			// Partial line: keep it buffered for the next write.
+			p.buf.WriteString(line)
+			break
+		}
+		fmt.Fprintf(p.w, "%s%s", p.prefix, line)
+	}
+	return len(b), nil
+}
+
+// Flush writes any buffered partial final line.
+func (p *prefixWriter) Flush() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.buf.Len() > 0 {
+		fmt.Fprintf(p.w, "%s%s\n", p.prefix, p.buf.String())
+		p.buf.Reset()
+	}
+}

@@ -1,0 +1,192 @@
+package cli
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseShardSpec(t *testing.T) {
+	cases := []struct {
+		spec          string
+		shard, shards int
+		wantErr       bool
+	}{
+		{"", 0, 0, false},
+		{"0/1", 0, 1, false},
+		{"3/4", 3, 4, false},
+		{"4/4", 0, 0, true},
+		{"-1/4", 0, 0, true},
+		{"2", 0, 0, true},
+		{"a/b", 0, 0, true},
+		{"1/0", 0, 0, true},
+	}
+	for _, tc := range cases {
+		shard, shards, err := ParseShardSpec(tc.spec)
+		if (err != nil) != tc.wantErr || shard != tc.shard || shards != tc.shards {
+			t.Errorf("ParseShardSpec(%q) = (%d, %d, %v), want (%d, %d, err=%v)",
+				tc.spec, shard, shards, err, tc.shard, tc.shards, tc.wantErr)
+		}
+	}
+}
+
+// crawlArgs is the small deterministic population the fleet CLI tests
+// crawl: no chaos, generous timeout, so shard outputs are exactly
+// reproducible.
+func fleetCrawlArgs() []string {
+	return []string{"-sites", "40", "-seed", "21", "-workers", "8", "-timeout", "2s", "-retries", "0"}
+}
+
+// crawlTo runs the in-process Crawl command with extra flags appended.
+func crawlTo(t *testing.T, out string, extra ...string) {
+	t.Helper()
+	args := append(fleetCrawlArgs(), "-out", out)
+	args = append(args, extra...)
+	var stdout, stderr bytes.Buffer
+	if code := Crawl(context.Background(), args, &stdout, &stderr); code != 0 {
+		t.Fatalf("crawl %v: code=%d stderr=%q", extra, code, stderr.String())
+	}
+}
+
+// reportJSON renders a dataset's analysis report for equality checks.
+func reportJSON(t *testing.T, path string) string {
+	t.Helper()
+	out, errOut, code := run(t, reportFn, "-in", path, "-json")
+	if code != 0 {
+		t.Fatalf("report -in %s: code=%d stderr=%q", path, code, errOut)
+	}
+	return out
+}
+
+// TestFleetMergeOnly: shard crawls run in-process via the Crawl
+// command with -shard, then the Fleet driver's -merge-only path
+// reconciles their checkpoints into a dataset whose report matches a
+// single unsharded crawl byte for byte.
+func TestFleetMergeOnly(t *testing.T) {
+	dir := t.TempDir()
+	single := filepath.Join(dir, "single.jsonl")
+	merged := filepath.Join(dir, "merged.jsonl")
+	crawlTo(t, single)
+	crawlTo(t, merged+".shard0", "-shard", "0/2")
+	crawlTo(t, merged+".shard1", "-shard", "1/2")
+
+	var stdout, stderr bytes.Buffer
+	code := Fleet(context.Background(), []string{
+		"-procs", "2", "-out", merged, "-merge-only", "-expect-records", "40",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("fleet -merge-only: code=%d stderr=%q", code, stderr.String())
+	}
+	if got, want := reportJSON(t, merged), reportJSON(t, single); got != want {
+		t.Error("merged fleet report differs from single-process report")
+	}
+	// A successful merge removes the shard checkpoints.
+	if _, err := os.Stat(merged + ".shard0"); !os.IsNotExist(err) {
+		t.Errorf("shard checkpoint survived the merge: %v", err)
+	}
+
+	// The -expect-records gate fails closed on a short merge.
+	code = Fleet(context.Background(), []string{
+		"-procs", "2", "-out", merged, "-merge-only", "-expect-records", "41",
+	}, &stdout, &stderr)
+	if code != 1 {
+		t.Errorf("short merge: code=%d, want 1", code)
+	}
+}
+
+// TestFleetFlagValidation: bad driver flags exit with usage errors
+// before any work happens.
+func TestFleetFlagValidation(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := Fleet(context.Background(), []string{"-procs", "0"}, &stdout, &stderr); code != 2 {
+		t.Errorf("-procs 0: code=%d, want 2", code)
+	}
+	if code := Fleet(context.Background(), []string{"-bogus"}, &stdout, &stderr); code != 2 {
+		t.Errorf("bad flag: code=%d, want 2", code)
+	}
+	if code := Crawl(context.Background(), []string{"-shard", "9"}, &stdout, &stderr); code != 2 {
+		t.Errorf("bad -shard spec: code=%d, want 2", code)
+	}
+	if code := Crawl(context.Background(), []string{"-shard", "5/4"}, &stdout, &stderr); code != 2 {
+		t.Errorf("out-of-range -shard: code=%d, want 2", code)
+	}
+}
+
+// TestFleetEndToEnd builds the real permfleet binary and drives a
+// 3-process fleet through it — fork, partition, shared archive,
+// merge — and checks the merged report matches an in-process
+// single-crawl baseline. This is the CLI-level version of the CI
+// fleet-soak gate, scaled down.
+func TestFleetEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process-forking soak skipped in -short mode")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "permfleet")
+	build := exec.Command("go", "build", "-o", bin, "permodyssey/cmd/permfleet")
+	build.Dir = moduleRoot(t)
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building permfleet: %v\n%s", err, out)
+	}
+
+	single := filepath.Join(dir, "single.jsonl")
+	crawlTo(t, single)
+
+	merged := filepath.Join(dir, "fleet.jsonl")
+	cache := filepath.Join(dir, "archive")
+	args := []string{
+		"-procs", "3", "-out", merged, "-cache-dir", cache, "-expect-records", "40", "--",
+	}
+	args = append(args, fleetCrawlArgs()...)
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("permfleet: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "merged 40 records from 3 shards") {
+		t.Errorf("driver output missing merge report:\n%s", out)
+	}
+	if got, want := reportJSON(t, merged), reportJSON(t, single); got != want {
+		t.Error("fleet report differs from single-process report")
+	}
+	// The shared archive compacted into one manifest: no shard files
+	// left, and an offline replay from it needs zero network fetches.
+	entries, err := os.ReadDir(cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "manifest-") {
+			t.Errorf("unmerged shard manifest: %s", e.Name())
+		}
+	}
+	replay := filepath.Join(dir, "replay.jsonl")
+	crawlTo(t, replay, "-cache-dir", cache, "-offline")
+	if got, want := reportJSON(t, replay), reportJSON(t, single); got != want {
+		t.Error("offline replay from the fleet archive differs from the single-process report")
+	}
+}
+
+// moduleRoot locates the repository root (where go.mod lives) so the
+// end-to-end test can build cmd/permfleet from any test working dir.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test working directory")
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"permodyssey/internal/analysis"
+	"permodyssey/internal/diskcache"
+	"permodyssey/internal/fleet"
+	"permodyssey/internal/store"
+	"permodyssey/internal/synthweb"
+)
+
+// fleetOptions is the deterministic-chaos configuration shared by the
+// fleet tests: the same fault set TestChaosResumeEquivalence pins —
+// every fault whose statefulness could plausibly diverge between
+// processes, none of the timing-raced ones.
+func fleetOptions(sites int) MeasurementOptions {
+	opts := chaosSoakOptions(sites)
+	opts.Web.TimeoutRate = 0
+	opts.Web.Chaos.Kinds = []synthweb.Fault{
+		synthweb.FaultReset, synthweb.FaultMalformedHeader, synthweb.FaultOversizedHeader,
+		synthweb.FaultRedirectLoop, synthweb.FaultFlap, synthweb.FaultOversizedBody,
+	}
+	opts.Crawl.PerSiteTimeout = 5 * time.Second
+	return opts
+}
+
+// runShard crawls one rank partition against its own fresh server —
+// the in-process equivalent of one fleet worker process — and returns
+// its dataset.
+func runShard(t *testing.T, opts MeasurementOptions, shard, shards int) *store.Dataset {
+	t.Helper()
+	srv := synthweb.NewServer(opts.Web)
+	srv.StallTime = opts.StallTime
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	o := opts
+	o.Shard, o.Shards = shard, shards
+	stack, err := newCrawlStack(srv, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stack.close()
+	return stack.crawler.Crawl(context.Background(), stack.targets)
+}
+
+// TestFleetMergeEquivalence is the in-process version of the CI fleet
+// soak: four shard crawls — each a fresh server and stack, running
+// concurrently into one shared archive directory — merged back into a
+// dataset that must match a single-process crawl of the same seed
+// record for record, and an analysis report that must match byte for
+// byte. Then the archive's manifest shards are compacted and the merge
+// is checked for data loss.
+func TestFleetMergeEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	const sites = 160
+	const shards = 4
+	opts := fleetOptions(sites)
+	cacheDir := t.TempDir()
+
+	// Baseline: one process, no sharding, no archive.
+	single := runShard(t, opts, 0, 0)
+
+	// Fleet: every shard concurrently, all writing through to the same
+	// archive directory via their per-shard manifests.
+	fleetOpts := opts
+	fleetOpts.CacheDir = cacheDir
+	parts := make([]*store.Dataset, shards)
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			parts[i] = runShard(t, fleetOpts, i, shards)
+		}(i)
+	}
+	wg.Wait()
+
+	merged, rep := fleet.MergeDatasets(parts...)
+	t.Logf("%s", rep)
+	if rep.Records != sites {
+		t.Fatalf("merged %d records, want %d (data loss in merge)", rep.Records, sites)
+	}
+	if rep.Duplicates != 0 {
+		t.Errorf("disjoint rank partitions produced %d duplicates", rep.Duplicates)
+	}
+
+	// Record-level equivalence, modulo wall-clock noise.
+	if len(merged.Records) != len(single.Records) {
+		t.Fatalf("merged records %d != single-process %d", len(merged.Records), len(single.Records))
+	}
+	for i := range single.Records {
+		a, b := normalizeChaosRecord(t, single.Records[i]), normalizeChaosRecord(t, merged.Records[i])
+		if a != b {
+			t.Errorf("rank %d differs between single and fleet run:\n single: %s\n fleet:  %s",
+				single.Records[i].Rank, a, b)
+		}
+	}
+
+	// Report-level equivalence: the analysis JSON — the artifact the CI
+	// gate diffs — must be byte-identical.
+	singleJSON, err := analysis.New(single).JSON(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mergedJSON, err := analysis.New(merged).JSON(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(singleJSON, mergedJSON) {
+		t.Errorf("analysis reports diverge between single-process and merged fleet run")
+	}
+
+	// Archive merge: all four manifest shards compact into one manifest
+	// with every object present — the data-loss gate.
+	stats, err := diskcache.MergeShards(cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("archive merge: %+v", stats)
+	if stats.Shards != shards {
+		t.Errorf("merged %d manifest shards, want %d", stats.Shards, shards)
+	}
+	if stats.MissingObjects != 0 {
+		t.Errorf("%d manifest entries lost their objects in the merge", stats.MissingObjects)
+	}
+	if stats.URLs == 0 {
+		t.Error("merged archive is empty")
+	}
+	entries, err := os.ReadDir(cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "manifest-") {
+			t.Errorf("shard manifest %s survived the merge", e.Name())
+		}
+	}
+
+	// The compacted archive must be servable: reopen offline and read.
+	ar, err := diskcache.Open(cacheDir, diskcache.Options{Offline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ar.Close()
+	if got := int(ar.Stats().Entries); got != stats.URLs {
+		t.Errorf("reopened archive has %d entries, want %d", got, stats.URLs)
+	}
+}
+
+// TestShardOptionValidation: the fleet options are rejected before any
+// work happens when they cannot describe a valid partition.
+func TestShardOptionValidation(t *testing.T) {
+	opts := DefaultMeasurementOptions()
+	opts.Web.NumSites = 2
+	srv := synthweb.NewServer(opts.Web)
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cases := []struct {
+		name          string
+		shard, shards int
+		wantErr       bool
+	}{
+		{"no sharding", 0, 0, false},
+		{"single shard", 0, 1, false},
+		{"valid partition", 2, 4, false},
+		{"shard == shards", 4, 4, true},
+		{"negative shard", -1, 4, true},
+		{"shard without shards", 2, 0, true},
+	}
+	for _, tc := range cases {
+		o := opts
+		o.Shard, o.Shards = tc.shard, tc.shards
+		stack, err := newCrawlStack(srv, o)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("%s: err = %v, wantErr %v", tc.name, err, tc.wantErr)
+		}
+		if stack != nil {
+			stack.close()
+		}
+	}
+}
+
+// TestFleetStatsTagged: the per-shard stats carry their partition so a
+// directory of -stats-json files is self-describing.
+func TestFleetStatsTagged(t *testing.T) {
+	opts := DefaultMeasurementOptions()
+	opts.Web.NumSites = 8
+	srv := synthweb.NewServer(opts.Web)
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	o := opts
+	o.Shard, o.Shards = 1, 2
+	stack, err := newCrawlStack(srv, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stack.close()
+	s := stack.stats()
+	if s.Shard != 1 || s.Shards != 2 {
+		t.Errorf("stats tagged %d/%d, want 1/2", s.Shard, s.Shards)
+	}
+}

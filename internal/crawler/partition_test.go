@@ -1,0 +1,50 @@
+package crawler
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestPartitionTargets: the shard partitions are disjoint, cover the
+// full target list, interleave ranks, and preserve order — the
+// properties the fleet merge relies on.
+func TestPartitionTargets(t *testing.T) {
+	targets := make([]Target, 0, 100)
+	for rank := 1; rank <= 100; rank++ {
+		targets = append(targets, Target{Rank: rank, URL: fmt.Sprintf("https://site-%d.test/", rank)})
+	}
+
+	const shards = 4
+	seen := map[int]int{} // rank → shard that claimed it
+	total := 0
+	for shard := 0; shard < shards; shard++ {
+		part := PartitionTargets(targets, shard, shards)
+		total += len(part)
+		last := -1
+		for _, p := range part {
+			if p.Rank%shards != shard {
+				t.Errorf("shard %d got rank %d (%d mod %d = %d)", shard, p.Rank, p.Rank, shards, p.Rank%shards)
+			}
+			if prev, dup := seen[p.Rank]; dup {
+				t.Errorf("rank %d claimed by shards %d and %d", p.Rank, prev, shard)
+			}
+			seen[p.Rank] = shard
+			if p.Rank <= last {
+				t.Errorf("shard %d out of order: rank %d after %d", shard, p.Rank, last)
+			}
+			last = p.Rank
+		}
+	}
+	if total != len(targets) {
+		t.Errorf("partitions cover %d of %d targets", total, len(targets))
+	}
+
+	// Degenerate shapes: one shard is the identity, and an empty list
+	// partitions into empty lists.
+	if got := PartitionTargets(targets, 0, 1); len(got) != len(targets) {
+		t.Errorf("1-shard partition has %d targets, want %d", len(got), len(targets))
+	}
+	if got := PartitionTargets(nil, 2, 4); len(got) != 0 {
+		t.Errorf("empty partition has %d targets", len(got))
+	}
+}

@@ -18,6 +18,16 @@
 // open (and compacted away); and a hash-mismatched, truncated, or
 // missing object is treated as a miss and re-fetched — corruption
 // degrades the archive, it never fails the crawl.
+//
+// One directory can back a whole fleet of crawler processes at once:
+// object writes are already atomic and content-addressed, and each
+// process appends manifest lines to its own shard
+// (manifest-<shard>.jsonl, Options.Shard), so no two processes ever
+// write one file. Open reads every shard into a reconciled view, a
+// lock file per shard makes a second Open of the same shard fail fast
+// instead of silently interleaving appends, and MergeShards compacts
+// all shards back into the single deterministic manifest a
+// one-process crawl would have written.
 package diskcache
 
 import (
@@ -25,20 +35,35 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"os"
 	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 
 	"permodyssey/internal/browser"
 )
 
 const (
-	manifestName = "manifest.jsonl"
-	objectsDir   = "objects"
+	manifestName   = "manifest.jsonl"
+	manifestPrefix = "manifest-"
+	manifestExt    = ".jsonl"
+	lockExt        = ".lock"
+	objectsDir     = "objects"
 )
+
+// ErrLocked is wrapped by Open and MergeShards when a manifest shard's
+// lock file is held by a live process: a second crawler appending the
+// same shard would interleave writes and corrupt it, so the late
+// arrival fails fast instead. Fleet members avoid the collision by
+// using distinct Options.Shard names.
+var ErrLocked = errors.New("diskcache: manifest shard locked")
 
 // entry is one manifest line: the archived outcome of fetching URL.
 // Exactly one of Hash (success; the body lives in the object store) or
@@ -55,6 +80,10 @@ type entry struct {
 	FailureMsg    string      `json:"failure_msg,omitempty"`
 }
 
+// success reports whether the entry archives a response (as opposed to
+// a classified failure).
+func (e entry) success() bool { return e.Hash != "" }
+
 // indexed is an entry plus its overwrite generation, bumped on every
 // re-store of the same URL so a Load that judged a stale read corrupt
 // cannot delete an object a concurrent Store just renamed into place.
@@ -68,7 +97,9 @@ type Options struct {
 	// Offline switches the archive to strict replay: loads serve
 	// archived responses and replay archived failures, every miss
 	// (including a corrupt object) returns an error wrapping
-	// browser.ErrNotArchived, and nothing on disk is modified.
+	// browser.ErrNotArchived, and nothing on disk is modified — no
+	// compaction, no lock file, so any number of offline readers can
+	// share the directory with a live fleet.
 	Offline bool
 	// Classify maps a failed fetch to the failure-taxonomy class
 	// (store.FailureClass string) archived with it. Returning "" skips
@@ -76,33 +107,52 @@ type Options struct {
 	// cancellation or an open circuit breaker are not site properties
 	// and must not poison replay. nil disables failure archiving.
 	Classify func(err error) string
+	// Shard names this process's manifest shard. "" appends to the
+	// classic single manifest (manifest.jsonl); any other name appends
+	// to manifest-<Shard>.jsonl, so a fleet of processes with distinct
+	// shard names can populate one directory without ever sharing an
+	// append handle. Open always reads every shard present, merged
+	// deterministically (see reconcile); MergeShards compacts them back
+	// into one manifest once the fleet is done.
+	Shard string
 }
 
 // Archive is a content-addressed resource archive rooted at one
 // directory. Safe for concurrent use by any number of crawl stacks in
-// one process; multi-process sharing is limited to read-side safety
-// (object writes are atomic, but two processes appending one manifest
-// interleave).
+// one process, and by multiple processes when each uses a distinct
+// Options.Shard (object writes are atomic; manifest appends are
+// per-shard single-writer, enforced by a lock file).
 type Archive struct {
 	dir      string
+	shard    string
 	offline  bool
 	classify func(err error) string
 
 	mu       sync.Mutex
 	index    map[string]*indexed
 	manifest *os.File // append handle; nil when offline or closed
+	lockPath string   // held shard lock; "" when offline or closed
 
 	hits, writes, corrupt, bytesStored atomic.Uint64
 }
 
-// Open loads (or creates) the archive rooted at dir. The manifest is
-// read tolerantly — a truncated tail or corrupt line from an
-// interrupted crawl is dropped, later duplicates of a URL win — and
-// compacted back to one line per URL before the append handle opens.
-// In offline mode nothing is written, not even the compaction.
+// Open loads (or creates) the archive rooted at dir. Every manifest
+// shard present is read tolerantly — a truncated tail or corrupt line
+// from an interrupted crawl is dropped, later duplicates of a URL win
+// within a shard, cross-shard duplicates reconcile deterministically —
+// and this process's own shard is compacted back to one line per URL
+// before its append handle opens. Online, the shard's lock file is
+// acquired first: a second process opening the same shard fails fast
+// (ErrLocked) rather than interleaving appends; a lock left by a dead
+// process is stolen. In offline mode nothing is written, not even the
+// compaction or the lock.
 func Open(dir string, opts Options) (*Archive, error) {
+	if err := validShard(opts.Shard); err != nil {
+		return nil, err
+	}
 	a := &Archive{
 		dir:      dir,
+		shard:    opts.Shard,
 		offline:  opts.Offline,
 		classify: opts.Classify,
 		index:    map[string]*indexed{},
@@ -110,49 +160,162 @@ func Open(dir string, opts Options) (*Archive, error) {
 	if err := os.MkdirAll(filepath.Join(dir, objectsDir), 0o755); err != nil {
 		return nil, fmt.Errorf("diskcache: %w", err)
 	}
-	path := filepath.Join(dir, manifestName)
-	clean, err := a.loadManifest(path)
+	own, clean, err := a.loadShards()
 	if err != nil {
 		return nil, err
 	}
 	if a.offline {
 		return a, nil
 	}
+	path := manifestPath(dir, a.shard)
+	lock, err := acquireLock(path + lockExt)
+	if err != nil {
+		return nil, err
+	}
+	a.lockPath = path + lockExt
 	if !clean {
-		if err := a.compact(path); err != nil {
+		if err := compactShard(dir, path, own); err != nil {
+			lock()
+			a.lockPath = ""
 			return nil, err
 		}
 	}
 	mf, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
+		lock()
+		a.lockPath = ""
 		return nil, fmt.Errorf("diskcache: %w", err)
 	}
 	a.manifest = mf
 	return a, nil
 }
 
-// loadManifest reads the manifest into the index, reporting whether the
+// validShard rejects shard names that would escape the manifest naming
+// scheme (path separators, the empty-extension trick) — a shard name is
+// a filename fragment, nothing more.
+func validShard(shard string) error {
+	if shard == "" {
+		return nil
+	}
+	for _, r := range shard {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+		default:
+			return fmt.Errorf("diskcache: invalid shard name %q (want [A-Za-z0-9._-]+)", shard)
+		}
+	}
+	return nil
+}
+
+// manifestPath names a shard's manifest file inside dir.
+func manifestPath(dir, shard string) string {
+	if shard == "" {
+		return filepath.Join(dir, manifestName)
+	}
+	return filepath.Join(dir, manifestPrefix+shard+manifestExt)
+}
+
+// shardFiles lists every manifest shard present in dir, sorted by
+// shardLess so reconciliation visits them in deterministic priority
+// order. The unsharded manifest.jsonl is shard "".
+func shardFiles(dir string) ([]string, error) {
+	var shards []string
+	if _, err := os.Stat(filepath.Join(dir, manifestName)); err == nil {
+		shards = append(shards, "")
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, manifestPrefix+"*"+manifestExt))
+	if err != nil {
+		return nil, fmt.Errorf("diskcache: %w", err)
+	}
+	for _, m := range matches {
+		name := filepath.Base(m)
+		shards = append(shards, strings.TrimSuffix(strings.TrimPrefix(name, manifestPrefix), manifestExt))
+	}
+	sort.Slice(shards, func(i, j int) bool { return shardLess(shards[i], shards[j]) })
+	return shards, nil
+}
+
+// shardLess orders shard names for reconciliation: the unsharded
+// manifest first, then shorter names before longer, then
+// lexicographic — which orders decimal shard ids numerically ("2"
+// before "10") without requiring zero padding.
+func shardLess(a, b string) bool {
+	if (a == "") != (b == "") {
+		return a == ""
+	}
+	if len(a) != len(b) {
+		return len(a) < len(b)
+	}
+	return a < b
+}
+
+// reconcile decides whether challenger c from shard cs replaces
+// incumbent e from shard es when both archived the same URL. The rules
+// are deterministic regardless of read order: a success beats an
+// archived failure (the fleet member that got the page wins over the
+// one that caught the site mid-fault); between two successes or two
+// failures the lower shard id wins.
+func reconcile(e entry, es string, c entry, cs string) bool {
+	if e.success() != c.success() {
+		return c.success()
+	}
+	return shardLess(cs, es)
+}
+
+// loadShards reads every manifest shard in dir into the index,
+// returning this archive's own-shard entries and whether its own shard
 // file was already one clean line per URL (false forces compaction).
-func (a *Archive) loadManifest(path string) (clean bool, err error) {
+func (a *Archive) loadShards() (own map[string]entry, clean bool, err error) {
+	shards, err := shardFiles(a.dir)
+	if err != nil {
+		return nil, false, err
+	}
+	own, clean = map[string]entry{}, true
+	source := map[string]string{} // URL → shard that currently owns the index entry
+	for _, shard := range shards {
+		m, shardClean, _, err := loadManifestFile(manifestPath(a.dir, shard))
+		if err != nil {
+			return nil, false, err
+		}
+		if shard == a.shard {
+			own, clean = m, shardClean
+		}
+		for url, e := range m {
+			if cur, ok := a.index[url]; !ok || reconcile(cur.entry, source[url], e, shard) {
+				a.index[url] = &indexed{entry: e}
+				source[url] = shard
+			}
+		}
+	}
+	return own, clean, nil
+}
+
+// loadManifestFile reads one manifest shard tolerantly: within the
+// file later duplicates of a URL win, corrupt lines and a truncated
+// tail are dropped (reported via clean=false), and a missing file is
+// an empty clean shard. lines counts the well-formed entries read.
+func loadManifestFile(path string) (m map[string]entry, clean bool, lines int, err error) {
+	m, clean = map[string]entry{}, true
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
-		return true, nil
+		return m, true, 0, nil
 	}
 	if err != nil {
-		return false, fmt.Errorf("diskcache: %w", err)
+		return nil, false, 0, fmt.Errorf("diskcache: %w", err)
 	}
 	defer f.Close()
-	clean = true
 	br := bufio.NewReader(f)
 	for {
 		line, readErr := br.ReadBytes('\n')
 		if n := len(line); n > 0 && line[n-1] == '\n' {
 			var e entry
 			if json.Unmarshal(line, &e) == nil && e.URL != "" {
-				if _, dup := a.index[e.URL]; dup {
+				if _, dup := m[e.URL]; dup {
 					clean = false // duplicate: append-during-crawl churn
 				}
-				a.index[e.URL] = &indexed{entry: e}
+				m[e.URL] = e
+				lines++
 			} else {
 				clean = false // corrupt line: drop it
 			}
@@ -160,21 +323,27 @@ func (a *Archive) loadManifest(path string) (clean bool, err error) {
 			clean = false // truncated tail from an interrupted crawl
 		}
 		if readErr != nil {
-			return clean, nil
+			return m, clean, lines, nil
 		}
 	}
 }
 
-// compact atomically rewrites the manifest as one line per URL.
-func (a *Archive) compact(path string) error {
-	tmp, err := os.CreateTemp(a.dir, ".manifest-*")
+// compactShard atomically rewrites one shard's manifest as one line per
+// URL, sorted by URL so the result is byte-deterministic.
+func compactShard(dir, path string, entries map[string]entry) error {
+	tmp, err := os.CreateTemp(dir, ".manifest-*")
 	if err != nil {
 		return fmt.Errorf("diskcache: compacting: %w", err)
 	}
 	bw := bufio.NewWriter(tmp)
 	enc := json.NewEncoder(bw)
-	for _, ix := range a.index {
-		if err := enc.Encode(ix.entry); err != nil {
+	urls := make([]string, 0, len(entries))
+	for url := range entries {
+		urls = append(urls, url)
+	}
+	sort.Strings(urls)
+	for _, url := range urls {
+		if err := enc.Encode(entries[url]); err != nil {
 			tmp.Close()
 			os.Remove(tmp.Name())
 			return fmt.Errorf("diskcache: compacting: %w", err)
@@ -194,6 +363,53 @@ func (a *Archive) compact(path string) error {
 		return fmt.Errorf("diskcache: compacting: %w", err)
 	}
 	return nil
+}
+
+// acquireLock takes the shard lock at path, failing fast (ErrLocked)
+// when a live process holds it. The lock file records the holder's
+// pid; a lock whose pid is dead — a crawler that crashed without
+// Close — is stolen so resume never needs manual cleanup. Returns the
+// release func.
+func acquireLock(path string) (release func(), err error) {
+	for attempt := 0; attempt < 4; attempt++ {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err == nil {
+			fmt.Fprintf(f, "%d\n", os.Getpid())
+			f.Close()
+			return func() { os.Remove(path) }, nil
+		}
+		if !os.IsExist(err) {
+			return nil, fmt.Errorf("diskcache: %w", err)
+		}
+		raw, readErr := os.ReadFile(path)
+		if readErr != nil {
+			// Raced with the holder's release; retry the create.
+			continue
+		}
+		pid, parseErr := strconv.Atoi(strings.TrimSpace(string(raw)))
+		if parseErr == nil && pidAlive(pid) {
+			return nil, fmt.Errorf("%w: %s held by pid %d (another crawler is appending this shard; use a distinct -shard, or remove the lock if that process is gone)",
+				ErrLocked, path, pid)
+		}
+		// Stale: the recorded holder is dead (or the file is garbage
+		// from a torn write). Steal it and retry the exclusive create.
+		os.Remove(path)
+	}
+	return nil, fmt.Errorf("%w: %s (lock contention)", ErrLocked, path)
+}
+
+// pidAlive reports whether pid is a live process we could signal. A
+// permission error still means "alive" — it exists, it just isn't ours.
+func pidAlive(pid int) bool {
+	if pid <= 0 {
+		return false
+	}
+	p, err := os.FindProcess(pid)
+	if err != nil {
+		return false
+	}
+	err = p.Signal(syscall.Signal(0))
+	return err == nil || errors.Is(err, syscall.EPERM)
 }
 
 // Load implements browser.ResponseArchive. Online, it returns
@@ -377,16 +593,136 @@ func (a *Archive) Stats() browser.ArchiveStats {
 	}
 }
 
-// Close releases the manifest append handle. Stores after Close still
-// update the in-memory index and object store but no longer reach the
-// manifest; close the archive only once the crawl is done with it.
+// Close releases the manifest append handle and the shard lock. Stores
+// after Close still update the in-memory index and object store but no
+// longer reach the manifest; close the archive only once the crawl is
+// done with it.
 func (a *Archive) Close() error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if a.manifest == nil {
-		return nil
+	var err error
+	if a.manifest != nil {
+		err = a.manifest.Close()
+		a.manifest = nil
 	}
-	err := a.manifest.Close()
-	a.manifest = nil
+	if a.lockPath != "" {
+		os.Remove(a.lockPath)
+		a.lockPath = ""
+	}
 	return err
+}
+
+// MergeStats describes what MergeShards reconciled.
+type MergeStats struct {
+	// Shards is the number of manifest shard files merged (the
+	// unsharded manifest counts when present).
+	Shards int
+	// Lines is the total well-formed manifest lines read across shards;
+	// URLs the unique URLs in the merged manifest.
+	Lines int
+	URLs  int
+	// Reconciled counts URLs archived by more than one shard;
+	// SuccessesPreferred the subset where a success displaced an
+	// archived failure.
+	Reconciled         int
+	SuccessesPreferred int
+	// MissingObjects counts merged success entries whose object file is
+	// absent or size-mismatched — the data-loss signal a merge gate
+	// fails on. (Online replay would degrade these to re-fetches; a
+	// merge that just collected a finished fleet crawl should have
+	// none.)
+	MissingObjects int
+}
+
+// MergeShards compacts every manifest shard in dir into the single
+// unsharded manifest a one-process crawl would have written: one line
+// per URL, sorted by URL, duplicates reconciled by the same
+// deterministic rules Open applies (success over archived failure,
+// then lowest shard id). Shard files are removed after the merged
+// manifest lands atomically. Every shard's lock must be free —
+// merging under a live crawler would lose its writes — so MergeShards
+// fails fast (ErrLocked) if any shard is still held by a live
+// process. Idempotent: rerunning on a merged directory is a no-op
+// compaction.
+func MergeShards(dir string) (MergeStats, error) {
+	var ms MergeStats
+	shards, err := shardFiles(dir)
+	if err != nil {
+		return ms, err
+	}
+	// Lock every shard present plus the merge target, releasing all on
+	// return. Locking in shardLess order keeps two concurrent merges
+	// from deadlocking; both cannot win.
+	lockShards := shards
+	if len(shards) == 0 || shards[0] != "" {
+		lockShards = append([]string{""}, shards...)
+	}
+	var releases []func()
+	defer func() {
+		for _, r := range releases {
+			r()
+		}
+	}()
+	for _, shard := range lockShards {
+		release, err := acquireLock(manifestPath(dir, shard) + lockExt)
+		if err != nil {
+			return ms, err
+		}
+		releases = append(releases, release)
+	}
+
+	merged := map[string]entry{}
+	source := map[string]string{}
+	for _, shard := range shards {
+		m, _, lines, err := loadManifestFile(manifestPath(dir, shard))
+		if err != nil {
+			return ms, err
+		}
+		ms.Shards++
+		ms.Lines += lines
+		for url, e := range m {
+			cur, ok := merged[url]
+			if !ok {
+				merged[url] = e
+				source[url] = shard
+				continue
+			}
+			ms.Reconciled++
+			if reconcile(cur, source[url], e, shard) {
+				if e.success() && !cur.success() {
+					ms.SuccessesPreferred++
+				}
+				merged[url] = e
+				source[url] = shard
+			} else if cur.success() && !e.success() {
+				ms.SuccessesPreferred++
+			}
+		}
+	}
+	ms.URLs = len(merged)
+	for _, e := range merged {
+		if !e.success() {
+			continue
+		}
+		fi, err := os.Stat(filepath.Join(dir, objectsDir, e.Hash[:2], e.Hash[2:]))
+		if err != nil || fi.Size() != e.Size {
+			ms.MissingObjects++
+		}
+	}
+	if err := os.MkdirAll(filepath.Join(dir, objectsDir), 0o755); err != nil {
+		return ms, fmt.Errorf("diskcache: %w", err)
+	}
+	if err := compactShard(dir, filepath.Join(dir, manifestName), merged); err != nil {
+		return ms, err
+	}
+	// The merged manifest is durable; the shard files are now redundant.
+	for _, shard := range shards {
+		if shard == "" {
+			continue
+		}
+		if err := os.Remove(manifestPath(dir, shard)); err != nil {
+			return ms, fmt.Errorf("diskcache: removing merged shard: %w", err)
+		}
+	}
+	return ms, nil
 }

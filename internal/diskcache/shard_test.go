@@ -1,0 +1,340 @@
+package diskcache
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"permodyssey/internal/browser"
+)
+
+// TestOpenSameShardFailsFast is the regression test for the
+// documented multi-process manifest corruption: two processes opening
+// the same directory (same shard) used to interleave appends silently;
+// now the second Open fails fast with ErrLocked instead.
+func TestOpenSameShardFailsFast(t *testing.T) {
+	for _, shard := range []string{"", "3"} {
+		t.Run("shard="+shard, func(t *testing.T) {
+			dir := t.TempDir()
+			a := mustOpen(t, dir, Options{Shard: shard})
+			if _, err := Open(dir, Options{Shard: shard}); !errors.Is(err, ErrLocked) {
+				t.Fatalf("second Open error = %v, want ErrLocked", err)
+			}
+			a.Close()
+			// Close releases the lock; the next Open succeeds.
+			mustOpen(t, dir, Options{Shard: shard})
+		})
+	}
+}
+
+// TestOpenDistinctShardsCoexist: the fleet shape — same directory,
+// distinct shards — opens concurrently, and each process's writes land
+// in its own manifest file.
+func TestOpenDistinctShardsCoexist(t *testing.T) {
+	dir := t.TempDir()
+	a := mustOpen(t, dir, Options{Shard: "0"})
+	b := mustOpen(t, dir, Options{Shard: "1"})
+	a.Store("https://a.test/", resp("from shard 0"))
+	b.Store("https://b.test/", resp("from shard 1"))
+	a.Close()
+	b.Close()
+	for _, name := range []string{"manifest-0.jsonl", "manifest-1.jsonl"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("missing shard manifest %s: %v", name, err)
+		}
+	}
+	// A later reader sees the union of both shards.
+	c := mustOpen(t, dir, Options{Shard: "2"})
+	for url, body := range map[string]string{
+		"https://a.test/": "from shard 0",
+		"https://b.test/": "from shard 1",
+	} {
+		if got, err := c.Load(url); err != nil || got == nil || got.Body != body {
+			t.Errorf("Load(%s) = %v, %v; want %q", url, got, err, body)
+		}
+	}
+}
+
+// TestStaleLockStolen: a lock file left by a dead process (or a torn
+// write that never recorded a pid) must not wedge the archive forever.
+func TestStaleLockStolen(t *testing.T) {
+	for name, content := range map[string]string{
+		"dead pid": "999999999\n", // beyond kernel.pid_max on any stock config
+		"garbage":  "not a pid\n",
+		"empty":    "",
+	} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			lock := filepath.Join(dir, manifestName+lockExt)
+			if err := os.WriteFile(lock, []byte(content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			a := mustOpen(t, dir, Options{})
+			a.Store("https://x.test/", resp("stole the stale lock"))
+			a.Close()
+		})
+	}
+}
+
+// TestLiveLockRespected: a lock naming a live pid (ours) is never
+// stolen, and the error names the holder.
+func TestLiveLockRespected(t *testing.T) {
+	dir := t.TempDir()
+	lock := filepath.Join(dir, manifestName+lockExt)
+	if err := os.WriteFile(lock, []byte(fmt.Sprintf("%d\n", os.Getpid())), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Open(dir, Options{})
+	if !errors.Is(err, ErrLocked) {
+		t.Fatalf("Open error = %v, want ErrLocked", err)
+	}
+	if !strings.Contains(err.Error(), fmt.Sprint(os.Getpid())) {
+		t.Errorf("error should name the holding pid: %v", err)
+	}
+}
+
+func TestInvalidShardName(t *testing.T) {
+	for _, shard := range []string{"a/b", "..\\x", "sh ard", "s*"} {
+		if _, err := Open(t.TempDir(), Options{Shard: shard}); err == nil {
+			t.Errorf("Open with shard %q succeeded, want error", shard)
+		}
+	}
+}
+
+// TestReconcileSuccessOverFailure: when one shard archived a failure
+// and another the recovered success for the same URL, every reader —
+// pre-merge Open, offline Open, and the merged manifest — serves the
+// success, regardless of shard order.
+func TestReconcileSuccessOverFailure(t *testing.T) {
+	dir := t.TempDir()
+	a := mustOpen(t, dir, Options{Shard: "0", Classify: classifyAll})
+	b := mustOpen(t, dir, Options{Shard: "1"})
+	// The *higher* shard holds the success: success must win on merit,
+	// not on shard order.
+	a.StoreFailure("https://flaky.test/", errors.New("reset"))
+	b.Store("https://flaky.test/", resp("recovered"))
+	a.Close()
+	b.Close()
+
+	check := func(label string, ar *Archive) {
+		t.Helper()
+		got, err := ar.Load("https://flaky.test/")
+		if err != nil || got == nil || got.Body != "recovered" {
+			t.Errorf("%s: Load = %v, %v; want the success to win", label, got, err)
+		}
+	}
+	pre := mustOpen(t, dir, Options{Shard: "9"})
+	check("pre-merge open", pre)
+	pre.Close()
+
+	ms, err := MergeShards(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.Reconciled != 1 || ms.SuccessesPreferred != 1 {
+		t.Errorf("merge stats = %+v, want 1 reconciled, 1 success preferred", ms)
+	}
+	check("after merge", mustOpen(t, dir, Options{}))
+}
+
+// TestReconcileDivergentDigests: two shards archived the same URL with
+// different bodies (the site changed under the fleet mid-crawl). The
+// reconciliation must be deterministic — lowest shard id wins — and
+// must not count as data loss.
+func TestReconcileDivergentDigests(t *testing.T) {
+	dir := t.TempDir()
+	a := mustOpen(t, dir, Options{Shard: "0"})
+	b := mustOpen(t, dir, Options{Shard: "1"})
+	a.Store("https://drift.test/", resp("version from shard 0"))
+	b.Store("https://drift.test/", resp("version from shard 1"))
+	a.Close()
+	b.Close()
+
+	ms, err := MergeShards(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.Reconciled != 1 || ms.MissingObjects != 0 {
+		t.Errorf("merge stats = %+v, want 1 reconciled, 0 missing objects", ms)
+	}
+	got, err := mustOpen(t, dir, Options{}).Load("https://drift.test/")
+	if err != nil || got == nil || got.Body != "version from shard 0" {
+		t.Errorf("Load after merge = %v, %v; want shard 0's version", got, err)
+	}
+}
+
+// TestMergeShards covers the full merge path: several shards with
+// overlap and within-shard churn compact into one sorted manifest, the
+// shard files disappear, and a second merge (and a reopen) are
+// no-ops — merge-then-reopen idempotence.
+func TestMergeShards(t *testing.T) {
+	dir := t.TempDir()
+	for i := 0; i < 3; i++ {
+		a := mustOpen(t, dir, Options{Shard: fmt.Sprint(i), Classify: classifyAll})
+		a.Store(fmt.Sprintf("https://only-%d.test/", i), resp(fmt.Sprintf("body %d", i)))
+		a.Store("https://shared.test/", resp("shared body"))
+		a.Store("https://shared.test/", resp("shared body")) // within-shard churn
+		a.Close()
+	}
+	ms, err := MergeShards(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.Shards != 3 || ms.URLs != 4 || ms.MissingObjects != 0 {
+		t.Errorf("merge stats = %+v, want 3 shards, 4 urls, 0 missing", ms)
+	}
+	if ms.Reconciled != 2 {
+		t.Errorf("reconciled = %d, want 2 (shared.test seen by 3 shards)", ms.Reconciled)
+	}
+	left, err := filepath.Glob(filepath.Join(dir, manifestPrefix+"*"+manifestExt))
+	if err != nil || len(left) != 0 {
+		t.Errorf("shard manifests left after merge: %v (err %v)", left, err)
+	}
+	if got := manifestLines(t, dir); got != 4 {
+		t.Errorf("merged manifest has %d lines, want 4", got)
+	}
+	mergedBytes := func() string {
+		raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(raw)
+	}
+	first := mergedBytes()
+
+	// Idempotence: merging again changes nothing, and a reopen finds a
+	// clean manifest (no recompaction churn).
+	if ms2, err := MergeShards(dir); err != nil || ms2.URLs != 4 || ms2.Reconciled != 0 {
+		t.Errorf("second merge = %+v, %v; want 4 urls, 0 reconciled", ms2, err)
+	}
+	if second := mergedBytes(); second != first {
+		t.Error("second merge rewrote the manifest differently")
+	}
+	a := mustOpen(t, dir, Options{})
+	a.Close()
+	if after := mergedBytes(); after != first {
+		t.Error("reopen after merge modified the manifest")
+	}
+}
+
+// TestMergeShardsTruncatedTail: a shard whose writer died mid-append
+// loses only its torn final line.
+func TestMergeShardsTruncatedTail(t *testing.T) {
+	dir := t.TempDir()
+	a := mustOpen(t, dir, Options{Shard: "0"})
+	a.Store("https://intact.test/", resp("intact"))
+	a.Close()
+	f, err := os.OpenFile(manifestPath(dir, "0"), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"url":"https://torn.test/","hash":"ab`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	ms, err := MergeShards(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.URLs != 1 {
+		t.Errorf("merged urls = %d, want 1 (torn line dropped)", ms.URLs)
+	}
+	b := mustOpen(t, dir, Options{})
+	if got, err := b.Load("https://intact.test/"); err != nil || got == nil || got.Body != "intact" {
+		t.Errorf("intact entry lost: %v, %v", got, err)
+	}
+	if got, err := b.Load("https://torn.test/"); got != nil || err != nil {
+		t.Errorf("torn entry resurrected: %v, %v", got, err)
+	}
+}
+
+// TestMergeShardsEmptyShard: an empty shard file (a worker that opened
+// the archive and crawled nothing) merges away cleanly.
+func TestMergeShardsEmptyShard(t *testing.T) {
+	dir := t.TempDir()
+	a := mustOpen(t, dir, Options{Shard: "0"})
+	a.Store("https://x.test/", resp("x"))
+	a.Close()
+	empty := mustOpen(t, dir, Options{Shard: "1"})
+	empty.Close()
+
+	ms, err := MergeShards(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.Shards != 2 || ms.URLs != 1 {
+		t.Errorf("merge stats = %+v, want 2 shards, 1 url", ms)
+	}
+	if _, err := os.Stat(manifestPath(dir, "1")); !os.IsNotExist(err) {
+		t.Errorf("empty shard file survived the merge: %v", err)
+	}
+}
+
+// TestMergeShardsRefusesLiveShard: merging under a crawler that still
+// holds its shard would lose whatever it appends next; the merge must
+// fail fast instead.
+func TestMergeShardsRefusesLiveShard(t *testing.T) {
+	dir := t.TempDir()
+	a := mustOpen(t, dir, Options{Shard: "0"})
+	a.Store("https://x.test/", resp("x"))
+	if _, err := MergeShards(dir); !errors.Is(err, ErrLocked) {
+		t.Fatalf("MergeShards under a live shard = %v, want ErrLocked", err)
+	}
+	a.Close()
+	if _, err := MergeShards(dir); err != nil {
+		t.Fatalf("MergeShards after Close: %v", err)
+	}
+}
+
+// TestMergeShardsDetectsMissingObjects: a success entry whose object
+// vanished is the data-loss signal the fleet gate fails on.
+func TestMergeShardsDetectsMissingObjects(t *testing.T) {
+	dir := t.TempDir()
+	a := mustOpen(t, dir, Options{Shard: "0"})
+	a.Store("https://x.test/", resp("doomed body"))
+	a.Close()
+	removeObjects(t, dir)
+	ms, err := MergeShards(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.MissingObjects != 1 {
+		t.Errorf("missing objects = %d, want 1", ms.MissingObjects)
+	}
+}
+
+// TestOfflineReadsAllShards: strict replay over an unmerged fleet
+// directory serves the union of every shard — and takes no lock, so
+// any number of offline readers coexist with each other.
+func TestOfflineReadsAllShards(t *testing.T) {
+	dir := t.TempDir()
+	a := mustOpen(t, dir, Options{Shard: "0", Classify: classifyAll})
+	b := mustOpen(t, dir, Options{Shard: "1"})
+	a.Store("https://a.test/", resp("A"))
+	a.StoreFailure("https://down.test/", errors.New("reset"))
+	b.Store("https://b.test/", resp("B"))
+	a.Close()
+	b.Close()
+
+	r1 := mustOpen(t, dir, Options{Offline: true})
+	r2 := mustOpen(t, dir, Options{Offline: true})
+	for _, r := range []*Archive{r1, r2} {
+		if got, err := r.Load("https://a.test/"); err != nil || got == nil || got.Body != "A" {
+			t.Errorf("offline Load(a) = %v, %v", got, err)
+		}
+		if got, err := r.Load("https://b.test/"); err != nil || got == nil || got.Body != "B" {
+			t.Errorf("offline Load(b) = %v, %v", got, err)
+		}
+		var rf *browser.ReplayedFailure
+		if _, err := r.Load("https://down.test/"); !errors.As(err, &rf) {
+			t.Errorf("offline Load(down) = %v, want replayed failure", err)
+		}
+	}
+	// No locks were taken: a live writer can still open its shard.
+	w := mustOpen(t, dir, Options{Shard: "0"})
+	w.Close()
+}

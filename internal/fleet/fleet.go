@@ -1,0 +1,106 @@
+// Package fleet reconciles the per-shard outputs of a distributed
+// crawl — N crawler processes, each covering one rank partition
+// (crawler.PartitionTargets) and streaming its own checkpoint JSONL —
+// back into the single dataset a one-process crawl of the same
+// population would have produced. The reconciliation rules mirror the
+// archive's (diskcache.MergeShards): a successful record beats a
+// failed one for the same rank, ties go to the lowest shard index, so
+// the merge is deterministic no matter how the fleet's work actually
+// interleaved. Canceled records — artifacts of a worker interrupted
+// mid-visit, the same class resume drops — are discarded, leaving
+// their ranks visibly missing rather than silently wrong.
+package fleet
+
+import (
+	"fmt"
+	"sort"
+
+	"permodyssey/internal/store"
+)
+
+// MergeReport describes what a merge reconciled.
+type MergeReport struct {
+	// ShardRecords is the record count read from each input shard, in
+	// input order.
+	ShardRecords []int
+	// Records is the merged dataset's size.
+	Records int
+	// Duplicates counts ranks present in more than one shard (each
+	// extra copy counts once); SuccessesPreferred the subset resolved
+	// in favor of a successful record over a failed one.
+	Duplicates         int
+	SuccessesPreferred int
+	// CanceledDropped counts canceled records discarded (interrupted
+	// workers; their ranks need a re-crawl unless another shard covered
+	// them).
+	CanceledDropped int
+}
+
+func (r MergeReport) String() string {
+	return fmt.Sprintf("merged %d records from %d shards %v (%d duplicates reconciled, %d successes preferred, %d canceled dropped)",
+		r.Records, len(r.ShardRecords), r.ShardRecords, r.Duplicates, r.SuccessesPreferred, r.CanceledDropped)
+}
+
+// MergeDatasets reconciles per-shard datasets into one rank-sorted
+// dataset. Shard index is priority order: when two shards carry the
+// same rank, a successful record wins over a failed one, then the
+// lower-indexed shard wins — the same deterministic preference the
+// archive merge applies to manifest entries.
+func MergeDatasets(shards ...*store.Dataset) (*store.Dataset, MergeReport) {
+	rep := MergeReport{ShardRecords: make([]int, len(shards))}
+	byRank := map[int]store.SiteRecord{}
+	for i, ds := range shards {
+		if ds == nil {
+			continue
+		}
+		rep.ShardRecords[i] = len(ds.Records)
+		for _, rec := range ds.Records {
+			if rec.Failure == store.FailureCanceled {
+				rep.CanceledDropped++
+				continue
+			}
+			cur, ok := byRank[rec.Rank]
+			if !ok {
+				byRank[rec.Rank] = rec
+				continue
+			}
+			rep.Duplicates++
+			if rec.OK() && !cur.OK() {
+				rep.SuccessesPreferred++
+				byRank[rec.Rank] = rec
+			} else if cur.OK() && !rec.OK() {
+				rep.SuccessesPreferred++
+			}
+			// Both succeeded or both failed: the incumbent came from a
+			// lower shard index and keeps the rank.
+		}
+	}
+	merged := &store.Dataset{Records: make([]store.SiteRecord, 0, len(byRank))}
+	for _, rec := range byRank {
+		merged.Records = append(merged.Records, rec)
+	}
+	sort.Slice(merged.Records, func(i, j int) bool { return merged.Records[i].Rank < merged.Records[j].Rank })
+	rep.Records = len(merged.Records)
+	return merged, rep
+}
+
+// MergeFiles loads each shard checkpoint tolerantly (a worker killed
+// mid-write leaves a truncated final line, which is dropped exactly as
+// resume would drop it), merges them, and writes the result to
+// outPath. The inputs are read in slice order, which is their shard
+// priority.
+func MergeFiles(outPath string, shardPaths ...string) (*store.Dataset, MergeReport, error) {
+	shards := make([]*store.Dataset, len(shardPaths))
+	for i, p := range shardPaths {
+		ds, err := store.LoadPartialFile(p)
+		if err != nil {
+			return nil, MergeReport{}, fmt.Errorf("fleet: reading shard %s: %w", p, err)
+		}
+		shards[i] = ds
+	}
+	merged, rep := MergeDatasets(shards...)
+	if err := merged.SaveFile(outPath); err != nil {
+		return nil, rep, fmt.Errorf("fleet: writing %s: %w", outPath, err)
+	}
+	return merged, rep, nil
+}

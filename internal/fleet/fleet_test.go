@@ -1,0 +1,144 @@
+package fleet
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"permodyssey/internal/browser"
+	"permodyssey/internal/store"
+)
+
+func okRec(rank int) store.SiteRecord {
+	return store.SiteRecord{
+		Rank: rank,
+		URL:  "https://site.test/",
+		Page: &browser.PageResult{URL: "https://site.test/"},
+	}
+}
+
+func failRec(rank int, class store.FailureClass) store.SiteRecord {
+	return store.SiteRecord{Rank: rank, URL: "https://site.test/", Failure: class, Error: string(class)}
+}
+
+func ranks(ds *store.Dataset) []int {
+	out := make([]int, len(ds.Records))
+	for i, r := range ds.Records {
+		out[i] = r.Rank
+	}
+	return out
+}
+
+func TestMergeDisjointShards(t *testing.T) {
+	a := &store.Dataset{Records: []store.SiteRecord{okRec(1), okRec(5)}}
+	b := &store.Dataset{Records: []store.SiteRecord{okRec(2), failRec(4, store.FailureTimeout)}}
+	c := &store.Dataset{Records: []store.SiteRecord{okRec(3)}}
+	merged, rep := MergeDatasets(a, b, c)
+	if got, want := ranks(merged), []int{1, 2, 3, 4, 5}; len(got) != len(want) {
+		t.Fatalf("merged ranks = %v, want %v", got, want)
+	} else {
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("merged ranks = %v, want %v (rank-sorted)", got, want)
+			}
+		}
+	}
+	if rep.Duplicates != 0 || rep.Records != 5 || rep.CanceledDropped != 0 {
+		t.Errorf("report = %+v, want 5 records, no duplicates", rep)
+	}
+}
+
+// TestMergePrefersSuccess: a rank crawled by two shards keeps the
+// successful record regardless of which shard succeeded.
+func TestMergePrefersSuccess(t *testing.T) {
+	fail := &store.Dataset{Records: []store.SiteRecord{failRec(7, store.FailureEphemeral)}}
+	ok := &store.Dataset{Records: []store.SiteRecord{okRec(7)}}
+
+	for name, order := range map[string][]*store.Dataset{
+		"success in low shard":  {ok, fail},
+		"success in high shard": {fail, ok},
+	} {
+		merged, rep := MergeDatasets(order...)
+		if len(merged.Records) != 1 || !merged.Records[0].OK() {
+			t.Errorf("%s: merged = %+v, want the success", name, merged.Records)
+		}
+		if rep.Duplicates != 1 || rep.SuccessesPreferred != 1 {
+			t.Errorf("%s: report = %+v, want 1 duplicate, 1 success preferred", name, rep)
+		}
+	}
+}
+
+// TestMergeTieGoesToLowestShard: two failures (or two successes) for
+// one rank resolve to the lower shard index, deterministically.
+func TestMergeTieGoesToLowestShard(t *testing.T) {
+	a := &store.Dataset{Records: []store.SiteRecord{failRec(3, store.FailureTimeout)}}
+	b := &store.Dataset{Records: []store.SiteRecord{failRec(3, store.FailureEphemeral)}}
+	merged, rep := MergeDatasets(a, b)
+	if len(merged.Records) != 1 || merged.Records[0].Failure != store.FailureTimeout {
+		t.Errorf("merged = %+v, want shard 0's timeout record", merged.Records)
+	}
+	if rep.SuccessesPreferred != 0 {
+		t.Errorf("report = %+v, want no success preference on a failure tie", rep)
+	}
+}
+
+// TestMergeDropsCanceled: canceled records are interruption artifacts;
+// they never survive a merge, but a real record from another shard
+// still covers the rank.
+func TestMergeDropsCanceled(t *testing.T) {
+	a := &store.Dataset{Records: []store.SiteRecord{failRec(1, store.FailureCanceled), okRec(2)}}
+	b := &store.Dataset{Records: []store.SiteRecord{okRec(1)}}
+	merged, rep := MergeDatasets(a, b)
+	if len(merged.Records) != 2 || !merged.Records[0].OK() {
+		t.Errorf("merged = %+v, want rank 1 covered by shard 1's success", merged.Records)
+	}
+	if rep.CanceledDropped != 1 || rep.Duplicates != 0 {
+		t.Errorf("report = %+v, want 1 canceled dropped and no duplicate (canceled never competes)", rep)
+	}
+}
+
+func TestMergeNilShard(t *testing.T) {
+	merged, rep := MergeDatasets(nil, &store.Dataset{Records: []store.SiteRecord{okRec(1)}})
+	if len(merged.Records) != 1 || rep.ShardRecords[0] != 0 || rep.ShardRecords[1] != 1 {
+		t.Errorf("merged = %v, report = %+v", merged.Records, rep)
+	}
+}
+
+// TestMergeFiles: file-level merge tolerates a truncated shard tail
+// (worker killed mid-write) and writes a loadable rank-sorted output.
+func TestMergeFiles(t *testing.T) {
+	dir := t.TempDir()
+	p0 := filepath.Join(dir, "out.shard0")
+	p1 := filepath.Join(dir, "out.shard1")
+	if err := (&store.Dataset{Records: []store.SiteRecord{okRec(2), okRec(4)}}).SaveFile(p0); err != nil {
+		t.Fatal(err)
+	}
+	if err := (&store.Dataset{Records: []store.SiteRecord{okRec(1), okRec(3)}}).SaveFile(p1); err != nil {
+		t.Fatal(err)
+	}
+	// Tear shard 1's tail: the torn line is dropped, not fatal.
+	f, err := os.OpenFile(p1, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"rank":5,"url":"https://torn`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	out := filepath.Join(dir, "merged.jsonl")
+	merged, rep, err := MergeFiles(out, p0, p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ranks(merged); len(got) != 4 || got[0] != 1 || got[3] != 4 {
+		t.Errorf("merged ranks = %v, want [1 2 3 4]", got)
+	}
+	if rep.ShardRecords[1] != 2 {
+		t.Errorf("shard 1 records = %d, want 2 (torn line dropped)", rep.ShardRecords[1])
+	}
+	reloaded, err := store.LoadFile(out)
+	if err != nil || len(reloaded.Records) != 4 {
+		t.Errorf("reloading merged output: %d records, %v", len(reloaded.Records), err)
+	}
+}

@@ -13,4 +13,20 @@ fi
 
 go vet ./...
 go build ./...
+
+# Static analysis beyond vet. Local runs use an installed staticcheck
+# if present; CI (network available) fetches the pinned version; a dev
+# box with neither skips with a notice rather than failing offline.
+# PERMODYSSEY_SKIP_STATICCHECK=1 opts out (the CI test job sets it —
+# the dedicated staticcheck job owns the check there).
+if [ "${PERMODYSSEY_SKIP_STATICCHECK:-}" = "1" ]; then
+    :
+elif command -v staticcheck >/dev/null 2>&1; then
+    staticcheck ./...
+elif [ "${CI:-}" = "true" ]; then
+    go run honnef.co/go/tools/cmd/staticcheck@2024.1.1 ./...
+else
+    echo "ci.sh: staticcheck not installed; skipping (CI runs the pinned version)" >&2
+fi
+
 go test -race ./...

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Fleet-soak gate: a 4-process chaos crawl over one shared archive,
+# merged, must byte-match a single-process crawl of the same seed —
+# sharding and merging are invisible in the dataset, the report, and
+# the archive. CI runs this as the fleet-soak job; `make fleet-soak`
+# runs it locally.
+#
+# The crawl flags pin the deterministic chaos contract (the same one
+# TestChaosResumeEquivalence relies on): every fault whose state could
+# plausibly diverge between processes is on, the timing-raced ones
+# (slow-loris) are off, -retries 0 keeps the archive's recorded
+# outcomes replayable, and -breaker-threshold 0 keeps per-process
+# breaker state out of the records.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SITES="${PERMODYSSEY_FLEET_SITES:-2000}"
+PROCS="${PERMODYSSEY_FLEET_PROCS:-4}"
+if [ -n "${PERMODYSSEY_FLEET_WORK:-}" ]; then
+    work="$PERMODYSSEY_FLEET_WORK"
+    mkdir -p "$work"
+else
+    work="$(mktemp -d)"
+    trap 'rm -rf "$work"' EXIT
+fi
+
+go build -o "$work/permcrawl" ./cmd/permcrawl
+go build -o "$work/permfleet" ./cmd/permfleet
+go build -o "$work/permreport" ./cmd/permreport
+
+crawl_flags=(-sites "$SITES" -seed 13 -workers 16 -timeout 2s -retries 0
+    -breaker-threshold 0 -chaos
+    -chaos-faults reset,malformed-header,oversized-header,redirect-loop,flap,oversized-body)
+
+echo "== single-process baseline ($SITES sites) =="
+"$work/permcrawl" "${crawl_flags[@]}" -out "$work/single.jsonl" \
+    -stats-json "$work/single-stats.json"
+
+echo "== $PROCS-process fleet over one shared archive =="
+"$work/permfleet" -procs "$PROCS" -out "$work/fleet.jsonl" \
+    -cache-dir "$work/archive" -expect-records "$SITES" \
+    -self "$work/permfleet" -- "${crawl_flags[@]}"
+
+"$work/permreport" -in "$work/single.jsonl" -json >"$work/single-report.json"
+"$work/permreport" -in "$work/fleet.jsonl" -json >"$work/fleet-report.json"
+
+if ! diff -u "$work/single-report.json" "$work/fleet-report.json"; then
+    echo "fleet gate: merged fleet report diverges from the single-process report" >&2
+    exit 1
+fi
+
+echo "== offline replay from the merged fleet archive =="
+"$work/permcrawl" "${crawl_flags[@]}" -cache-dir "$work/archive" -offline \
+    -out "$work/replay.jsonl" -stats-json "$work/replay-stats.json"
+"$work/permreport" -in "$work/replay.jsonl" -json >"$work/replay-report.json"
+
+if ! diff -u "$work/single-report.json" "$work/replay-report.json"; then
+    echo "fleet gate: offline replay from the merged archive diverges (manifest merge lost data)" >&2
+    exit 1
+fi
+if ! grep -q '"network_fetches": 0' "$work/replay-stats.json"; then
+    echo "fleet gate: offline replay reached the network" >&2
+    cat "$work/replay-stats.json" >&2
+    exit 1
+fi
+
+if ls "$work"/archive/manifest-*.jsonl >/dev/null 2>&1; then
+    echo "fleet gate: shard manifests survived the merge:" >&2
+    ls "$work"/archive/manifest-*.jsonl >&2
+    exit 1
+fi
+
+echo "fleet gate: $PROCS-process crawl merged byte-identical to single process, replayable offline"

@@ -12,8 +12,15 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SITES="${PERMODYSSEY_REPLAY_SITES:-400}"
-work="$(mktemp -d)"
-trap 'rm -rf "$work"' EXIT
+# PERMODYSSEY_REPLAY_WORK pins the workdir (CI uploads it as a failure
+# artifact); unset, a temp dir is used and cleaned up.
+if [ -n "${PERMODYSSEY_REPLAY_WORK:-}" ]; then
+    work="$PERMODYSSEY_REPLAY_WORK"
+    mkdir -p "$work"
+else
+    work="$(mktemp -d)"
+    trap 'rm -rf "$work"' EXIT
+fi
 
 go build -o "$work/permcrawl" ./cmd/permcrawl
 go build -o "$work/permreport" ./cmd/permreport

@@ -2,7 +2,7 @@
 # GitHub Actions tier-1 gate; `make bench` produces a BENCH_*.json
 # perf artifact.
 
-.PHONY: ci test bench bench-sched benchcmp soak replay fleet-soak fmt build
+.PHONY: ci test bench bench-sched benchcmp soak replay fleet-soak kill-soak fmt build
 
 ci:
 	./scripts/ci.sh
@@ -16,6 +16,12 @@ replay:
 # archive, merged, byte-identical to a single-process run.
 fleet-soak:
 	./scripts/fleet_soak.sh
+
+# Kill-injection soak: SIGKILL 2 of 4 fleet workers mid-crawl; the
+# supervisor must recover them with -resume and the merged report must
+# stay byte-identical to a single-process run.
+kill-soak:
+	./scripts/kill_soak.sh
 
 test:
 	go test ./...

@@ -13,10 +13,17 @@ package main
 import (
 	"context"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"permodyssey/internal/cli"
 )
 
 func main() {
-	os.Exit(cli.Crawl(context.Background(), os.Args[1:], os.Stdout, os.Stderr))
+	// SIGINT/SIGTERM cancel the crawl gracefully: in-flight visits are
+	// abandoned as canceled, everything completed stays checkpointed in
+	// -out, and the process exits 3 so a supervisor knows to -resume.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(cli.Crawl(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }

@@ -14,16 +14,23 @@ package main
 import (
 	"context"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"permodyssey/internal/cli"
 )
 
 func main() {
+	// Ctrl-C or a SIGTERM cancels the context: the driver propagates it
+	// to every worker as SIGTERM, workers checkpoint and exit, and the
+	// driver merges whatever completed before exiting nonzero.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	args := os.Args[1:]
 	// Re-exec dispatch: the driver spawns this same binary with a
 	// sentinel first argument to run one shard's crawl.
 	if len(args) > 0 && args[0] == cli.WorkerSentinel {
-		os.Exit(cli.Crawl(context.Background(), args[1:], os.Stdout, os.Stderr))
+		os.Exit(cli.Crawl(ctx, args[1:], os.Stdout, os.Stderr))
 	}
-	os.Exit(cli.Fleet(context.Background(), args, os.Stdout, os.Stderr))
+	os.Exit(cli.Fleet(ctx, args, os.Stdout, os.Stderr))
 }

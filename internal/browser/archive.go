@@ -39,6 +39,10 @@ type ArchiveStats struct {
 	// objects that were degraded to misses and re-fetched rather than
 	// surfaced as errors.
 	CorruptRecovered uint64 `json:"corrupt_recovered"`
+	// OrphansSwept counts temp object/manifest files left by writers
+	// that died mid-rename (a SIGKILLed fleet worker) and GC'd by the
+	// crash-consistency pass on open.
+	OrphansSwept uint64 `json:"orphans_swept"`
 	// BytesStored is object payload bytes written to disk this run
 	// (content addressing stores each distinct body once).
 	BytesStored uint64 `json:"bytes_stored"`

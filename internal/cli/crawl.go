@@ -51,6 +51,7 @@ func Crawl(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	offline := fs.Bool("offline", false, "strict replay from -cache-dir: no network fetches, archived failures replay as recorded, misses become unreachable failures")
 	statsJSON := fs.String("stats-json", "", "write the run's cache/crawl/archive counters as indented JSON to this file")
 	shardSpec := fs.String("shard", "", "fleet mode: crawl only ranks ≡ i (mod n), given as \"i/n\"; with -cache-dir the archive manifest is written to a per-shard file so n processes can share one archive (see permfleet)")
+	heartbeat := fs.String("heartbeat", "", "touch this file on every completed visit — the liveness signal a supervising permfleet watchdog watches")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -113,6 +114,18 @@ func Crawl(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		if total > 0 && done*10/total != last {
 			last = done * 10 / total
 			fmt.Fprintf(stderr, "  %d%% (%d/%d)\n", last*10, done, total)
+		}
+	}
+	if *heartbeat != "" {
+		// Heartbeat = progress, not mere liveness: the file's mtime
+		// advances only when a visit actually completes, so a wedged
+		// crawl — alive but stuck — goes visibly stale and the
+		// supervisor's watchdog can kill and restart it.
+		touchFile(*heartbeat)
+		progress := opts.Crawl.Progress
+		opts.Crawl.Progress = func(done, total int) {
+			touchFile(*heartbeat)
+			progress(done, total)
 		}
 	}
 
@@ -202,8 +215,32 @@ func Crawl(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 	}
+	// A crawl cut short by cancellation (the driver's SIGTERM, an
+	// operator's Ctrl-C) still checkpointed everything above — but it
+	// is not a finished dataset, and a supervising fleet driver needs
+	// the distinction to know the shard wants a -resume relaunch.
+	if ctx.Err() != nil {
+		fmt.Fprintf(stderr, "permcrawl: interrupted; %d records checkpointed in %s (rerun with -resume to finish)\n",
+			len(m.Dataset.Records), *out)
+		return 3
+	}
 	if *report {
 		fmt.Fprintln(stdout, m.Report())
 	}
 	return 0
+}
+
+// touchFile advances path's mtime, creating it (stamped with this
+// process's pid) on first touch. Failures are ignored: a heartbeat is
+// advisory, and a worker must never die because its liveness file is
+// unwritable.
+func touchFile(path string) {
+	now := time.Now()
+	if os.Chtimes(path, now, now) == nil {
+		return
+	}
+	if f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644); err == nil {
+		fmt.Fprintf(f, "%d\n", os.Getpid())
+		f.Close()
+	}
 }

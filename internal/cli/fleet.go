@@ -3,14 +3,15 @@ package cli
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"os/exec"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"permodyssey/internal/diskcache"
 	"permodyssey/internal/fleet"
@@ -45,12 +46,21 @@ func ParseShardSpec(spec string) (shard, shards int, err error) {
 }
 
 // Fleet is the permfleet command: it forks -procs copies of its own
-// binary as crawl workers, hands each one rank partition of the
-// population (-shard i/n) and its own checkpoint and stats files, lets
-// them populate one shared -cache-dir archive through per-shard
-// manifests, and merges the results — datasets via fleet.MergeFiles,
-// the archive via diskcache.MergeShards — into exactly what one
-// process crawling the whole population would have produced.
+// binary as supervised crawl workers, hands each one rank partition of
+// the population (-shard i/n) and its own checkpoint, stats, and
+// heartbeat files, lets them populate one shared -cache-dir archive
+// through per-shard manifests, and merges the results — datasets via
+// fleet.MergeFiles, the archive via diskcache.MergeShards, stats via
+// fleet.SumStats — into exactly what one process crawling the whole
+// population would have produced.
+//
+// Each worker runs under a supervisor (superviseShard): a crashed
+// worker is relaunched with -resume over its own shard checkpoint
+// (completed ranks are never re-crawled) under an exponential-backoff
+// restart budget (-max-restarts), a worker whose heartbeat goes stale
+// is SIGKILLed and restarted the same way (-watchdog), and driver
+// cancellation propagates as SIGTERM so workers checkpoint and exit
+// cleanly — after which the driver still merges whatever completed.
 //
 // Crawl flags for the workers go after "--":
 //
@@ -63,8 +73,10 @@ func Fleet(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	cacheDir := fs.String("cache-dir", "", "shared content-addressed archive directory; each worker appends a per-shard manifest, merged after the crawl")
 	self := fs.String("self", "", "worker binary to exec (default: this binary re-execed with a \""+WorkerSentinel+"\" first argument)")
 	mergeOnly := fs.Bool("merge-only", false, "skip the crawl; merge existing <out>.shard<i> files (and -cache-dir manifests) from a previous run")
-	keepShards := fs.Bool("keep-shards", false, "keep the per-shard dataset files after a successful merge")
+	keepShards := fs.Bool("keep-shards", false, "keep the per-shard dataset, stats, and heartbeat files after a successful merge")
 	expect := fs.Int("expect-records", -1, "fail unless the merged dataset has exactly N records (-1 = no check)")
+	maxRestarts := fs.Int("max-restarts", 3, "restart budget per shard: relaunch a crashed or watchdog-killed worker with -resume up to N times before giving up")
+	watchdog := fs.Duration("watchdog", 2*time.Minute, "SIGKILL and restart a worker whose heartbeat file reports no completed visit for this long (0 disables the watchdog)")
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "usage: permfleet [driver flags] -- [permcrawl flags]")
 		fs.PrintDefaults()
@@ -76,8 +88,15 @@ func Fleet(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "permfleet: -procs must be >= 1")
 		return 2
 	}
+	if *maxRestarts < 0 {
+		fmt.Fprintln(stderr, "permfleet: -max-restarts must be >= 0")
+		return 2
+	}
 	shardPath := func(i int) string { return fmt.Sprintf("%s.shard%d", *out, i) }
+	statsPath := func(i int) string { return shardPath(i) + ".stats.json" }
+	hbPath := func(i int) string { return shardPath(i) + ".heartbeat" }
 
+	outcomes := make([]shardOutcome, *procs)
 	if !*mergeOnly {
 		bin := *self
 		if bin == "" {
@@ -88,43 +107,62 @@ func Fleet(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			}
 			bin = exe
 		}
+		// Worker and supervisor goroutines all funnel into stderr; one
+		// shared lock keeps their writes whole.
+		slog := &syncWriter{w: stderr}
 		// Worker argv: the user's crawl flags first, the driver's own
 		// assignments last — flag parsing lets later flags win, so the
 		// partition, output, and archive wiring cannot be overridden from
 		// the passthrough side.
 		var wg sync.WaitGroup
-		errs := make([]error, *procs)
 		for i := 0; i < *procs; i++ {
 			workerArgs := []string{WorkerSentinel}
 			workerArgs = append(workerArgs, fs.Args()...)
 			workerArgs = append(workerArgs,
 				"-shard", fmt.Sprintf("%d/%d", i, *procs),
 				"-out", shardPath(i),
-				"-stats-json", shardPath(i)+".stats.json",
+				"-stats-json", statsPath(i),
+				"-heartbeat", hbPath(i),
 			)
 			if *cacheDir != "" {
 				workerArgs = append(workerArgs, "-cache-dir", *cacheDir)
 			}
-			cmd := exec.CommandContext(ctx, bin, workerArgs...)
-			pw := &prefixWriter{w: stderr, prefix: fmt.Sprintf("[shard %d] ", i)}
-			cmd.Stdout = pw
-			cmd.Stderr = pw
+			spec := workerSpec{
+				bin:         bin,
+				shard:       i,
+				args:        workerArgs,
+				heartbeat:   hbPath(i),
+				watchdog:    *watchdog,
+				maxRestarts: *maxRestarts,
+				out:         &prefixWriter{w: slog, prefix: fmt.Sprintf("[shard %d] ", i)},
+			}
 			wg.Add(1)
-			go func(i int, cmd *exec.Cmd, pw *prefixWriter) {
+			go func(i int, spec workerSpec) {
 				defer wg.Done()
-				err := cmd.Run()
-				pw.Flush()
-				if err != nil {
-					errs[i] = fmt.Errorf("shard %d: %w", i, err)
-				}
-			}(i, cmd, pw)
+				outcomes[i] = superviseShard(ctx, spec, slog)
+			}(i, spec)
 		}
 		wg.Wait()
+		for i, oc := range outcomes {
+			if oc.restarts > 0 {
+				fmt.Fprintf(stderr, "permfleet: shard %d recovered after %d restart(s) (%d watchdog kill(s))\n",
+					i, oc.restarts, oc.watchdogKills)
+			}
+		}
+		if ctx.Err() != nil {
+			// Interrupted fleet: every worker was SIGTERMed and
+			// checkpointed. Merge whatever completed so the partial crawl
+			// is inspectable, and keep the shard files for a -merge-only
+			// or full -resume rerun.
+			fmt.Fprintln(stderr, "permfleet: interrupted; merging completed shard checkpoints (shard files kept)")
+			mergePartialShards(*out, *procs, shardPath, stderr)
+			return 1
+		}
 		failed := 0
-		for _, err := range errs {
-			if err != nil {
+		for _, oc := range outcomes {
+			if oc.err != nil {
 				failed++
-				fmt.Fprintln(stderr, "permfleet:", err)
+				fmt.Fprintln(stderr, "permfleet:", oc.err)
 			}
 		}
 		if failed > 0 {
@@ -152,6 +190,10 @@ func Fleet(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stderr, "archive: merged %d manifest shards (%d lines) into %d URLs (%d reconciled, %d successes preferred)\n",
 			ms.Shards, ms.Lines, ms.URLs, ms.Reconciled, ms.SuccessesPreferred)
+		if ms.OrphanTempsSwept > 0 || ms.TornTails > 0 || ms.CorruptLinesDropped > 0 {
+			fmt.Fprintf(stderr, "archive fsck: %d orphaned temp files swept, %d torn manifest tails and %d corrupt lines dropped (killed-writer debris repaired)\n",
+				ms.OrphanTempsSwept, ms.TornTails, ms.CorruptLinesDropped)
+		}
 		if ms.MissingObjects > 0 {
 			fmt.Fprintf(stderr, "permfleet: DATA LOSS: %d manifest entries have no object in the archive\n", ms.MissingObjects)
 			return 1
@@ -162,13 +204,126 @@ func Fleet(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "permfleet: merged %d records, want %d — shard files kept for inspection\n", len(merged.Records), *expect)
 		return 1
 	}
+
+	aggregateStats(*out, *procs, statsPath, outcomes, stderr)
+
 	if !*keepShards {
-		for _, p := range shardPaths {
-			os.Remove(p)
+		for i, p := range shardPaths {
+			removeReporting(stderr, p)
+			removeReporting(stderr, statsPath(i))
+			removeReporting(stderr, hbPath(i))
 		}
 	}
 	fmt.Fprintf(stdout, "fleet dataset written to %s (%d records from %d shards)\n", *out, len(merged.Records), *procs)
 	return 0
+}
+
+// mergePartialShards is the interrupted-fleet merge: whatever shard
+// checkpoints exist are reconciled into the output dataset so an
+// operator can inspect the partial crawl, without failing on shards
+// that never wrote a file. Best-effort by design — the driver is
+// already exiting nonzero.
+func mergePartialShards(out string, procs int, shardPath func(int) string, stderr io.Writer) {
+	var present []string
+	for i := 0; i < procs; i++ {
+		if _, err := os.Stat(shardPath(i)); err == nil {
+			present = append(present, shardPath(i))
+		}
+	}
+	if len(present) == 0 {
+		return
+	}
+	merged, rep, err := fleet.MergeFiles(out, present...)
+	if err != nil {
+		fmt.Fprintln(stderr, "permfleet: partial merge:", err)
+		return
+	}
+	fmt.Fprintf(stderr, "permfleet: partial dataset written to %s (%d records; resume with -merge-only or re-run the fleet)\n%s\n",
+		out, len(merged.Records), rep)
+}
+
+// aggregateStats folds the per-shard -stats-json files into one
+// <out>.stats.json: the raw per-shard objects, the summed totals
+// (fleet.SumStats), and the supervisor's restart ledger. A shard whose
+// stats file is missing (an older run's leftovers merged with
+// -merge-only, say) is reported and skipped rather than fatal.
+func aggregateStats(out string, procs int, statsPath func(int) string, outcomes []shardOutcome, stderr io.Writer) {
+	shards := make([]map[string]any, procs)
+	var present []map[string]any
+	for i := 0; i < procs; i++ {
+		raw, err := os.ReadFile(statsPath(i))
+		if err != nil {
+			fmt.Fprintf(stderr, "permfleet: no stats for shard %d (%v); totals will omit it\n", i, err)
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal(raw, &m); err != nil {
+			fmt.Fprintf(stderr, "permfleet: unreadable stats for shard %d: %v\n", i, err)
+			continue
+		}
+		shards[i] = m
+		present = append(present, m)
+	}
+	if len(present) == 0 {
+		return
+	}
+	restarts := make([]int, procs)
+	kills := make([]int, procs)
+	for i, oc := range outcomes {
+		restarts[i], kills[i] = oc.restarts, oc.watchdogKills
+	}
+	totals := fleet.SumStats(present)
+	agg := map[string]any{
+		"shards": shards,
+		"totals": totals,
+		"supervisor": map[string]any{
+			"restarts":       restarts,
+			"watchdog_kills": kills,
+		},
+	}
+	buf, err := json.MarshalIndent(agg, "", "  ")
+	if err == nil {
+		err = os.WriteFile(out+".stats.json", append(buf, '\n'), 0o644)
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "permfleet: writing aggregated stats:", err)
+		return
+	}
+	visited, resumed := crawlTotals(totals)
+	fmt.Fprintf(stderr, "fleet stats: visited %d + resumed %d across %d shards; restarts %v, watchdog kills %v; totals in %s\n",
+		visited, resumed, len(present), restarts, kills, out+".stats.json")
+}
+
+// crawlTotals pulls the crawl counters the kill-injection soak asserts
+// on (visited live + resumed from checkpoints = every rank exactly
+// once) out of a summed stats object.
+func crawlTotals(totals map[string]any) (visited, resumed int) {
+	crawl, _ := totals["Crawl"].(map[string]any)
+	v, _ := crawl["Visited"].(float64)
+	r, _ := crawl["Resumed"].(float64)
+	return int(v), int(r)
+}
+
+// removeReporting removes path, reporting — not failing on — anything
+// unexpected. A shard file that refuses to delete is a nuisance; the
+// merged dataset it fed is already safe.
+func removeReporting(stderr io.Writer, path string) {
+	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+		fmt.Fprintf(stderr, "permfleet: removing %s: %v\n", path, err)
+	}
+}
+
+// syncWriter serializes concurrent writers (per-shard prefix writers,
+// supervisor restart notices) onto one underlying stream.
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (s *syncWriter) Write(b []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(b)
 }
 
 // prefixWriter tags every line of a worker's interleaved output with

@@ -1,0 +1,168 @@
+package cli
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"syscall"
+	"time"
+)
+
+// Supervisor tunables. Package variables rather than flags: the tests
+// shrink them to keep fake-worker soaks fast; production runs never
+// need to.
+var (
+	// workerGrace is how long a SIGTERMed worker gets to checkpoint and
+	// exit before exec forcibly kills it (cmd.WaitDelay), and likewise
+	// how long a watchdog-killed worker's pipes may take to drain.
+	workerGrace = 10 * time.Second
+	// restartBackoffBase is the delay before the first relaunch of a
+	// failed worker; it doubles per restart, capped at restartBackoffMax.
+	restartBackoffBase = 500 * time.Millisecond
+	restartBackoffMax  = 30 * time.Second
+)
+
+// workerSpec describes one shard's worker process to its supervisor.
+type workerSpec struct {
+	bin   string
+	shard int
+	// args is the worker argv for a fresh launch; relaunches append
+	// "-resume" so the worker skips every rank its checkpoint already
+	// covers instead of re-crawling them.
+	args []string
+	// heartbeat is the file the worker touches on every completed
+	// visit; its mtime going stale is what the watchdog acts on.
+	heartbeat string
+	// watchdog is the no-progress deadline past which the worker is
+	// SIGKILLed and restarted. 0 disables the watchdog.
+	watchdog time.Duration
+	// maxRestarts is the restart budget: how many relaunches (crash or
+	// watchdog kill alike) this shard gets before the supervisor gives
+	// up on it.
+	maxRestarts int
+	// out receives the worker's interleaved stdout+stderr (the fleet's
+	// line-prefixed writer).
+	out *prefixWriter
+}
+
+// shardOutcome is what one shard's supervisor reports back: how many
+// times it had to relaunch the worker, how many of those were watchdog
+// kills of a wedged process, and the terminal error if the shard never
+// completed (nil after a success, however many restarts it took).
+type shardOutcome struct {
+	restarts      int
+	watchdogKills int
+	err           error
+}
+
+// superviseShard runs one shard's worker to completion, restarting it
+// on crashes and watchdog-detected hangs.
+//
+// The restart state machine:
+//
+//	launch ──────────────► running
+//	  ▲                      │
+//	  │          ┌───────────┼─────────────┐
+//	  │          │ exit 0    │ exit != 0   │ heartbeat stale
+//	  │          ▼           ▼             ▼
+//	  │        done        crashed      SIGKILL (wedged)
+//	  │                      │             │
+//	  │                      └──────┬──────┘
+//	  │       budget left: backoff, │ relaunch with -resume
+//	  └──────────────────────────────┘
+//	                 budget exhausted (or ctx canceled): give up
+//
+// Every relaunch appends -resume, so completed ranks are read back
+// from the shard checkpoint and never re-crawled; the exponential
+// backoff keeps a crash-looping worker from burning the budget in
+// milliseconds. Cancellation of ctx is propagated to the worker as
+// SIGTERM (cmd.Cancel) with workerGrace to checkpoint and exit
+// (cmd.WaitDelay); the supervisor then reports the interruption
+// without restarting, leaving the checkpoint for a later merge.
+func superviseShard(ctx context.Context, spec workerSpec, driverLog io.Writer) shardOutcome {
+	var out shardOutcome
+	for attempt := 0; ; attempt++ {
+		args := spec.args
+		if attempt > 0 {
+			args = append(append(make([]string, 0, len(spec.args)+1), spec.args...), "-resume")
+		}
+		wedged, err := runWorkerOnce(ctx, spec, args)
+		if wedged {
+			out.watchdogKills++
+		}
+		if err == nil {
+			return out
+		}
+		if ctx.Err() != nil {
+			// The fleet itself is shutting down: the worker was told to
+			// checkpoint and exit, and it did. Not a shard failure.
+			out.err = fmt.Errorf("shard %d: interrupted: %w", spec.shard, ctx.Err())
+			return out
+		}
+		if attempt >= spec.maxRestarts {
+			out.err = fmt.Errorf("shard %d: %w (restart budget of %d exhausted)", spec.shard, err, spec.maxRestarts)
+			return out
+		}
+		backoff := min(restartBackoffBase<<uint(attempt), restartBackoffMax)
+		fmt.Fprintf(driverLog, "permfleet: shard %d: %v; restarting with -resume in %s (restart %d/%d)\n",
+			spec.shard, err, backoff, attempt+1, spec.maxRestarts)
+		out.restarts++
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			out.err = fmt.Errorf("shard %d: interrupted: %w", spec.shard, ctx.Err())
+			return out
+		}
+	}
+}
+
+// runWorkerOnce launches the worker once and waits it out under the
+// watchdog. Returns wedged=true when the watchdog SIGKILLed the
+// process for a stale heartbeat; err is nil only on a clean exit 0.
+func runWorkerOnce(ctx context.Context, spec workerSpec, args []string) (wedged bool, err error) {
+	cmd := exec.CommandContext(ctx, spec.bin, args...)
+	cmd.Stdout = spec.out
+	cmd.Stderr = spec.out
+	// Graceful termination end to end: driver cancellation reaches the
+	// worker as SIGTERM (not the default SIGKILL) so it can flush its
+	// checkpoint; WaitDelay both bounds that grace and unsticks Wait if
+	// a killed worker's pipes are held open by an orphaned child.
+	cmd.Cancel = func() error { return cmd.Process.Signal(syscall.SIGTERM) }
+	cmd.WaitDelay = workerGrace
+	start := time.Now()
+	if err := cmd.Start(); err != nil {
+		return false, err
+	}
+	defer spec.out.Flush()
+	waitCh := make(chan error, 1)
+	go func() { waitCh <- cmd.Wait() }()
+	if spec.watchdog <= 0 {
+		return false, <-waitCh
+	}
+	poll := max(spec.watchdog/4, 25*time.Millisecond)
+	tick := time.NewTicker(poll)
+	defer tick.Stop()
+	for {
+		select {
+		case err := <-waitCh:
+			return false, err
+		case <-tick.C:
+			last := start
+			if fi, err := os.Stat(spec.heartbeat); err == nil && fi.ModTime().After(last) {
+				last = fi.ModTime()
+			}
+			if stale := time.Since(last); stale > spec.watchdog {
+				cmd.Process.Kill()
+				if werr := <-waitCh; werr == nil {
+					// Raced a clean exit: the worker finished between the
+					// staleness check and the kill. Success stands.
+					return false, nil
+				}
+				return true, fmt.Errorf("watchdog: no progress for %s (deadline %s); killed",
+					stale.Round(time.Millisecond), spec.watchdog)
+			}
+		}
+	}
+}

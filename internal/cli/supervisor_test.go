@@ -1,0 +1,385 @@
+package cli
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// quickSupervisor shrinks the supervisor tunables so fake-worker soaks
+// finish in milliseconds instead of the production backoff schedule.
+func quickSupervisor(t *testing.T) {
+	t.Helper()
+	base, cap, grace := restartBackoffBase, restartBackoffMax, workerGrace
+	restartBackoffBase = 5 * time.Millisecond
+	restartBackoffMax = 20 * time.Millisecond
+	workerGrace = 2 * time.Second
+	t.Cleanup(func() { restartBackoffBase, restartBackoffMax, workerGrace = base, cap, grace })
+}
+
+// writeScript drops an executable /bin/sh fake worker into dir.
+func writeScript(t *testing.T, dir, name, body string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte("#!/bin/sh\n"+body), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func testSpec(bin, dir string) workerSpec {
+	return workerSpec{
+		bin:         bin,
+		shard:       0,
+		args:        []string{WorkerSentinel, "-sites", "40"},
+		heartbeat:   filepath.Join(dir, "hb"),
+		maxRestarts: 3,
+		out:         &prefixWriter{w: io.Discard},
+	}
+}
+
+// TestSuperviseShardCrashThenResume: a worker that dies once is
+// relaunched — with -resume appended so completed ranks are read back
+// from its checkpoint — and the shard still succeeds.
+func TestSuperviseShardCrashThenResume(t *testing.T) {
+	quickSupervisor(t)
+	dir := t.TempDir()
+	marker := filepath.Join(dir, "crashed-once")
+	argLog := filepath.Join(dir, "args.log")
+	bin := writeScript(t, dir, "worker.sh", fmt.Sprintf(`echo "$@" >> %q
+if [ ! -f %q ]; then touch %q; exit 1; fi
+exit 0
+`, argLog, marker, marker))
+
+	oc := superviseShard(context.Background(), testSpec(bin, dir), io.Discard)
+	if oc.err != nil || oc.restarts != 1 || oc.watchdogKills != 0 {
+		t.Fatalf("outcome = %+v, want 1 restart, 0 watchdog kills, nil err", oc)
+	}
+	raw, err := os.ReadFile(argLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attempts := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(attempts) != 2 {
+		t.Fatalf("worker launched %d times, want 2:\n%s", len(attempts), raw)
+	}
+	if strings.Contains(attempts[0], "-resume") {
+		t.Errorf("first launch already had -resume: %q", attempts[0])
+	}
+	if !strings.Contains(attempts[1], "-resume") {
+		t.Errorf("relaunch missing -resume: %q", attempts[1])
+	}
+}
+
+// TestSuperviseShardBudgetExhausted: a worker that crashes every time
+// burns exactly maxRestarts relaunches and then the supervisor gives
+// up with a budget error instead of looping forever.
+func TestSuperviseShardBudgetExhausted(t *testing.T) {
+	quickSupervisor(t)
+	dir := t.TempDir()
+	argLog := filepath.Join(dir, "args.log")
+	bin := writeScript(t, dir, "worker.sh", fmt.Sprintf("echo x >> %q\nexit 1\n", argLog))
+	spec := testSpec(bin, dir)
+	spec.maxRestarts = 2
+
+	oc := superviseShard(context.Background(), spec, io.Discard)
+	if oc.err == nil || !strings.Contains(oc.err.Error(), "restart budget of 2 exhausted") {
+		t.Fatalf("err = %v, want budget exhaustion", oc.err)
+	}
+	if oc.restarts != 2 {
+		t.Errorf("restarts = %d, want 2", oc.restarts)
+	}
+	raw, _ := os.ReadFile(argLog)
+	if got := strings.Count(string(raw), "x"); got != 3 {
+		t.Errorf("worker launched %d times, want 3 (initial + 2 restarts)", got)
+	}
+}
+
+// TestSuperviseShardWatchdogKillsWedgedWorker: a worker that is alive
+// but making no progress (its heartbeat never advances) is SIGKILLed
+// by the watchdog and restarted; the relaunch completes the shard.
+func TestSuperviseShardWatchdogKillsWedgedWorker(t *testing.T) {
+	quickSupervisor(t)
+	dir := t.TempDir()
+	marker := filepath.Join(dir, "wedged-once")
+	// exec replaces the shell with sleep, so the watchdog's SIGKILL hits
+	// the sleeping process itself and Wait returns promptly.
+	bin := writeScript(t, dir, "worker.sh", fmt.Sprintf(`if [ ! -f %q ]; then touch %q; exec sleep 60; fi
+exit 0
+`, marker, marker))
+	spec := testSpec(bin, dir)
+	spec.watchdog = 150 * time.Millisecond
+
+	var driverLog bytes.Buffer
+	start := time.Now()
+	oc := superviseShard(context.Background(), spec, &driverLog)
+	if oc.err != nil || oc.restarts != 1 || oc.watchdogKills != 1 {
+		t.Fatalf("outcome = %+v, want 1 restart, 1 watchdog kill, nil err", oc)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("wedged worker held the shard for %s; watchdog too slow", elapsed)
+	}
+	if !strings.Contains(driverLog.String(), "watchdog: no progress") {
+		t.Errorf("driver log missing watchdog notice:\n%s", driverLog.String())
+	}
+}
+
+// TestSuperviseShardHeartbeatDefersWatchdog: a slow worker whose
+// heartbeat keeps advancing is NOT killed — the watchdog acts on
+// progress, not wall-clock runtime.
+func TestSuperviseShardHeartbeatDefersWatchdog(t *testing.T) {
+	quickSupervisor(t)
+	dir := t.TempDir()
+	hb := filepath.Join(dir, "hb")
+	// Runs ~8 watchdog periods but touches the heartbeat every ~2.
+	bin := writeScript(t, dir, "worker.sh", fmt.Sprintf(`for i in 1 2 3 4; do sleep 0.2; touch %q; done
+exit 0
+`, hb))
+	spec := testSpec(bin, dir)
+	spec.heartbeat = hb
+	spec.watchdog = 500 * time.Millisecond
+
+	oc := superviseShard(context.Background(), spec, io.Discard)
+	if oc.err != nil || oc.watchdogKills != 0 {
+		t.Fatalf("outcome = %+v, want no kills for a heartbeating worker", oc)
+	}
+}
+
+// TestSuperviseShardGracefulInterrupt: canceling the supervisor's
+// context delivers SIGTERM (not SIGKILL) to the worker, which gets to
+// run its shutdown path; the supervisor reports the interruption
+// without burning a restart.
+func TestSuperviseShardGracefulInterrupt(t *testing.T) {
+	quickSupervisor(t)
+	dir := t.TempDir()
+	termLog := filepath.Join(dir, "term.log")
+	bin := writeScript(t, dir, "worker.sh", fmt.Sprintf(`trap 'echo checkpointed >> %q; exit 3' TERM
+sleep 30 &
+wait $!
+`, termLog))
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(200 * time.Millisecond)
+		cancel()
+	}()
+
+	oc := superviseShard(ctx, testSpec(bin, dir), io.Discard)
+	if oc.err == nil || !strings.Contains(oc.err.Error(), "interrupted") {
+		t.Fatalf("err = %v, want interrupted", oc.err)
+	}
+	if oc.restarts != 0 {
+		t.Errorf("restarts = %d, want 0 — interruption must not burn the budget", oc.restarts)
+	}
+	raw, err := os.ReadFile(termLog)
+	if err != nil || !strings.Contains(string(raw), "checkpointed") {
+		t.Errorf("worker never saw SIGTERM (log: %q, %v) — was it SIGKILLed?", raw, err)
+	}
+}
+
+// fakeWorkerScript builds a fleet-shaped fake worker: it parses the
+// driver-appended flags, writes a valid shard checkpoint and stats
+// file, and — for shard 0 only — crashes once after a partial
+// checkpoint, then demands -resume on the relaunch (exit 9 loudly if
+// the supervisor forgot it).
+func fakeWorkerScript(t *testing.T, dir string) string {
+	t.Helper()
+	marker := filepath.Join(dir, "shard0-crashed")
+	return writeScript(t, dir, "worker.sh", fmt.Sprintf(`out=""; stats=""; shard=""; resume=0
+while [ $# -gt 0 ]; do
+  case "$1" in
+    -out) out=$2; shift 2 ;;
+    -stats-json) stats=$2; shift 2 ;;
+    -shard) shard=$2; shift 2 ;;
+    -resume) resume=1; shift ;;
+    *) shift ;;
+  esac
+done
+i=${shard%%%%/*}
+if [ "$i" = 0 ] && [ ! -f %[1]q ]; then
+  touch %[1]q
+  printf '{"rank":0,"url":"https://site-0.test/"}\n' > "$out"
+  echo "shard 0: simulated crash" >&2
+  exit 1
+fi
+if [ "$i" = 0 ]; then
+  [ "$resume" = 1 ] || { echo "relaunch without -resume" >&2; exit 9; }
+  printf '{"rank":0,"url":"https://site-0.test/"}\n{"rank":2,"url":"https://site-2.test/"}\n' > "$out"
+  printf '{"shard":0,"shards":2,"Crawl":{"Visited":1,"Resumed":1,"MaxReadyDepth":3}}\n' > "$stats"
+else
+  printf '{"rank":1,"url":"https://site-1.test/"}\n{"rank":3,"url":"https://site-3.test/"}\n' > "$out"
+  printf '{"shard":1,"shards":2,"Crawl":{"Visited":2,"Resumed":0,"MaxReadyDepth":5}}\n' > "$stats"
+fi
+exit 0
+`, marker))
+}
+
+// TestFleetSupervisorRecoversCrashedWorker drives the whole Fleet
+// driver in-process against fake -self workers: shard 0 crashes
+// mid-crawl, the supervisor relaunches it with -resume, the merge
+// still produces every rank exactly once, the aggregated stats file
+// records both the summed totals and the restart ledger, and the
+// per-shard files are cleaned up.
+func TestFleetSupervisorRecoversCrashedWorker(t *testing.T) {
+	quickSupervisor(t)
+	dir := t.TempDir()
+	bin := fakeWorkerScript(t, dir)
+	out := filepath.Join(dir, "fleet.jsonl")
+
+	var stdout, stderr bytes.Buffer
+	code := Fleet(context.Background(), []string{
+		"-procs", "2", "-out", out, "-self", bin, "-expect-records", "4",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("fleet: code=%d\nstderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "shard 0 recovered after 1 restart") {
+		t.Errorf("stderr missing recovery notice:\n%s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "fleet stats: visited 3 + resumed 1") {
+		t.Errorf("stderr missing summed fleet stats line:\n%s", stderr.String())
+	}
+
+	raw, err := os.ReadFile(out + ".stats.json")
+	if err != nil {
+		t.Fatalf("aggregated stats: %v", err)
+	}
+	var agg struct {
+		Shards []map[string]any `json:"shards"`
+		Totals struct {
+			Crawl struct {
+				Visited       float64
+				Resumed       float64
+				MaxReadyDepth float64
+			}
+		} `json:"totals"`
+		Supervisor struct {
+			Restarts      []int `json:"restarts"`
+			WatchdogKills []int `json:"watchdog_kills"`
+		} `json:"supervisor"`
+	}
+	if err := json.Unmarshal(raw, &agg); err != nil {
+		t.Fatalf("parsing %s: %v\n%s", out+".stats.json", err, raw)
+	}
+	if agg.Totals.Crawl.Visited != 3 || agg.Totals.Crawl.Resumed != 1 {
+		t.Errorf("totals = visited %v + resumed %v, want 3 + 1", agg.Totals.Crawl.Visited, agg.Totals.Crawl.Resumed)
+	}
+	if agg.Totals.Crawl.MaxReadyDepth != 5 {
+		t.Errorf("MaxReadyDepth total = %v, want max(3,5) = 5", agg.Totals.Crawl.MaxReadyDepth)
+	}
+	if len(agg.Shards) != 2 || agg.Shards[0] == nil || agg.Shards[1] == nil {
+		t.Errorf("aggregated stats missing per-shard breakdown: %s", raw)
+	}
+	if want := []int{1, 0}; len(agg.Supervisor.Restarts) != 2 ||
+		agg.Supervisor.Restarts[0] != want[0] || agg.Supervisor.Restarts[1] != want[1] {
+		t.Errorf("supervisor restarts = %v, want %v", agg.Supervisor.Restarts, want)
+	}
+
+	// Cleanup: shard checkpoints, per-shard stats, and heartbeats gone.
+	for i := 0; i < 2; i++ {
+		for _, p := range []string{
+			fmt.Sprintf("%s.shard%d", out, i),
+			fmt.Sprintf("%s.shard%d.stats.json", out, i),
+			fmt.Sprintf("%s.shard%d.heartbeat", out, i),
+		} {
+			if _, err := os.Stat(p); !os.IsNotExist(err) {
+				t.Errorf("per-shard file survived cleanup: %s", p)
+			}
+		}
+	}
+}
+
+// TestFleetBudgetExhaustedKeepsShards: when a shard never comes back
+// the driver reports the failure, keeps every shard file for a
+// -merge-only rerun, and exits nonzero.
+func TestFleetBudgetExhaustedKeepsShards(t *testing.T) {
+	quickSupervisor(t)
+	dir := t.TempDir()
+	bin := writeScript(t, dir, "worker.sh", `out=""; shard=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    -out) out=$2; shift 2 ;;
+    -shard) shard=$2; shift 2 ;;
+    *) shift ;;
+  esac
+done
+case "$shard" in
+  0/*) printf '{"rank":0,"url":"https://site-0.test/"}\n' > "$out"; exit 0 ;;
+  *) exit 1 ;;
+esac
+`)
+	out := filepath.Join(dir, "fleet.jsonl")
+	var stdout, stderr bytes.Buffer
+	code := Fleet(context.Background(), []string{
+		"-procs", "2", "-out", out, "-self", bin, "-max-restarts", "1",
+	}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("fleet with dead shard: code=%d, want 1\nstderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "restart budget of 1 exhausted") {
+		t.Errorf("stderr missing budget exhaustion:\n%s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "-merge-only") {
+		t.Errorf("stderr missing -merge-only hint:\n%s", stderr.String())
+	}
+	if _, err := os.Stat(out + ".shard0"); err != nil {
+		t.Errorf("healthy shard checkpoint removed on failure: %v", err)
+	}
+}
+
+// TestFleetInterruptedMergesPartial: canceling the driver SIGTERMs the
+// workers, and the driver still merges whatever their checkpoints
+// hold, keeping the shard files for a full resume.
+func TestFleetInterruptedMergesPartial(t *testing.T) {
+	quickSupervisor(t)
+	dir := t.TempDir()
+	bin := writeScript(t, dir, "worker.sh", `out=""; shard=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    -out) out=$2; shift 2 ;;
+    -shard) shard=$2; shift 2 ;;
+    *) shift ;;
+  esac
+done
+i=${shard%%/*}
+printf '{"rank":%d,"url":"https://site-%d.test/"}\n' "$i" "$i" > "$out"
+trap 'exit 3' TERM
+sleep 30 &
+wait $!
+`)
+	out := filepath.Join(dir, "fleet.jsonl")
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(300 * time.Millisecond)
+		cancel()
+	}()
+	var stdout, stderr bytes.Buffer
+	code := Fleet(ctx, []string{"-procs", "2", "-out", out, "-self", bin}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("interrupted fleet: code=%d, want 1\nstderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "interrupted; merging completed shard checkpoints") {
+		t.Errorf("stderr missing interruption notice:\n%s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "partial dataset written") {
+		t.Errorf("stderr missing partial merge:\n%s", stderr.String())
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("partial dataset: %v", err)
+	}
+	if got := strings.Count(string(raw), `"url"`); got != 2 {
+		t.Errorf("partial dataset has %d records, want 2:\n%s", got, raw)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := os.Stat(fmt.Sprintf("%s.shard%d", out, i)); err != nil {
+			t.Errorf("shard %d checkpoint removed after interruption: %v", i, err)
+		}
+	}
+}

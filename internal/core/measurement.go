@@ -314,8 +314,8 @@ func (s CrawlStats) Summary() string {
 			s.Breaker.ShortCircuits, s.Breaker.OpenHosts)
 	}
 	if s.Fetch.Disk != (browser.ArchiveStats{}) {
-		line += fmt.Sprintf("; archive: %d disk hits, %d writes, %d corrupt recovered, %s stored, %d entries (%d objects), %d network fetches",
-			s.Fetch.Disk.Hits, s.Fetch.Disk.Writes, s.Fetch.Disk.CorruptRecovered,
+		line += fmt.Sprintf("; archive: %d disk hits, %d writes, %d corrupt recovered, %d orphans swept, %s stored, %d entries (%d objects), %d network fetches",
+			s.Fetch.Disk.Hits, s.Fetch.Disk.Writes, s.Fetch.Disk.CorruptRecovered, s.Fetch.Disk.OrphansSwept,
 			byteSize(s.Fetch.Disk.BytesStored), s.Fetch.Disk.Entries, s.Fetch.Disk.Objects,
 			s.Fetch.NetworkFetches)
 	}

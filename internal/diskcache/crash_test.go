@@ -1,0 +1,187 @@
+package diskcache
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// deadPid is beyond kernel.pid_max on any stock config, so a temp file
+// tagged with it always reads as crash debris.
+const deadPid = 999999999
+
+// plantKillDebris simulates the on-disk aftermath of SIGKILLing a
+// fleet worker that was writing shard: a torn manifest tail (the
+// append died mid-line), an orphaned temp object (a Store died between
+// CreateTemp and Rename), and an orphaned temp manifest (a compaction
+// died mid-rewrite). Returns the orphan paths.
+func plantKillDebris(t *testing.T, dir, shard string) (orphanObj, orphanManifest string) {
+	t.Helper()
+	f, err := os.OpenFile(manifestPath(dir, shard), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"url":"https://torn.test/","hash":"ab`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	bucket := filepath.Join(dir, objectsDir, "zz")
+	if err := os.MkdirAll(bucket, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	orphanObj = filepath.Join(bucket, fmt.Sprintf(".obj-%d-123456", deadPid))
+	orphanManifest = filepath.Join(dir, fmt.Sprintf(".manifest-%d-123456", deadPid))
+	for _, p := range []string{orphanObj, orphanManifest} {
+		if err := os.WriteFile(p, []byte("half-written"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return orphanObj, orphanManifest
+}
+
+// TestReopenAfterSIGKILLedWriter is the crash-recovery acceptance
+// test: a shard whose writer died mid-append and mid-rename reopens
+// cleanly — the fsck sweeps both orphaned temp files and reports them,
+// the torn manifest tail is dropped and compacted away, the intact
+// entries survive, and the reopened shard keeps working.
+func TestReopenAfterSIGKILLedWriter(t *testing.T) {
+	dir := t.TempDir()
+	a := mustOpen(t, dir, Options{Shard: "1"})
+	a.Store("https://intact.test/", resp("survived the kill"))
+	a.Close()
+	orphanObj, orphanManifest := plantKillDebris(t, dir, "1")
+	// A temp file owned by a live writer (this process) must survive
+	// the sweep: a concurrent fleet member may be mid-rename right now.
+	liveTemp := filepath.Join(dir, objectsDir, "zz", fmt.Sprintf(".obj-%d-777", os.Getpid()))
+	if err := os.WriteFile(liveTemp, []byte("mid-rename"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	b := mustOpen(t, dir, Options{Shard: "1"})
+	if got := b.Stats().OrphansSwept; got != 2 {
+		t.Errorf("OrphansSwept = %d, want 2", got)
+	}
+	for _, p := range []string{orphanObj, orphanManifest} {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Errorf("orphan %s survived the fsck", p)
+		}
+	}
+	if _, err := os.Stat(liveTemp); err != nil {
+		t.Errorf("live writer's temp file was swept: %v", err)
+	}
+	if got, err := b.Load("https://intact.test/"); err != nil || got == nil || got.Body != "survived the kill" {
+		t.Errorf("intact entry lost after crash recovery: %v, %v", got, err)
+	}
+	if got, err := b.Load("https://torn.test/"); got != nil || err != nil {
+		t.Errorf("torn entry resurrected: %v, %v", got, err)
+	}
+	b.Store("https://after.test/", resp("post-recovery write"))
+	b.Close()
+
+	// The reopen compacted the torn tail away: a third open sees a
+	// clean shard with both entries and nothing left to sweep.
+	c := mustOpen(t, dir, Options{Shard: "1"})
+	if got := c.Stats().OrphansSwept; got != 0 {
+		t.Errorf("second reopen swept %d orphans, want 0", got)
+	}
+	for _, url := range []string{"https://intact.test/", "https://after.test/"} {
+		if got, err := c.Load(url); err != nil || got == nil {
+			t.Errorf("Load(%s) after recovery = %v, %v", url, got, err)
+		}
+	}
+}
+
+// TestUntaggedTempAgeGate: a temp file with no pid tag (an older
+// archive version's naming) is swept only once it is older than the
+// orphanTTL — a fresh one might still be owned by a live writer we
+// cannot identify.
+func TestUntaggedTempAgeGate(t *testing.T) {
+	dir := t.TempDir()
+	mustOpen(t, dir, Options{}).Close()
+	bucket := filepath.Join(dir, objectsDir, "ab")
+	if err := os.MkdirAll(bucket, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	fresh := filepath.Join(bucket, ".obj-123456")
+	stale := filepath.Join(bucket, ".obj-654321")
+	for _, p := range []string{fresh, stale} {
+		if err := os.WriteFile(p, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := time.Now().Add(-2 * orphanTTL)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	a := mustOpen(t, dir, Options{})
+	if got := a.Stats().OrphansSwept; got != 1 {
+		t.Errorf("OrphansSwept = %d, want 1 (stale untagged temp only)", got)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Error("stale untagged temp survived")
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Errorf("fresh untagged temp swept: %v", err)
+	}
+}
+
+// TestMergeShardsCrashConsistency: merging after a kill-injected fleet
+// crawl sweeps the dead workers' debris, drops torn tails, reports all
+// of it in MergeStats, and still reconciles the surviving entries
+// deterministically.
+func TestMergeShardsCrashConsistency(t *testing.T) {
+	dir := t.TempDir()
+	a := mustOpen(t, dir, Options{Shard: "0"})
+	a.Store("https://both.test/", resp("from shard 0"))
+	a.Store("https://only0.test/", resp("only in 0"))
+	a.Close()
+	b := mustOpen(t, dir, Options{Shard: "1"})
+	b.Store("https://both.test/", resp("from shard 1"))
+	b.Store("https://only1.test/", resp("only in 1"))
+	b.Close()
+	plantKillDebris(t, dir, "1")
+	// A corrupt (non-JSON, newline-terminated) line in shard 0, as if
+	// two interleaved writes tore each other before the per-shard
+	// manifests existed to prevent exactly that.
+	f, err := os.OpenFile(manifestPath(dir, "0"), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("%%% not json %%%\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	ms, err := MergeShards(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.OrphanTempsSwept != 2 {
+		t.Errorf("OrphanTempsSwept = %d, want 2", ms.OrphanTempsSwept)
+	}
+	if ms.TornTails != 1 {
+		t.Errorf("TornTails = %d, want 1", ms.TornTails)
+	}
+	if ms.CorruptLinesDropped != 1 {
+		t.Errorf("CorruptLinesDropped = %d, want 1", ms.CorruptLinesDropped)
+	}
+	if ms.URLs != 3 || ms.MissingObjects != 0 {
+		t.Errorf("URLs = %d, MissingObjects = %d, want 3, 0", ms.URLs, ms.MissingObjects)
+	}
+	m := mustOpen(t, dir, Options{})
+	if got, err := m.Load("https://both.test/"); err != nil || got == nil || got.Body != "from shard 0" {
+		t.Errorf("reconciliation lost shard priority: %v, %v", got, err)
+	}
+	for _, url := range []string{"https://only0.test/", "https://only1.test/"} {
+		if got, err := m.Load(url); err != nil || got == nil {
+			t.Errorf("Load(%s) after merge = %v, %v", url, got, err)
+		}
+	}
+	if got, err := m.Load("https://torn.test/"); got != nil || err != nil {
+		t.Errorf("torn entry resurrected by merge: %v, %v", got, err)
+	}
+}

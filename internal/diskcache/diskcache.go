@@ -17,7 +17,13 @@
 // one line per outcome and a truncated or corrupt tail is dropped on
 // open (and compacted away); and a hash-mismatched, truncated, or
 // missing object is treated as a miss and re-fetched — corruption
-// degrades the archive, it never fails the crawl.
+// degrades the archive, it never fails the crawl. A SIGKILLed writer
+// additionally leaves debris with no live owner — temp object and
+// manifest files mid-rename, a torn manifest tail — so Open and
+// MergeShards run a crash-consistency pass: temp files are tagged with
+// their writer's pid and swept once that pid is dead (age-gated for
+// untagged strays), and the sweep's counts are surfaced in
+// ArchiveStats and MergeStats rather than silently absorbed.
 //
 // One directory can back a whole fleet of crawler processes at once:
 // object writes are already atomic and content-addressed, and each
@@ -46,6 +52,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"syscall"
+	"time"
 
 	"permodyssey/internal/browser"
 )
@@ -134,6 +141,7 @@ type Archive struct {
 	lockPath string   // held shard lock; "" when offline or closed
 
 	hits, writes, corrupt, bytesStored atomic.Uint64
+	orphansSwept                       atomic.Uint64
 }
 
 // Open loads (or creates) the archive rooted at dir. Every manifest
@@ -141,11 +149,13 @@ type Archive struct {
 // from an interrupted crawl is dropped, later duplicates of a URL win
 // within a shard, cross-shard duplicates reconcile deterministically —
 // and this process's own shard is compacted back to one line per URL
-// before its append handle opens. Online, the shard's lock file is
-// acquired first: a second process opening the same shard fails fast
-// (ErrLocked) rather than interleaving appends; a lock left by a dead
-// process is stolen. In offline mode nothing is written, not even the
-// compaction or the lock.
+// before its append handle opens. Online, a crash-consistency pass
+// first sweeps temp objects and temp manifests orphaned by dead
+// writers (counted in ArchiveStats.OrphansSwept), then the shard's
+// lock file is acquired: a second process opening the same shard fails
+// fast (ErrLocked) rather than interleaving appends; a lock left by a
+// dead process is stolen. In offline mode nothing is written — no
+// sweep, no compaction, no lock.
 func Open(dir string, opts Options) (*Archive, error) {
 	if err := validShard(opts.Shard); err != nil {
 		return nil, err
@@ -159,6 +169,12 @@ func Open(dir string, opts Options) (*Archive, error) {
 	}
 	if err := os.MkdirAll(filepath.Join(dir, objectsDir), 0o755); err != nil {
 		return nil, fmt.Errorf("diskcache: %w", err)
+	}
+	if !a.offline {
+		// Crash-consistency pass: GC temp objects and temp manifests left
+		// by writers that died mid-rename (offline readers must not touch
+		// the directory, so the sweep is online-only).
+		a.orphansSwept.Add(uint64(sweepOrphans(dir)))
 	}
 	own, clean, err := a.loadShards()
 	if err != nil {
@@ -274,12 +290,12 @@ func (a *Archive) loadShards() (own map[string]entry, clean bool, err error) {
 	own, clean = map[string]entry{}, true
 	source := map[string]string{} // URL → shard that currently owns the index entry
 	for _, shard := range shards {
-		m, shardClean, _, err := loadManifestFile(manifestPath(a.dir, shard))
+		m, ls, err := loadManifestFile(manifestPath(a.dir, shard))
 		if err != nil {
 			return nil, false, err
 		}
 		if shard == a.shard {
-			own, clean = m, shardClean
+			own, clean = m, ls.clean()
 		}
 		for url, e := range m {
 			if cur, ok := a.index[url]; !ok || reconcile(cur.entry, source[url], e, shard) {
@@ -291,18 +307,34 @@ func (a *Archive) loadShards() (own map[string]entry, clean bool, err error) {
 	return own, clean, nil
 }
 
+// loadStats describes how tolerant a manifest-shard read had to be.
+type loadStats struct {
+	// lines counts the well-formed entries read; dups how many of them
+	// re-stated a URL already seen in the same shard (append-during-crawl
+	// churn).
+	lines, dups int
+	// corrupt counts undecodable lines dropped; torn marks a final line
+	// with no trailing newline — the classic tail a killed writer leaves.
+	corrupt int
+	torn    bool
+}
+
+// clean reports whether the shard was already one well-formed line per
+// URL — nothing dropped, nothing duplicated, so no compaction is owed.
+func (s loadStats) clean() bool { return s.dups == 0 && s.corrupt == 0 && !s.torn }
+
 // loadManifestFile reads one manifest shard tolerantly: within the
 // file later duplicates of a URL win, corrupt lines and a truncated
-// tail are dropped (reported via clean=false), and a missing file is
-// an empty clean shard. lines counts the well-formed entries read.
-func loadManifestFile(path string) (m map[string]entry, clean bool, lines int, err error) {
-	m, clean = map[string]entry{}, true
+// tail are dropped (counted in loadStats), and a missing file is an
+// empty clean shard.
+func loadManifestFile(path string) (m map[string]entry, ls loadStats, err error) {
+	m = map[string]entry{}
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
-		return m, true, 0, nil
+		return m, ls, nil
 	}
 	if err != nil {
-		return nil, false, 0, fmt.Errorf("diskcache: %w", err)
+		return nil, ls, fmt.Errorf("diskcache: %w", err)
 	}
 	defer f.Close()
 	br := bufio.NewReader(f)
@@ -312,26 +344,96 @@ func loadManifestFile(path string) (m map[string]entry, clean bool, lines int, e
 			var e entry
 			if json.Unmarshal(line, &e) == nil && e.URL != "" {
 				if _, dup := m[e.URL]; dup {
-					clean = false // duplicate: append-during-crawl churn
+					ls.dups++
 				}
 				m[e.URL] = e
-				lines++
+				ls.lines++
 			} else {
-				clean = false // corrupt line: drop it
+				ls.corrupt++ // corrupt line: drop it
 			}
 		} else if n > 0 {
-			clean = false // truncated tail from an interrupted crawl
+			ls.torn = true // truncated tail from an interrupted crawl
 		}
 		if readErr != nil {
-			return m, clean, lines, nil
+			return m, ls, nil
 		}
 	}
+}
+
+// orphanTTL is the age past which a temp file with no pid tag (written
+// by an older archive version) is presumed crash debris. Pid-tagged
+// temps don't need the age gate: the tag decides ownership exactly.
+const orphanTTL = time.Hour
+
+// tempPattern names a temp file for os.CreateTemp with this process's
+// pid embedded (".obj-1234-*"), so a crash-consistency sweep can tell a
+// dead writer's debris from a live writer's rename-in-progress.
+func tempPattern(kind string) string {
+	return fmt.Sprintf(".%s-%d-*", kind, os.Getpid())
+}
+
+// tempOrphaned reports whether a temp file named name (already known to
+// carry a ".obj-" or ".manifest-" prefix) is crash debris safe to
+// remove: its embedded writer pid is dead, or — when the name carries
+// no pid tag — its mtime predates the orphanTTL age gate.
+func tempOrphaned(name string, modTime time.Time) bool {
+	rest := name[strings.IndexByte(name, '-')+1:]
+	if pidStr, _, ok := strings.Cut(rest, "-"); ok {
+		if pid, err := strconv.Atoi(pidStr); err == nil && pid > 0 {
+			return !pidAlive(pid)
+		}
+	}
+	return time.Since(modTime) > orphanTTL
+}
+
+// sweepOrphans is the crash-consistency GC over dir: temp manifest
+// files in the root (a compaction killed mid-rewrite) and temp object
+// files under objects/ (a Store killed mid-rename) whose owning writer
+// is provably gone are removed. Files whose owner is still alive are
+// untouched, so any number of fleet members can sweep concurrently
+// while others write. Returns the number of orphans removed.
+func sweepOrphans(dir string) int {
+	removed := sweepDir(dir, ".manifest-")
+	buckets, err := os.ReadDir(filepath.Join(dir, objectsDir))
+	if err != nil {
+		return removed
+	}
+	for _, b := range buckets {
+		if b.IsDir() {
+			removed += sweepDir(filepath.Join(dir, objectsDir, b.Name()), ".obj-")
+		}
+	}
+	return removed
+}
+
+// sweepDir removes orphaned temp files with the given prefix directly
+// inside dir, counting only removals that succeeded (a concurrent
+// sweeper may get there first).
+func sweepDir(dir, prefix string) int {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	removed := 0
+	for _, de := range entries {
+		if de.IsDir() || !strings.HasPrefix(de.Name(), prefix) {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		if tempOrphaned(de.Name(), info.ModTime()) && os.Remove(filepath.Join(dir, de.Name())) == nil {
+			removed++
+		}
+	}
+	return removed
 }
 
 // compactShard atomically rewrites one shard's manifest as one line per
 // URL, sorted by URL so the result is byte-deterministic.
 func compactShard(dir, path string, entries map[string]entry) error {
-	tmp, err := os.CreateTemp(dir, ".manifest-*")
+	tmp, err := os.CreateTemp(dir, tempPattern("manifest"))
 	if err != nil {
 		return fmt.Errorf("diskcache: compacting: %w", err)
 	}
@@ -526,7 +628,7 @@ func (a *Archive) writeObjectLocked(hash, body string) error {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".obj-*")
+	tmp, err := os.CreateTemp(filepath.Dir(path), tempPattern("obj"))
 	if err != nil {
 		return err
 	}
@@ -587,6 +689,7 @@ func (a *Archive) Stats() browser.ArchiveStats {
 		Hits:             a.hits.Load(),
 		Writes:           a.writes.Load(),
 		CorruptRecovered: a.corrupt.Load(),
+		OrphansSwept:     a.orphansSwept.Load(),
 		BytesStored:      a.bytesStored.Load(),
 		Entries:          entries,
 		Objects:          uint64(len(hashes)),
@@ -632,6 +735,14 @@ type MergeStats struct {
 	// merge that just collected a finished fleet crawl should have
 	// none.)
 	MissingObjects int
+	// Crash-consistency counters: OrphanTempsSwept is temp object and
+	// temp manifest files GC'd because their writer pid is dead;
+	// CorruptLinesDropped and TornTails count undecodable manifest lines
+	// and newline-less final lines dropped across shards — the debris a
+	// SIGKILLed fleet worker leaves, repaired rather than merged.
+	OrphanTempsSwept    int
+	CorruptLinesDropped int
+	TornTails           int
 }
 
 // MergeShards compacts every manifest shard in dir into the single
@@ -643,7 +754,9 @@ type MergeStats struct {
 // merging under a live crawler would lose its writes — so MergeShards
 // fails fast (ErrLocked) if any shard is still held by a live
 // process. Idempotent: rerunning on a merged directory is a no-op
-// compaction.
+// compaction. The merge doubles as the fleet's crash-consistency
+// collection point: orphaned temp files from SIGKILLed writers are
+// swept and torn manifest tails dropped, with counts in MergeStats.
 func MergeShards(dir string) (MergeStats, error) {
 	var ms MergeStats
 	shards, err := shardFiles(dir)
@@ -671,15 +784,21 @@ func MergeShards(dir string) (MergeStats, error) {
 		releases = append(releases, release)
 	}
 
+	ms.OrphanTempsSwept = sweepOrphans(dir)
+
 	merged := map[string]entry{}
 	source := map[string]string{}
 	for _, shard := range shards {
-		m, _, lines, err := loadManifestFile(manifestPath(dir, shard))
+		m, ls, err := loadManifestFile(manifestPath(dir, shard))
 		if err != nil {
 			return ms, err
 		}
 		ms.Shards++
-		ms.Lines += lines
+		ms.Lines += ls.lines
+		ms.CorruptLinesDropped += ls.corrupt
+		if ls.torn {
+			ms.TornTails++
+		}
 		for url, e := range m {
 			cur, ok := merged[url]
 			if !ok {

@@ -14,6 +14,7 @@ package fleet
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"permodyssey/internal/store"
 )
@@ -103,4 +104,54 @@ func MergeFiles(outPath string, shardPaths ...string) (*store.Dataset, MergeRepo
 		return nil, rep, fmt.Errorf("fleet: writing %s: %w", outPath, err)
 	}
 	return merged, rep, nil
+}
+
+// SumStats folds per-shard stats objects (decoded -stats-json files)
+// into fleet-wide totals, structurally: numbers sum, nested objects
+// recurse, and everything else keeps the first shard's value. Two
+// exceptions make the totals honest rather than merely additive —
+// keys naming a high-water mark (a "Max" prefix, as in MaxReadyDepth
+// or MaxHostInFlight) take the maximum instead of the sum, and the
+// shard-identity keys ("shard", "shards") are dropped because a sum
+// of shard indices means nothing.
+func SumStats(shards []map[string]any) map[string]any {
+	totals := map[string]any{}
+	for _, s := range shards {
+		sumInto(totals, s)
+	}
+	return totals
+}
+
+func sumInto(dst, src map[string]any) {
+	for k, v := range src {
+		if k == "shard" || k == "shards" {
+			continue
+		}
+		cur, ok := dst[k]
+		if !ok {
+			switch v := v.(type) {
+			case map[string]any:
+				m := map[string]any{}
+				sumInto(m, v)
+				dst[k] = m
+			default:
+				dst[k] = v
+			}
+			continue
+		}
+		switch cv := cur.(type) {
+		case float64:
+			if n, ok := v.(float64); ok {
+				if strings.HasPrefix(k, "Max") {
+					dst[k] = max(cv, n)
+				} else {
+					dst[k] = cv + n
+				}
+			}
+		case map[string]any:
+			if m, ok := v.(map[string]any); ok {
+				sumInto(cv, m)
+			}
+		}
+	}
 }

@@ -142,3 +142,43 @@ func TestMergeFiles(t *testing.T) {
 		t.Errorf("reloading merged output: %d records, %v", len(reloaded.Records), err)
 	}
 }
+
+// TestSumStats: numbers sum, nested objects recurse, "Max"-prefixed
+// high-water marks take the maximum, and shard-identity keys vanish
+// from the totals.
+func TestSumStats(t *testing.T) {
+	a := map[string]any{
+		"shard": 0.0, "shards": 2.0,
+		"Crawl": map[string]any{"Visited": 10.0, "Resumed": 1.0, "MaxReadyDepth": 3.0},
+		"Fetch": map[string]any{"Hits": 5.0},
+		"note":  "first",
+	}
+	b := map[string]any{
+		"shard": 1.0, "shards": 2.0,
+		"Crawl": map[string]any{"Visited": 7.0, "Resumed": 0.0, "MaxReadyDepth": 9.0},
+		"Fetch": map[string]any{"Hits": 2.0, "Misses": 4.0},
+		"note":  "second",
+	}
+	got := SumStats([]map[string]any{a, b})
+	if _, ok := got["shard"]; ok {
+		t.Error("shard identity key leaked into totals")
+	}
+	crawl := got["Crawl"].(map[string]any)
+	if crawl["Visited"] != 17.0 || crawl["Resumed"] != 1.0 {
+		t.Errorf("Crawl totals = %v, want Visited 17, Resumed 1", crawl)
+	}
+	if crawl["MaxReadyDepth"] != 9.0 {
+		t.Errorf("MaxReadyDepth = %v, want max(3,9) = 9", crawl["MaxReadyDepth"])
+	}
+	fetch := got["Fetch"].(map[string]any)
+	if fetch["Hits"] != 7.0 || fetch["Misses"] != 4.0 {
+		t.Errorf("Fetch totals = %v, want Hits 7, Misses 4", fetch)
+	}
+	if got["note"] != "first" {
+		t.Errorf("non-numeric key = %v, want first shard's value kept", got["note"])
+	}
+	// Summing a shard into itself must not alias the input maps.
+	if a["Crawl"].(map[string]any)["Visited"] != 10.0 {
+		t.Error("SumStats mutated its input")
+	}
+}

@@ -1,0 +1,141 @@
+#!/usr/bin/env bash
+# Kill-injection soak: a 4-process fleet crawl in which two workers are
+# SIGKILLed mid-crawl at staged points. The supervisor must relaunch
+# each with -resume over its own checkpoint, completed ranks must never
+# be re-crawled (asserted from the workers' resume counts and the
+# driver's summed visited+resumed stats), the shared archive must
+# survive its killed writers (orphan fsck + stale-lock stealing), and
+# the merged report must still be byte-identical to a single-process
+# crawl of the same seed. CI runs this as the kill-soak job;
+# `make kill-soak` runs it locally.
+#
+# The crawl flags pin the same deterministic chaos contract as
+# fleet_soak.sh: every timing-raced fault (slow-loris) off, -retries 0,
+# -breaker-threshold 0, so record contents cannot depend on how the
+# kills interleaved.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SITES="${PERMODYSSEY_KILL_SITES:-800}"
+PROCS=4
+if [ -n "${PERMODYSSEY_FLEET_WORK:-}" ]; then
+    work="$PERMODYSSEY_FLEET_WORK"
+    mkdir -p "$work"
+else
+    work="$(mktemp -d)"
+    trap 'rm -rf "$work"' EXIT
+fi
+
+go build -o "$work/permcrawl" ./cmd/permcrawl
+go build -o "$work/permfleet" ./cmd/permfleet
+go build -o "$work/permreport" ./cmd/permreport
+
+crawl_flags=(-sites "$SITES" -seed 13 -workers 16 -timeout 2s -retries 0
+    -breaker-threshold 0 -chaos
+    -chaos-faults reset,malformed-header,oversized-header,redirect-loop,flap,oversized-body)
+
+echo "== single-process baseline ($SITES sites) =="
+"$work/permcrawl" "${crawl_flags[@]}" -out "$work/single.jsonl"
+
+echo "== $PROCS-process fleet, SIGKILLing workers mid-crawl =="
+log="$work/fleet.log"
+"$work/permfleet" -procs "$PROCS" -out "$work/fleet.jsonl" \
+    -cache-dir "$work/archive" -expect-records "$SITES" \
+    -max-restarts 3 -watchdog 2m \
+    -self "$work/permfleet" -- "${crawl_flags[@]}" >"$log" 2>&1 &
+fleet_pid=$!
+
+# wait_lines FILE THRESHOLD: poll FILE until it holds >= THRESHOLD
+# complete lines (or 60s pass), echoing the count reached.
+wait_lines() {
+    local f=$1 n=$2 deadline=$((SECONDS + 60)) c=0
+    while :; do
+        c=$(wc -l <"$f" 2>/dev/null || echo 0)
+        [ "$c" -ge "$n" ] && break
+        if [ "$SECONDS" -ge "$deadline" ]; then
+            echo "kill soak: $f stuck at $c/$n lines" >&2
+            kill "$fleet_pid" 2>/dev/null || true
+            exit 1
+        fi
+        sleep 0.05
+    done
+    echo "$c"
+}
+
+# Stage the kills: shard 1 early (~25% of its ranks checkpointed),
+# shard 2 late (~60%), so recovery is proven from both a short and a
+# long completed prefix. Each worker's argv carries its unique
+# "-shard i/4", which is what pkill matches.
+per_shard=$((SITES / PROCS))
+declare -A kill_lines
+for spec in "1:$((per_shard / 4))" "2:$((per_shard * 6 / 10))"; do
+    shard=${spec%%:*} threshold=${spec##*:}
+    lines=$(wait_lines "$work/fleet.jsonl.shard$shard" "$threshold")
+    kill_lines[$shard]=$lines
+    pkill -KILL -f -- "-shard $shard/$PROCS" || {
+        echo "kill soak: no worker process matched -shard $shard/$PROCS" >&2
+        kill "$fleet_pid" 2>/dev/null || true
+        exit 1
+    }
+    echo "   SIGKILLed shard $shard worker at $lines checkpointed records"
+done
+
+status=0
+wait "$fleet_pid" || status=$?
+sed 's/^/   | /' "$log"
+if [ "$status" -ne 0 ]; then
+    echo "kill soak: fleet exited $status — supervisor failed to recover the killed workers" >&2
+    exit 1
+fi
+
+# Every killed shard must have been relaunched with -resume…
+for shard in 1 2; do
+    if ! grep -q "shard $shard:.*restarting with -resume" "$log"; then
+        echo "kill soak: no -resume relaunch logged for killed shard $shard" >&2
+        exit 1
+    fi
+    # …and must have resumed (not re-crawled) its completed prefix. A
+    # SIGKILL can tear at most the final in-flight line, so the resumed
+    # count may trail the kill-time count by exactly one.
+    resumed=$(sed -n "s/^\[shard $shard\] resuming: \([0-9]*\) records.*/\1/p" "$log" | head -1)
+    floor=$((kill_lines[$shard] - 1))
+    if [ -z "$resumed" ] || [ "$resumed" -lt "$floor" ]; then
+        echo "kill soak: shard $shard resumed ${resumed:-0} records, want >= $floor (killed at ${kill_lines[$shard]}) — completed ranks were re-crawled" >&2
+        exit 1
+    fi
+    echo "   shard $shard resumed $resumed of ${kill_lines[$shard]} checkpointed records"
+done
+
+# The summed stats must account for every rank exactly once: ranks
+# crawled live + ranks resumed from checkpoints = the population.
+stats_line=$(grep '^fleet stats:' "$log" || true)
+visited=$(sed -n 's/^fleet stats: visited \([0-9]*\) + resumed.*/\1/p' <<<"$stats_line")
+resumed=$(sed -n 's/^fleet stats: visited [0-9]* + resumed \([0-9]*\).*/\1/p' <<<"$stats_line")
+if [ -z "$visited" ] || [ $((visited + resumed)) -ne "$SITES" ]; then
+    echo "kill soak: visited ${visited:-?} + resumed ${resumed:-?} != $SITES sites — ranks re-crawled or lost" >&2
+    exit 1
+fi
+echo "   accounting: $visited crawled live + $resumed resumed = $SITES"
+
+"$work/permreport" -in "$work/single.jsonl" -json >"$work/single-report.json"
+"$work/permreport" -in "$work/fleet.jsonl" -json >"$work/fleet-report.json"
+if ! diff -u "$work/single-report.json" "$work/fleet-report.json"; then
+    echo "kill soak: report after kill-recovery diverges from the single-process report" >&2
+    exit 1
+fi
+
+# The archive took two SIGKILLed writers and must still replay the
+# whole population offline after its fsck.
+"$work/permcrawl" "${crawl_flags[@]}" -cache-dir "$work/archive" -offline \
+    -out "$work/replay.jsonl" -stats-json "$work/replay-stats.json"
+"$work/permreport" -in "$work/replay.jsonl" -json >"$work/replay-report.json"
+if ! diff -u "$work/single-report.json" "$work/replay-report.json"; then
+    echo "kill soak: offline replay from the kill-survived archive diverges" >&2
+    exit 1
+fi
+if ! grep -q '"network_fetches": 0' "$work/replay-stats.json"; then
+    echo "kill soak: offline replay reached the network" >&2
+    exit 1
+fi
+
+echo "kill soak: 2 of $PROCS workers SIGKILLed and recovered; merged report byte-identical, archive replayable"

@@ -2,7 +2,7 @@
 # GitHub Actions tier-1 gate; `make bench` produces a BENCH_*.json
 # perf artifact.
 
-.PHONY: ci test bench bench-sched benchcmp soak replay fleet-soak kill-soak fmt build
+.PHONY: ci test bench bench-sched bench-interp benchcmp soak replay fleet-soak kill-soak fmt build
 
 ci:
 	./scripts/ci.sh
@@ -33,6 +33,12 @@ bench:
 # host-aware scheduler; fails below a 25% wall-clock win.
 bench-sched:
 	./scripts/bench_sched.sh
+
+# Interpreter throughput gate: tree-walk vs compile-once script
+# execution; fails unless the compiled path is >= 2x on the loop
+# workload.
+bench-interp:
+	./scripts/bench_interp.sh
 
 # make benchcmp BASE=BENCH_old.json CUR=BENCH_local.json
 benchcmp:

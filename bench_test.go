@@ -519,6 +519,98 @@ func crawlBench(b *testing.B, cached bool) {
 func BenchmarkCrawlUncached(b *testing.B) { crawlBench(b, false) }
 func BenchmarkCrawlCached(b *testing.B)   { crawlBench(b, true) }
 
+// ---- Interpreter: compile-once vs tree-walk ----
+
+// interpSmall is a typical short probe: config objects, a recursive
+// helper, string assembly.
+const interpSmall = `
+var cfg = {retries: 3, delay: 10, tag: 'probe'};
+function backoff(n) { return n <= 0 ? cfg.delay : backoff(n - 1) * 2; }
+var msg = cfg.tag + ':' + backoff(cfg.retries);
+var parts = [];
+for (var i = 0; i < 8; i++) { parts.push(msg.length + i); }
+var out = JSON.stringify({msg: msg, sum: parts.length});
+`
+
+// interpLoop is the interpreter-bound workload the 2x gate measures: a
+// hot loop inside a function scope, where the compiled path's
+// slot-resolved locals and pooled frames replace per-iteration map
+// lookups. This is the shape of real widget code — analytics loops,
+// array scans — where tree-walking is slowest.
+const interpLoop = `
+var total = (function () {
+	var sum = 0;
+	var weight = 3;
+	for (var i = 0; i < 2500; i++) {
+		var a = i * 2 + 1;
+		var b = a % 7;
+		sum = sum + a * weight - b;
+	}
+	return sum;
+})();
+`
+
+// interpWidget models a consent-widget script: closures over state,
+// object graphs, try/catch, array methods, repeated small calls.
+const interpWidget = `
+var state = {granted: [], denied: [], errors: 0};
+function makeChecker(name) {
+	return function (allowed) {
+		if (allowed) { state.granted.push(name); } else { state.denied.push(name); }
+		return state.granted.length;
+	};
+}
+var names = ['camera', 'microphone', 'geolocation', 'notifications', 'midi'];
+var checkers = [];
+for (var i = 0; i < names.length; i++) { checkers.push(makeChecker(names[i])); }
+for (var round = 0; round < 40; round++) {
+	for (var j = 0; j < checkers.length; j++) {
+		try {
+			checkers[j]((round + j) % 3 !== 0);
+			if (round % 7 === 0) { throw {code: round}; }
+		} catch (e) {
+			state.errors++;
+		}
+	}
+}
+var summary = JSON.stringify({g: state.granted.length, d: state.denied.length, e: state.errors});
+`
+
+// interpBench executes one pre-parsed (and, for the compiled variant,
+// pre-lowered) script per iteration on a fresh interpreter — the
+// per-frame execution pattern of a crawl, where the program is shared
+// via the caches and only execution state is per-realm.
+func interpBench(b *testing.B, src string, compiled bool) {
+	prog, err := script.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cp, err := script.Compile(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in := script.NewInterp()
+		if compiled {
+			err = in.RunCompiled(cp, "https://cdn.example/w.js")
+		} else {
+			err = in.RunProgram(prog, "https://cdn.example/w.js")
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInterpretSmallTree(b *testing.B)      { interpBench(b, interpSmall, false) }
+func BenchmarkInterpretSmallCompiled(b *testing.B)  { interpBench(b, interpSmall, true) }
+func BenchmarkInterpretLoopTree(b *testing.B)       { interpBench(b, interpLoop, false) }
+func BenchmarkInterpretLoopCompiled(b *testing.B)   { interpBench(b, interpLoop, true) }
+func BenchmarkInterpretWidgetTree(b *testing.B)     { interpBench(b, interpWidget, false) }
+func BenchmarkInterpretWidgetCompiled(b *testing.B) { interpBench(b, interpWidget, true) }
+
 // ---- Crawl-at-scale: host-aware scheduler under chaos ----
 
 // chaosSchedBench crawls a fault-heavy population with retries on, once

@@ -36,6 +36,13 @@ type Options struct {
 	// realm this browser creates, so a shared third-party script body is
 	// parsed once per crawl rather than once per including frame.
 	ScriptCache *script.ParseCache
+	// CompileCache, when non-nil, memoizes script compilation across
+	// every realm this browser creates; realms then execute scripts
+	// through the compiled fast path (pooled scope frames, slot-resolved
+	// variables) instead of the AST walk. Takes precedence over
+	// ScriptCache for execution; layer it over the ParseCache so parse
+	// stats stay live.
+	CompileCache *script.CompileCache
 	// StaticCache, when non-nil, memoizes the static analyzer's pattern
 	// scan by script content, so identical widget scripts are scanned
 	// once per crawl instead of once per including frame.
@@ -248,6 +255,9 @@ func (b *Browser) processDocument(ctx context.Context, result *PageResult, slot 
 	realm := webapi.NewRealm(doc, fr.FinalURL)
 	if b.Opts.ScriptCache != nil {
 		realm.ParseScript = b.Opts.ScriptCache.Parse
+	}
+	if b.Opts.CompileCache != nil {
+		realm.CompileScript = b.Opts.CompileCache.Compile
 	}
 
 	// Collect and run scripts: dynamic analysis.

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"permodyssey/internal/analysis"
+	"permodyssey/internal/synthweb"
+)
+
+// TestCrawlCompileEquivalence proves the compile-once script path is
+// observationally transparent through the full measurement stack, under
+// a chaos-seeded population: the compiled and tree-walking crawls must
+// produce byte-identical records (after wall-clock normalization) and
+// byte-identical analysis reports.
+func TestCrawlCompileEquivalence(t *testing.T) {
+	const sites = 120
+	opts := chaosSoakOptions(sites)
+	// Timing-dependent failure classes (slow-loris, stalls) would make
+	// the success set schedule-dependent; equivalence is about content.
+	opts.Web.TimeoutRate = 0
+	opts.Web.Chaos.Kinds = []synthweb.Fault{
+		synthweb.FaultReset, synthweb.FaultMalformedHeader, synthweb.FaultOversizedHeader,
+		synthweb.FaultRedirectLoop, synthweb.FaultFlap, synthweb.FaultOversizedBody,
+	}
+	opts.Crawl.PerSiteTimeout = 5 * time.Second
+
+	run := func(disableCompile bool) ([]string, string, CrawlStats) {
+		srv := synthweb.NewServer(opts.Web)
+		srv.StallTime = opts.StallTime
+		if err := srv.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		o := opts
+		o.DisableCompile = disableCompile
+		stack, err := newCrawlStack(srv, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer stack.close()
+		ds := stack.crawler.Crawl(context.Background(), stack.targets)
+		if len(ds.Records) != sites {
+			t.Fatalf("records: %d", len(ds.Records))
+		}
+		m := &Measurement{Dataset: ds, Analysis: analysis.New(ds), Stats: stack.stats()}
+		recs := make([]string, 0, len(ds.Records))
+		for _, rec := range ds.Records {
+			recs = append(recs, normalizeChaosRecord(t, rec))
+		}
+		return recs, m.Report(), m.Stats
+	}
+
+	treeRecs, treeReport, treeStats := run(true)
+	compRecs, compReport, compStats := run(false)
+
+	for i := range treeRecs {
+		if treeRecs[i] != compRecs[i] {
+			t.Errorf("record %d differs with compilation on:\ntree:     %s\ncompiled: %s",
+				i, treeRecs[i], compRecs[i])
+		}
+	}
+	if treeReport != compReport {
+		t.Error("analysis reports differ between compiled and tree-walk crawls")
+	}
+	// The compiled run must actually have compiled — and shared: far
+	// fewer compiles than executions (every site embeds shared widgets).
+	if compStats.Compile.Misses == 0 {
+		t.Fatal("compiled run never compiled a script")
+	}
+	if compStats.Compile.Hits == 0 {
+		t.Error("compiled run never shared a compiled program across frames")
+	}
+	if treeStats.Compile.Misses != 0 || treeStats.Compile.Hits != 0 {
+		t.Errorf("DisableCompile run still touched the compile cache: %+v", treeStats.Compile)
+	}
+	// The layered design keeps parse stats live under compilation.
+	if compStats.Parse.Misses == 0 {
+		t.Error("compile cache bypassed the parse cache")
+	}
+}

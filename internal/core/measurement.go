@@ -43,6 +43,13 @@ type MeasurementOptions struct {
 	// is parsed once per crawl, and its pattern scan runs once per crawl.
 	// Caching is observationally transparent (TestCrawlDeterminism).
 	DisableCache bool
+	// DisableCompile turns off the compile-once script path: realms fall
+	// back to executing parsed ASTs directly. Compilation is on by
+	// default when caching is enabled — each distinct script body is
+	// lowered once per crawl and every realm runs the shared compiled
+	// program through pooled scope frames. Observationally transparent
+	// (TestCrawlCompileEquivalence).
+	DisableCompile bool
 	// CacheEntries caps each cache (fetch responses, parsed programs,
 	// static findings) at this many entries, evicted LRU. 0 = unbounded.
 	CacheEntries int
@@ -97,6 +104,7 @@ type CrawlStats struct {
 	Shards  int `json:"shards"`
 	Fetch   browser.CacheStats
 	Parse   script.ParseStats
+	Compile script.CompileStats
 	Static  static.CacheStats
 	Crawl   crawler.Stats
 	Breaker crawler.BreakerStats
@@ -170,11 +178,12 @@ type crawlStack struct {
 
 	shard, shards int
 
-	cache       *browser.CachingFetcher
-	breaker     *crawler.BreakerFetcher
-	scriptCache *script.ParseCache
-	staticCache *static.Cache
-	archive     *diskcache.Archive
+	cache        *browser.CachingFetcher
+	breaker      *crawler.BreakerFetcher
+	scriptCache  *script.ParseCache
+	compileCache *script.CompileCache
+	staticCache  *static.Cache
+	archive      *diskcache.Archive
 }
 
 // archiveClass adapts crawler.Classify into the diskcache failure
@@ -268,6 +277,12 @@ func newCrawlStack(srv *synthweb.Server, opts MeasurementOptions) (*crawlStack, 
 		st.staticCache = static.NewCache(nil, opts.CacheEntries)
 		opts.BrowserOpts.ScriptCache = st.scriptCache
 		opts.BrowserOpts.StaticCache = st.staticCache
+		if !opts.DisableCompile {
+			// Layered over the parse cache: a compile miss parses through
+			// it, so parse counters stay live under compilation.
+			st.compileCache = script.NewBoundedCompileCache(opts.CacheEntries, st.scriptCache.Parse)
+			opts.BrowserOpts.CompileCache = st.compileCache
+		}
 	}
 	b := browser.New(fetcher, opts.BrowserOpts)
 	st.crawler = crawler.New(b, opts.Crawl)
@@ -290,6 +305,9 @@ func (st *crawlStack) stats() CrawlStats {
 		s.Parse = st.scriptCache.Stats()
 		s.Static = st.staticCache.Stats()
 	}
+	if st.compileCache != nil {
+		s.Compile = st.compileCache.Stats()
+	}
 	if st.breaker != nil {
 		s.Breaker = st.breaker.Breaker.Stats()
 	}
@@ -308,6 +326,10 @@ func (s CrawlStats) Summary() string {
 		s.Fetch.Entries, byteSize(s.Fetch.CachedBytes), s.Fetch.UniqueBodies, byteSize(s.Fetch.DedupedBytes),
 		s.Parse.Hits, s.Parse.Misses, s.Parse.Coalesced, s.Parse.Evictions, s.Parse.Entries,
 		s.Static.Hits, s.Static.Misses, s.Static.Evictions)
+	if s.Compile != (script.CompileStats{}) {
+		line += fmt.Sprintf("; compile cache: %d hits, %d misses, %d coalesced, %d evictions, %d entries",
+			s.Compile.Hits, s.Compile.Misses, s.Compile.Coalesced, s.Compile.Evictions, s.Compile.Entries)
+	}
 	if s.Breaker != (crawler.BreakerStats{}) {
 		line += fmt.Sprintf("; breaker: %d trips, %d half-open probes, %d closes, %d reopens, %d short-circuits, %d open hosts",
 			s.Breaker.Trips, s.Breaker.HalfOpenProbes, s.Breaker.Closes, s.Breaker.Reopens,

@@ -169,3 +169,45 @@ func TestCrawlDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// TestCrawlCompileEquivalence proves the compiled script path is
+// observationally transparent at crawl scale: a crawl executing every
+// script through cached compiled programs produces record-for-record
+// the same dataset as the tree-walking interpreter.
+func TestCrawlCompileEquivalence(t *testing.T) {
+	cfg := synthweb.DefaultConfig()
+	cfg.NumSites = 40
+	cfg.Seed = 23
+	cfg.UnreachableRate, cfg.TimeoutRate, cfg.EphemeralRate, cfg.MinorRate = 0, 0, 0, 0
+
+	run := func(compiled bool) []string {
+		srv := synthweb.NewServer(cfg)
+		if err := srv.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		opts := browser.DefaultOptions()
+		opts.ScriptCache = script.NewParseCache()
+		if compiled {
+			opts.CompileCache = script.NewBoundedCompileCache(0, opts.ScriptCache.Parse)
+		}
+		b := browser.New(browser.NewHTTPFetcher(srv.Client(0)), opts)
+		c := New(b, Config{Workers: 8, PerSiteTimeout: 5 * time.Second})
+		var targets []Target
+		for _, s := range srv.Sites() {
+			targets = append(targets, Target{Rank: s.Rank, URL: s.URL()})
+		}
+		ds := c.Crawl(context.Background(), targets)
+		if len(ds.Records) != cfg.NumSites {
+			t.Fatalf("records: %d", len(ds.Records))
+		}
+		return normalizeRecords(t, ds)
+	}
+	tree, comp := run(false), run(true)
+	for i := range tree {
+		if tree[i] != comp[i] {
+			t.Errorf("record %d differs with compilation on:\ntree:     %s\ncompiled: %s",
+				i, tree[i], comp[i])
+		}
+	}
+}

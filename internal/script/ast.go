@@ -134,12 +134,14 @@ type Unary struct {
 type Binary struct {
 	Op   string
 	X, Y Node
+	Line int
 }
 
 // Logical is X && Y or X || Y or X ?? Y (short-circuit).
 type Logical struct {
 	Op   string
 	X, Y Node
+	Line int
 }
 
 // Cond is the ternary.

@@ -241,49 +241,79 @@ func RejectedPromise(reason Value) Value {
 	return makePromise("rejected", reason)
 }
 
+// Promise methods are shared this-based natives rather than per-promise
+// closures: they read __state/__value from the receiver, so a promise
+// object cloned into another realm by InstallSnapshot keeps working —
+// a captured-variable implementation would leak the template's state
+// and identity into every clone.
+var promiseThenV, promiseCatchV, promiseFinallyV Value
+
+func init() {
+	// Assigned in init: a package-level initializer would form a cycle
+	// (then → ResolvedPromise → makePromise → then).
+	promiseThenV = NativeValue("then", promiseThen)
+	promiseCatchV = NativeValue("catch", promiseCatch)
+	promiseFinallyV = NativeValue("finally", promiseFinally)
+}
+
+func promiseState(this Value) (state string, v Value) {
+	if this.Kind() != KindObject {
+		return "", Undefined()
+	}
+	return this.Obj().GetOr("__state", String("")).Str(),
+		this.Obj().GetOr("__value", Undefined())
+}
+
+func promiseThen(in *Interp, this Value, args []Value) (Value, error) {
+	state, v := promiseState(this)
+	if state == "resolved" && len(args) > 0 && args[0].IsCallable() {
+		r, err := in.call(args[0], Undefined(), []Value{v}, 0)
+		if err != nil {
+			return Undefined(), err
+		}
+		if r.Kind() == KindObject && r.Obj().Class == "Promise" {
+			return r, nil
+		}
+		return ResolvedPromise(r), nil
+	}
+	if state == "rejected" && len(args) > 1 && args[1].IsCallable() {
+		r, err := in.call(args[1], Undefined(), []Value{v}, 0)
+		if err != nil {
+			return Undefined(), err
+		}
+		return ResolvedPromise(r), nil
+	}
+	return this, nil
+}
+
+func promiseCatch(in *Interp, this Value, args []Value) (Value, error) {
+	state, v := promiseState(this)
+	if state == "rejected" && len(args) > 0 && args[0].IsCallable() {
+		r, err := in.call(args[0], Undefined(), []Value{v}, 0)
+		if err != nil {
+			return Undefined(), err
+		}
+		return ResolvedPromise(r), nil
+	}
+	return this, nil
+}
+
+func promiseFinally(in *Interp, this Value, args []Value) (Value, error) {
+	if len(args) > 0 && args[0].IsCallable() {
+		if _, err := in.call(args[0], Undefined(), nil, 0); err != nil {
+			return Undefined(), err
+		}
+	}
+	return this, nil
+}
+
 func makePromise(state string, v Value) Value {
 	p := NewObject()
 	p.Class = "Promise"
 	p.Set("__state", String(state))
 	p.Set("__value", v)
-	pv := ObjectValue(p)
-	p.Set("then", NativeValue("then", func(in *Interp, this Value, args []Value) (Value, error) {
-		if state == "resolved" && len(args) > 0 && args[0].IsCallable() {
-			r, err := in.call(args[0], Undefined(), []Value{v}, 0)
-			if err != nil {
-				return Undefined(), err
-			}
-			if r.Kind() == KindObject && r.Obj().Class == "Promise" {
-				return r, nil
-			}
-			return ResolvedPromise(r), nil
-		}
-		if state == "rejected" && len(args) > 1 && args[1].IsCallable() {
-			r, err := in.call(args[1], Undefined(), []Value{v}, 0)
-			if err != nil {
-				return Undefined(), err
-			}
-			return ResolvedPromise(r), nil
-		}
-		return pv, nil
-	}))
-	p.Set("catch", NativeValue("catch", func(in *Interp, this Value, args []Value) (Value, error) {
-		if state == "rejected" && len(args) > 0 && args[0].IsCallable() {
-			r, err := in.call(args[0], Undefined(), []Value{v}, 0)
-			if err != nil {
-				return Undefined(), err
-			}
-			return ResolvedPromise(r), nil
-		}
-		return pv, nil
-	}))
-	p.Set("finally", NativeValue("finally", func(in *Interp, this Value, args []Value) (Value, error) {
-		if len(args) > 0 && args[0].IsCallable() {
-			if _, err := in.call(args[0], Undefined(), nil, 0); err != nil {
-				return Undefined(), err
-			}
-		}
-		return pv, nil
-	}))
-	return pv
+	p.Set("then", promiseThenV)
+	p.Set("catch", promiseCatchV)
+	p.Set("finally", promiseFinallyV)
+	return ObjectValue(p)
 }

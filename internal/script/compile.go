@@ -1,0 +1,466 @@
+package script
+
+import "errors"
+
+// This file lowers a parsed *Program into a compiled form that executes
+// without re-walking the AST: every statement and expression becomes a
+// Go closure, constant subexpressions fold at compile time, and locally
+// declared names resolve to (hops, slot) indexes into frame-mode Envs
+// instead of map lookups. Compiled programs are immutable and safe to
+// execute concurrently from many interpreters — per-run state lives in
+// the Interp and its environments, never in the compiled closures.
+//
+// The compile-time scope stack mirrors runtime frames EXACTLY: a scope
+// is pushed if and only if the corresponding construct allocates a
+// frame at runtime. Blocks that declare nothing push neither, so hop
+// counts stay in sync. A frame slot left at the kindUnset sentinel does
+// not bind its name yet, which preserves the tree-walker's "no binding
+// until the declaration executes" semantics for hoisted slots.
+
+type execFn func(in *Interp, env *Env) error
+type evalFn func(in *Interp, env *Env) (Value, error)
+
+// Compiled is a program lowered to directly-executable closures.
+type Compiled struct {
+	top     []execFn
+	hoisted []*hoistedDecl
+}
+
+// hoistedDecl is a function declaration hoisted to its scope's entry.
+// slot is the frame slot to define it in, or -1 for dynamic Define
+// (top-level declarations land in the map-mode global scope).
+type hoistedDecl struct {
+	name string
+	slot int
+	cf   *compiledFunc
+}
+
+// compiledFunc is the compiled form of a function body. The activation
+// record merges the tree-walker's call env and body-block env into one
+// frame: slot 0 is `this`, then parameters, an `arguments` slot only if
+// the body mentions that identifier, then body-level declarations.
+type compiledFunc struct {
+	name       string
+	params     []string
+	paramSlots []int
+	layout     *frameLayout
+	argSlot    int // -1 when the body never mentions `arguments`
+	hoisted    []*hoistedDecl
+	body       []execFn
+	expr       evalFn // expression-bodied arrows
+	line       int
+}
+
+// cexpr is a compiled expression. isLit marks compile-time constants so
+// parent nodes can fold (Binary with two lits, Logical/Cond with a lit
+// test). Object and array literals are never lits: each evaluation must
+// allocate a fresh mutable value.
+type cexpr struct {
+	fn    evalFn
+	lit   Value
+	isLit bool
+}
+
+func litExpr(v Value) cexpr {
+	return cexpr{
+		fn:    func(*Interp, *Env) (Value, error) { return v, nil },
+		lit:   v,
+		isLit: true,
+	}
+}
+
+// Compile lowers a parsed program. It never mutates prog, and the
+// result may be shared across goroutines and interpreters.
+func Compile(prog *Program) (*Compiled, error) {
+	c := &compiler{}
+	out := &Compiled{}
+	for _, stmt := range prog.Body {
+		fd, ok := stmt.(*FuncDecl)
+		if !ok {
+			continue
+		}
+		cf, err := c.compileFunc(fd.Name, fd.Params, fd.Body, nil, fd.Line)
+		if err != nil {
+			return nil, err
+		}
+		out.hoisted = append(out.hoisted, &hoistedDecl{name: fd.Name, slot: -1, cf: cf})
+	}
+	for _, stmt := range prog.Body {
+		if _, ok := stmt.(*FuncDecl); ok {
+			continue
+		}
+		fn, err := c.compileStmt(stmt)
+		if err != nil {
+			return nil, err
+		}
+		out.top = append(out.top, fn)
+	}
+	return out, nil
+}
+
+// RunCompiled executes a compiled program against the global scope,
+// exactly as RunProgram executes its AST.
+func (in *Interp) RunCompiled(p *Compiled, scriptURL string) error {
+	in.steps = 0
+	in.stack = append(in.stack, frame{fnName: "<script>", scriptURL: scriptURL})
+	defer func() { in.stack = in.stack[:len(in.stack)-1] }()
+	for _, h := range p.hoisted {
+		in.Global.Define(h.name, FuncValue(&Closure{
+			Name: h.name, Params: h.cf.params, compiled: h.cf,
+			Env: in.Global, ScriptURL: scriptURL, Line: h.cf.line,
+		}))
+	}
+	for _, fn := range p.top {
+		if err := fn(in, in.Global); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// callCompiled is the KindFunc call path for closures carrying compiled
+// bodies: one pooled frame instead of a map env per call.
+func (in *Interp) callCompiled(c *Closure, this Value, args []Value) (Value, error) {
+	cf := c.compiled
+	env := newFrame(c.Env, cf.layout)
+	env.slots[0] = this
+	for i, slot := range cf.paramSlots {
+		if i < len(args) {
+			env.slots[slot] = args[i]
+		} else {
+			env.slots[slot] = Undefined()
+		}
+	}
+	if cf.argSlot >= 0 {
+		env.slots[cf.argSlot] = ArrayValue(args...)
+	}
+	name := c.Name
+	if name == "" {
+		name = "<anonymous>"
+	}
+	in.stack = append(in.stack, frame{fnName: name, scriptURL: c.ScriptURL, line: c.Line})
+	defineHoisted(in, env, cf.hoisted)
+	var ret Value
+	var err error
+	if cf.expr != nil {
+		ret, err = cf.expr(in, env)
+	} else {
+		for _, fn := range cf.body {
+			if err = fn(in, env); err != nil {
+				break
+			}
+		}
+		if rs, ok := err.(returnSignal); ok {
+			ret, err = rs.v, nil
+		}
+	}
+	in.stack = in.stack[:len(in.stack)-1]
+	if cf.layout.poolable {
+		releaseFrame(env)
+	}
+	if err != nil {
+		return Undefined(), err
+	}
+	return ret, nil
+}
+
+func defineHoisted(in *Interp, env *Env, hoisted []*hoistedDecl) {
+	for _, h := range hoisted {
+		v := FuncValue(&Closure{
+			Name: h.name, Params: h.cf.params, compiled: h.cf,
+			Env: env, ScriptURL: in.CurrentScriptURL(), Line: h.cf.line,
+		})
+		if h.slot >= 0 {
+			env.slots[h.slot] = v
+		} else {
+			env.Define(h.name, v)
+		}
+	}
+}
+
+func errAsThrown(err error) (*Thrown, bool) {
+	var t *Thrown
+	if errors.As(err, &t) {
+		return t, true
+	}
+	return nil, false
+}
+
+func errAsRuntime(err error) (*RuntimeError, bool) {
+	var rt *RuntimeError
+	if errors.As(err, &rt) {
+		return rt, true
+	}
+	return nil, false
+}
+
+// ---- compiler ----
+
+type compiler struct {
+	scopes []*frameLayout // innermost last; one entry per runtime frame
+}
+
+func (c *compiler) push(fl *frameLayout) { c.scopes = append(c.scopes, fl) }
+func (c *compiler) pop()                 { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+// resolve finds name in the compile-time scope stack, returning how
+// many frames up it lives and at which slot.
+func (c *compiler) resolve(name string) (hops, slot int, ok bool) {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s, found := c.scopes[i].slotOf[name]; found {
+			return len(c.scopes) - 1 - i, s, true
+		}
+	}
+	return 0, 0, false
+}
+
+func newLayout(names []string, poolable bool) *frameLayout {
+	fl := &frameLayout{names: names, slotOf: make(map[string]int, len(names)), poolable: poolable}
+	for i, n := range names {
+		fl.slotOf[n] = i
+	}
+	return fl
+}
+
+// declNames collects the names tree-walk execution would Define into
+// the scope owning stmts: direct VarDecl/FuncDecl children, recursing
+// through constructs that execute sub-statements in the SAME env
+// (SeqStmt, if branches, while/do-while bodies) and stopping at
+// constructs that open their own scope (blocks, for, switch, try,
+// function bodies).
+func declNames(stmts []Node) []string {
+	var out []string
+	seen := map[string]bool{}
+	var visit func(n Node)
+	visit = func(n Node) {
+		switch s := n.(type) {
+		case *VarDecl:
+			if !seen[s.Name] {
+				seen[s.Name] = true
+				out = append(out, s.Name)
+			}
+		case *FuncDecl:
+			if !seen[s.Name] {
+				seen[s.Name] = true
+				out = append(out, s.Name)
+			}
+		case *SeqStmt:
+			for _, b := range s.Body {
+				visit(b)
+			}
+		case *IfStmt:
+			visit(s.Then)
+			if s.Else != nil {
+				visit(s.Else)
+			}
+		case *WhileStmt:
+			visit(s.Body)
+		case *DoWhileStmt:
+			visit(s.Body)
+		}
+	}
+	for _, s := range stmts {
+		visit(s)
+	}
+	return out
+}
+
+// findNode reports whether pred holds for any node in the subtree.
+func findNode(n Node, pred func(Node) bool) bool {
+	if n == nil {
+		return false
+	}
+	if pred(n) {
+		return true
+	}
+	find := func(m Node) bool { return findNode(m, pred) }
+	findAll := func(ms []Node) bool {
+		for _, m := range ms {
+			if findNode(m, pred) {
+				return true
+			}
+		}
+		return false
+	}
+	switch s := n.(type) {
+	case *Program:
+		return findAll(s.Body)
+	case *BlockStmt:
+		return findAll(s.Body)
+	case *SeqStmt:
+		return findAll(s.Body)
+	case *VarDecl:
+		return find(s.Init)
+	case *ExprStmt:
+		return find(s.X)
+	case *IfStmt:
+		return find(s.Cond) || find(s.Then) || find(s.Else)
+	case *WhileStmt:
+		return find(s.Cond) || find(s.Body)
+	case *DoWhileStmt:
+		return find(s.Body) || find(s.Cond)
+	case *ForStmt:
+		return find(s.Init) || find(s.Cond) || find(s.Post) || find(s.Body)
+	case *SwitchStmt:
+		if find(s.Tag) {
+			return true
+		}
+		for _, cs := range s.Cases {
+			if find(cs.Test) || findAll(cs.Body) {
+				return true
+			}
+		}
+		return false
+	case *ReturnStmt:
+		return find(s.X)
+	case *ThrowStmt:
+		return find(s.X)
+	case *TryStmt:
+		if s.Body != nil && findAll(s.Body.Body) {
+			return true
+		}
+		if s.Catch != nil && findAll(s.Catch.Body) {
+			return true
+		}
+		return s.Finally != nil && findAll(s.Finally.Body)
+	case *FuncDecl:
+		if s.Body != nil {
+			return findAll(s.Body.Body)
+		}
+		return false
+	case *FuncLit:
+		if s.Body != nil && findAll(s.Body.Body) {
+			return true
+		}
+		return find(s.ExprBody)
+	case *Member:
+		return find(s.Obj) || find(s.Index)
+	case *Call:
+		return find(s.Fn) || findAll(s.Args)
+	case *Unary:
+		return find(s.X)
+	case *Binary:
+		return find(s.X) || find(s.Y)
+	case *Logical:
+		return find(s.X) || find(s.Y)
+	case *Cond:
+		return find(s.Test) || find(s.Then) || find(s.Else)
+	case *Assign:
+		return find(s.Target) || find(s.Val)
+	case *Update:
+		return find(s.Target)
+	case *ObjectLit:
+		return findAll(s.Vals)
+	case *ArrayLit:
+		return findAll(s.Elems)
+	case *SpreadExpr:
+		return find(s.X)
+	}
+	return false
+}
+
+func isFuncNode(n Node) bool {
+	switch n.(type) {
+	case *FuncLit, *FuncDecl:
+		return true
+	}
+	return false
+}
+
+// poolableScope reports whether frames for a scope whose body is stmts
+// may be recycled: no closure created anywhere inside can capture them.
+func poolableScope(stmts []Node) bool {
+	for _, s := range stmts {
+		if findNode(s, isFuncNode) {
+			return false
+		}
+	}
+	return true
+}
+
+func identUsed(name string, stmts []Node) bool {
+	pred := func(n Node) bool {
+		id, ok := n.(*Ident)
+		return ok && id.Name == name
+	}
+	for _, s := range stmts {
+		if findNode(s, pred) {
+			return true
+		}
+	}
+	return false
+}
+
+// compileFunc compiles a function body into a compiledFunc whose merged
+// activation layout is slot 0 = this, then params, then an arguments
+// slot if used, then body-level declarations.
+func (c *compiler) compileFunc(name string, params []string, body *BlockStmt, exprBody Node, line int) (*compiledFunc, error) {
+	fl := &frameLayout{slotOf: map[string]int{}}
+	add := func(n string) int {
+		if i, ok := fl.slotOf[n]; ok {
+			return i
+		}
+		i := len(fl.names)
+		fl.names = append(fl.names, n)
+		fl.slotOf[n] = i
+		return i
+	}
+	add("this")
+	paramSlots := make([]int, len(params))
+	for i, p := range params {
+		paramSlots[i] = add(p)
+	}
+	var scan []Node
+	if exprBody != nil {
+		scan = []Node{exprBody}
+	} else if body != nil {
+		scan = body.Body
+	}
+	argSlot := -1
+	if identUsed("arguments", scan) {
+		argSlot = add("arguments")
+	}
+	if exprBody == nil {
+		for _, n := range declNames(scan) {
+			add(n)
+		}
+	}
+	fl.poolable = poolableScope(scan)
+
+	cf := &compiledFunc{
+		name: name, params: params, paramSlots: paramSlots,
+		layout: fl, argSlot: argSlot, line: line,
+	}
+	c.push(fl)
+	defer c.pop()
+	if exprBody != nil {
+		x, err := c.compileExpr(exprBody)
+		if err != nil {
+			return nil, err
+		}
+		cf.expr = x.fn
+		return cf, nil
+	}
+	for _, stmt := range scan {
+		fd, ok := stmt.(*FuncDecl)
+		if !ok {
+			continue
+		}
+		sub, err := c.compileFunc(fd.Name, fd.Params, fd.Body, nil, fd.Line)
+		if err != nil {
+			return nil, err
+		}
+		cf.hoisted = append(cf.hoisted, &hoistedDecl{name: fd.Name, slot: fl.slotOf[fd.Name], cf: sub})
+	}
+	for _, stmt := range scan {
+		if _, ok := stmt.(*FuncDecl); ok {
+			continue
+		}
+		fn, err := c.compileStmt(stmt)
+		if err != nil {
+			return nil, err
+		}
+		cf.body = append(cf.body, fn)
+	}
+	return cf, nil
+}

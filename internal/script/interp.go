@@ -5,25 +5,116 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
 )
 
-// Env is a lexical scope.
+// Env is a lexical scope. It has two storage modes:
+//
+//   - map mode (layout == nil): a name→value map, used by the global
+//     scope and every scope the tree-walking interpreter creates;
+//   - frame mode (layout != nil): a compile-time slot layout plus a
+//     flat value slice, used by compiled activation records so a scope
+//     costs one slice instead of a map allocation per entry.
+//
+// A frame slot whose value is the unset sentinel does not bind its name
+// yet — hoisted slots come into existence only when their declaration
+// executes, matching the map mode's "no key until Define" semantics.
 type Env struct {
 	vars   map[string]Value
 	parent *Env
+	layout *frameLayout
+	slots  []Value
 }
 
-// NewEnv creates a scope nested in parent (nil for the global scope).
+// kindUnset marks a frame slot whose declaration has not executed yet.
+// It never escapes the Env accessors.
+const kindUnset Kind = 0xFF
+
+// frameLayout is the immutable compile-time shape of a frame-mode
+// scope: slot names, their indexes, and whether frames of this shape
+// may be recycled through the frame pool (no closure created anywhere
+// in the scope's body can capture them).
+type frameLayout struct {
+	names    []string
+	slotOf   map[string]int
+	poolable bool
+}
+
+// framePool recycles poolable activation frames (and their slot
+// slices) across compiled calls and block entries.
+var framePool = sync.Pool{New: func() any { return &Env{} }}
+
+// newFrame creates (or recycles) a frame-mode scope for a layout.
+func newFrame(parent *Env, fl *frameLayout) *Env {
+	n := len(fl.names)
+	var e *Env
+	if fl.poolable {
+		e = framePool.Get().(*Env)
+	} else {
+		e = &Env{}
+	}
+	e.parent, e.layout, e.vars = parent, fl, nil
+	if cap(e.slots) >= n {
+		e.slots = e.slots[:n]
+	} else {
+		e.slots = make([]Value, n)
+	}
+	for i := range e.slots {
+		e.slots[i] = Value{kind: kindUnset}
+	}
+	return e
+}
+
+// releaseFrame returns a poolable frame to the pool, dropping every
+// value reference it holds.
+func releaseFrame(e *Env) {
+	for i := range e.slots {
+		e.slots[i] = Value{}
+	}
+	e.parent, e.layout = nil, nil
+	e.slots = e.slots[:0]
+	framePool.Put(e)
+}
+
+// NewEnv creates a map-mode scope nested in parent (nil for the global
+// scope).
 func NewEnv(parent *Env) *Env {
 	return &Env{vars: map[string]Value{}, parent: parent}
 }
 
 // Define declares a variable in this scope.
-func (e *Env) Define(name string, v Value) { e.vars[name] = v }
+func (e *Env) Define(name string, v Value) {
+	if e.layout != nil {
+		if i, ok := e.layout.slotOf[name]; ok {
+			e.slots[i] = v
+			return
+		}
+		// A name the compiler did not lay out (host interop): spill to a
+		// lazily-allocated side map.
+		if e.vars == nil {
+			e.vars = map[string]Value{}
+		}
+	}
+	e.vars[name] = v
+}
 
 // Get resolves a name through the scope chain.
 func (e *Env) Get(name string) (Value, bool) {
 	for s := e; s != nil; s = s.parent {
+		if s.layout != nil {
+			if i, ok := s.layout.slotOf[name]; ok {
+				if v := s.slots[i]; v.kind != kindUnset {
+					return v, true
+				}
+				continue // hoisted but not yet declared — keep walking
+			}
+			if s.vars != nil {
+				if v, ok := s.vars[name]; ok {
+					return v, true
+				}
+			}
+			continue
+		}
 		if v, ok := s.vars[name]; ok {
 			return v, true
 		}
@@ -35,15 +126,37 @@ func (e *Env) Get(name string) (Value, bool) {
 // (sloppy-mode semantics, which real probe scripts rely on).
 func (e *Env) Assign(name string, v Value) {
 	for s := e; s != nil; s = s.parent {
-		if _, ok := s.vars[name]; ok {
+		if s.layout != nil {
+			if i, ok := s.layout.slotOf[name]; ok && s.slots[i].kind != kindUnset {
+				s.slots[i] = v
+				return
+			}
+			if s.vars != nil {
+				if _, ok := s.vars[name]; ok {
+					s.vars[name] = v
+					return
+				}
+			}
+		} else if _, ok := s.vars[name]; ok {
 			s.vars[name] = v
 			return
 		}
 		if s.parent == nil {
+			if s.vars == nil {
+				s.vars = map[string]Value{}
+			}
 			s.vars[name] = v
 			return
 		}
 	}
+}
+
+// envUp walks hops parents up the scope chain.
+func envUp(e *Env, hops int) *Env {
+	for ; hops > 0; hops-- {
+		e = e.parent
+	}
+	return e
 }
 
 // control-flow sentinels.
@@ -87,17 +200,24 @@ type Interp struct {
 	Global *Env
 	// MaxSteps bounds evaluation steps per Run call.
 	MaxSteps int
-	steps    int
-	stack    []frame
+	// Host lets embedders (the webapi realm) attach per-realm state that
+	// shared native functions recover at call time — the indirection that
+	// makes one immutable global-object template serve every realm.
+	Host  any
+	steps int
+	stack []frame
 	// rng is a deterministic LCG for Math.random, keeping crawls
 	// reproducible (C1-C14 of the paper's reproducibility appendix).
 	rng uint64
 }
 
 // NewInterp creates an interpreter with standard builtins installed.
+// The builtins are stamped from a shared snapshot rather than rebuilt:
+// constructing a realm costs a shallow clone of a few namespace
+// objects, not hundreds of fresh natives.
 func NewInterp() *Interp {
-	in := &Interp{Global: NewEnv(nil), MaxSteps: 200000, rng: 0x9E3779B97F4A7C15}
-	in.installBuiltins()
+	in := NewBareInterp()
+	in.InstallSnapshot(builtinsSnapshot())
 	return in
 }
 
@@ -433,22 +553,14 @@ func (in *Interp) eval(n Node, env *Env) (Value, error) {
 		if e.Optional && (obj.IsUndefined() || obj.IsNull()) {
 			return Undefined(), nil
 		}
-		name := e.Name
 		if e.Index != nil {
 			idx, err := in.eval(e.Index, env)
 			if err != nil {
 				return Undefined(), err
 			}
-			if obj.kind == KindArray && idx.kind == KindNumber {
-				i := int(idx.n)
-				if i >= 0 && i < len(obj.arr.Elems) {
-					return obj.arr.Elems[i], nil
-				}
-				return Undefined(), nil
-			}
-			name = idx.ToString()
+			return in.getIndexed(obj, idx, e.Line)
 		}
-		return in.getMember(obj, name, e.Line)
+		return in.getMember(obj, e.Name, e.Line)
 	case *Call:
 		return in.evalCall(e, env)
 	case *Unary:
@@ -463,21 +575,7 @@ func (in *Interp) eval(n Node, env *Env) (Value, error) {
 			}
 			return Undefined(), err
 		}
-		switch e.Op {
-		case "!":
-			return Bool(!x.Truthy()), nil
-		case "-":
-			return Number(-x.ToNumber()), nil
-		case "+":
-			return Number(x.ToNumber()), nil
-		case "~":
-			return Number(float64(^int64(x.ToNumber()))), nil
-		case "typeof":
-			return String(x.TypeOf()), nil
-		case "delete":
-			return Bool(true), nil
-		}
-		return Undefined(), in.rterr(0, "unknown unary %q", e.Op)
+		return applyUnary(e.Op, x)
 	case *Binary:
 		return in.evalBinary(e, env)
 	case *Logical:
@@ -512,18 +610,37 @@ func (in *Interp) eval(n Node, env *Env) (Value, error) {
 	case *Assign:
 		return in.evalAssign(e, env)
 	case *Update:
-		cur, err := in.eval(e.Target, env)
-		if err != nil {
-			return Undefined(), err
-		}
 		delta := 1.0
 		if e.Op == "--" {
 			delta = -1
 		}
-		nv := Number(cur.ToNumber() + delta)
-		if err := in.assignTo(e.Target, nv, env, 0); err != nil {
+		// Member targets resolve base and index exactly once, shared by
+		// the read and the write (a[f()]++ must call f once).
+		if m, ok := e.Target.(*Member); ok {
+			ref, err := in.resolveRef(m, env)
+			if err != nil {
+				return Undefined(), err
+			}
+			cur, err := in.readRef(ref, m.Line)
+			if err != nil {
+				return Undefined(), err
+			}
+			nv := Number(cur.ToNumber() + delta)
+			if err := in.writeRef(ref, nv, m.Line); err != nil {
+				return Undefined(), err
+			}
+			return nv, nil
+		}
+		cur, err := in.eval(e.Target, env)
+		if err != nil {
 			return Undefined(), err
 		}
+		nv := Number(cur.ToNumber() + delta)
+		id, ok := e.Target.(*Ident)
+		if !ok {
+			return Undefined(), in.rterr(0, "invalid update target %T", e.Target)
+		}
+		env.Assign(id.Name, nv)
 		return nv, nil
 	case *ObjectLit:
 		o := NewObject()
@@ -565,7 +682,37 @@ func (in *Interp) evalBinary(e *Binary, env *Env) (Value, error) {
 	if err != nil {
 		return Undefined(), err
 	}
-	switch e.Op {
+	return applyBinary(e.Op, x, y, e.Line)
+}
+
+// applyUnary applies a unary operator to an evaluated operand. Pure,
+// shared by the tree-walking and compiled paths (and compile-time
+// folding). delete is evaluate-and-ignore: the interpreter has no
+// property deletion, matching the tree-walker's historic behavior.
+func applyUnary(op string, x Value) (Value, error) {
+	switch op {
+	case "!":
+		return Bool(!x.Truthy()), nil
+	case "-":
+		return Number(-x.ToNumber()), nil
+	case "+":
+		return Number(x.ToNumber()), nil
+	case "~":
+		return Number(float64(^int64(x.ToNumber()))), nil
+	case "typeof":
+		return String(x.TypeOf()), nil
+	case "delete":
+		return Bool(true), nil
+	}
+	return Undefined(), &RuntimeError{Msg: fmt.Sprintf("unknown unary %q", op)}
+}
+
+// applyBinary applies a (non-short-circuit) binary operator to two
+// already-evaluated values. It is pure, so the compiler folds constant
+// operands through it at compile time, and the tree-walking and
+// compiled paths share it for identical semantics.
+func applyBinary(op string, x, y Value, line int) (Value, error) {
+	switch op {
 	case ",":
 		return y, nil
 	case "+":
@@ -593,7 +740,7 @@ func (in *Interp) evalBinary(e *Binary, env *Env) (Value, error) {
 		return Bool(!StrictEquals(x, y)), nil
 	case "<", ">", "<=", ">=":
 		if x.kind == KindString && y.kind == KindString {
-			switch e.Op {
+			switch op {
 			case "<":
 				return Bool(x.s < y.s), nil
 			case ">":
@@ -605,7 +752,7 @@ func (in *Interp) evalBinary(e *Binary, env *Env) (Value, error) {
 			}
 		}
 		a, b := x.ToNumber(), y.ToNumber()
-		switch e.Op {
+		switch op {
 		case "<":
 			return Bool(a < b), nil
 		case ">":
@@ -628,65 +775,170 @@ func (in *Interp) evalBinary(e *Binary, env *Env) (Value, error) {
 		}
 		return Bool(false), nil
 	}
-	return Undefined(), in.rterr(0, "unknown operator %q", e.Op)
+	return Undefined(), &RuntimeError{Line: line, Msg: fmt.Sprintf("unknown operator %q", op)}
 }
 
 func (in *Interp) evalAssign(e *Assign, env *Env) (Value, error) {
-	val, err := in.eval(e.Val, env)
-	if err != nil {
-		return Undefined(), err
-	}
-	if e.Op != "=" {
-		cur, err := in.eval(e.Target, env)
+	switch t := e.Target.(type) {
+	case *Ident:
+		var cur Value
+		if e.Op != "=" {
+			var err error
+			cur, err = in.eval(t, env)
+			if err != nil {
+				return Undefined(), err
+			}
+		}
+		val, err := in.eval(e.Val, env)
 		if err != nil {
 			return Undefined(), err
 		}
-		op := strings.TrimSuffix(e.Op, "=")
-		combined, err := in.evalBinary(&Binary{Op: op, X: &Lit{Val: cur}, Y: &Lit{Val: val}}, env)
+		if e.Op != "=" {
+			val, err = applyBinary(strings.TrimSuffix(e.Op, "="), cur, val, e.Line)
+			if err != nil {
+				return Undefined(), err
+			}
+		}
+		env.Assign(t.Name, val)
+		return val, nil
+	case *Member:
+		// The base and index evaluate exactly once, shared by the
+		// compound-op read and the final write (a[i++] += 1 bumps i once).
+		ref, err := in.resolveRef(t, env)
 		if err != nil {
 			return Undefined(), err
 		}
-		val = combined
+		var cur Value
+		if e.Op != "=" {
+			cur, err = in.readRef(ref, t.Line)
+			if err != nil {
+				return Undefined(), err
+			}
+		}
+		val, err := in.eval(e.Val, env)
+		if err != nil {
+			return Undefined(), err
+		}
+		if e.Op != "=" {
+			val, err = applyBinary(strings.TrimSuffix(e.Op, "="), cur, val, e.Line)
+			if err != nil {
+				return Undefined(), err
+			}
+		}
+		if err := in.writeRef(ref, val, e.Line); err != nil {
+			return Undefined(), err
+		}
+		return val, nil
 	}
-	if err := in.assignTo(e.Target, val, env, e.Line); err != nil {
-		return Undefined(), err
-	}
-	return val, nil
+	return Undefined(), in.rterr(e.Line, "invalid assignment target %T", e.Target)
 }
 
-func (in *Interp) assignTo(target Node, val Value, env *Env, line int) error {
-	switch t := target.(type) {
-	case *Ident:
-		env.Assign(t.Name, val)
-		return nil
-	case *Member:
-		obj, err := in.eval(t.Obj, env)
+// memberRef is a member-assignment target with its base (and computed
+// index, if any) already evaluated — each exactly once.
+type memberRef struct {
+	base   Value
+	name   string // dot access
+	idx    Value  // bracket access
+	hasIdx bool
+}
+
+// resolveRef evaluates a member target's base and index expressions.
+func (in *Interp) resolveRef(m *Member, env *Env) (memberRef, error) {
+	base, err := in.eval(m.Obj, env)
+	if err != nil {
+		return memberRef{}, err
+	}
+	ref := memberRef{base: base, name: m.Name}
+	if m.Index != nil {
+		idx, err := in.eval(m.Index, env)
 		if err != nil {
-			return err
+			return memberRef{}, err
 		}
-		name := t.Name
-		if t.Index != nil {
-			idx, err := in.eval(t.Index, env)
-			if err != nil {
-				return err
+		ref.idx, ref.hasIdx = idx, true
+	}
+	return ref, nil
+}
+
+func (in *Interp) readRef(ref memberRef, line int) (Value, error) {
+	if ref.hasIdx {
+		return in.getIndexed(ref.base, ref.idx, line)
+	}
+	return in.getMember(ref.base, ref.name, line)
+}
+
+func (in *Interp) writeRef(ref memberRef, val Value, line int) error {
+	if ref.hasIdx {
+		return in.setIndexed(ref.base, ref.idx, val, line)
+	}
+	return in.setMember(ref.base, ref.name, val, line)
+}
+
+// arrayIndex reports whether idx selects an array element: a
+// non-negative integer number. Everything else — negative, fractional,
+// NaN, strings — addresses an object-style property instead.
+func arrayIndex(idx Value) (int, bool) {
+	if idx.kind != KindNumber {
+		return 0, false
+	}
+	i := int(idx.n)
+	if float64(i) != idx.n || i < 0 {
+		return 0, false
+	}
+	return i, true
+}
+
+// getIndexed resolves obj[idx]: the array element fast path, then the
+// generic member surface keyed by ToString(idx).
+func (in *Interp) getIndexed(obj, idx Value, line int) (Value, error) {
+	if obj.kind == KindArray {
+		if i, ok := arrayIndex(idx); ok {
+			if i < len(obj.arr.Elems) {
+				return obj.arr.Elems[i], nil
 			}
-			if obj.kind == KindArray && idx.kind == KindNumber {
-				i := int(idx.n)
-				for len(obj.arr.Elems) <= i {
-					obj.arr.Elems = append(obj.arr.Elems, Undefined())
-				}
-				obj.arr.Elems[i] = val
-				return nil
+			return Undefined(), nil
+		}
+	}
+	return in.getMember(obj, idx.ToString(), line)
+}
+
+// maxArrayGrow bounds how far a single out-of-range element write may
+// extend an array — a runtime error beats an unbounded allocation from
+// a[1e9] = x inside a hostile script.
+const maxArrayGrow = 1 << 20
+
+// setIndexed implements obj[idx] = val.
+func (in *Interp) setIndexed(obj, idx, val Value, line int) error {
+	if obj.kind == KindArray {
+		if i, ok := arrayIndex(idx); ok {
+			if i >= maxArrayGrow {
+				return in.rterr(line, "array index %d exceeds growth limit", i)
 			}
-			name = idx.ToString()
+			for len(obj.arr.Elems) <= i {
+				obj.arr.Elems = append(obj.arr.Elems, Undefined())
+			}
+			obj.arr.Elems[i] = val
+			return nil
 		}
-		if obj.kind != KindObject {
-			return in.rterr(line, "cannot set property %q of %s", name, obj.TypeOf())
-		}
+	}
+	return in.setMember(obj, idx.ToString(), val, line)
+}
+
+// setMember implements obj.name = val for every assignable base kind.
+func (in *Interp) setMember(obj Value, name string, val Value, line int) error {
+	switch obj.kind {
+	case KindObject:
 		obj.obj.Set(name, val)
 		return nil
+	case KindArray:
+		// JS arrays are objects: non-element keys land in the property
+		// bag (ignored by JSON serialization, like real JSON.stringify).
+		if obj.arr.Props == nil {
+			obj.arr.Props = map[string]Value{}
+		}
+		obj.arr.Props[name] = val
+		return nil
 	}
-	return in.rterr(line, "invalid assignment target %T", target)
+	return in.rterr(line, "cannot set property %q of %s", name, obj.TypeOf())
 }
 
 func (in *Interp) evalCall(e *Call, env *Env) (Value, error) {
@@ -786,6 +1038,9 @@ func (in *Interp) call(fn Value, this Value, args []Value, line int) (Value, err
 		return v, err
 	case KindFunc:
 		c := fn.fn
+		if c.compiled != nil {
+			return in.callCompiled(c, this, args)
+		}
 		env := NewEnv(c.Env)
 		env.Define("this", this)
 		for i, p := range c.Params {

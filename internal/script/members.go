@@ -214,6 +214,9 @@ func (in *Interp) arrayMember(v Value, name string) (Value, error) {
 			return ArrayValue(out...), nil
 		}), nil
 	default:
+		if p, ok := arr.Props[name]; ok {
+			return p, nil
+		}
 		return Undefined(), nil
 	}
 }

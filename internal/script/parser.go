@@ -471,12 +471,13 @@ func (p *parser) expression() (Node, error) {
 	}
 	// Comma operator: evaluate both, yield the last.
 	for p.isPunct(",") {
+		line := p.cur().Line
 		p.advance()
 		y, err := p.assignExpr()
 		if err != nil {
 			return nil, err
 		}
-		x = &Binary{Op: ",", X: x, Y: y}
+		x = &Binary{Op: ",", X: x, Y: y, Line: line}
 	}
 	return x, nil
 }
@@ -631,6 +632,7 @@ func (p *parser) binaryExpr(minPrec int) (Node, error) {
 		if !ok || prec < minPrec {
 			return x, nil
 		}
+		line := t.Line
 		p.advance()
 		y, err := p.binaryExpr(prec + 1)
 		if err != nil {
@@ -638,9 +640,9 @@ func (p *parser) binaryExpr(minPrec int) (Node, error) {
 		}
 		switch op {
 		case "&&", "||", "??":
-			x = &Logical{Op: op, X: x, Y: y}
+			x = &Logical{Op: op, X: x, Y: y, Line: line}
 		default:
-			x = &Binary{Op: op, X: x, Y: y}
+			x = &Binary{Op: op, X: x, Y: y, Line: line}
 		}
 	}
 }
@@ -894,7 +896,7 @@ func (p *parser) primary() (Node, error) {
 func expandTemplate(raw string, line int) (Node, error) {
 	var result Node = &Lit{Val: String("")}
 	appendPart := func(n Node) {
-		result = &Binary{Op: "+", X: result, Y: n}
+		result = &Binary{Op: "+", X: result, Y: n, Line: line}
 	}
 	for i := 0; i < len(raw); {
 		dollar := strings.Index(raw[i:], "${")

@@ -1,0 +1,123 @@
+package script
+
+import "sync"
+
+// Realm-global snapshotting: embedders that install a large host
+// surface (the webapi realm defines dozens of namespace objects and
+// hundreds of natives) build it ONCE on a template interpreter, take a
+// snapshot, and stamp cheap deep clones into each new realm. Natives
+// and closures are shared — they are immutable, and host functions
+// recover per-realm state through Interp.Host at call time — while
+// objects and arrays are cloned so realms cannot observe each other's
+// mutations. Aliasing is preserved within a snapshot: if the template
+// defines window, self and globalThis as one object, every clone keeps
+// them identical, matching real browser realm semantics.
+
+// GlobalSnapshot is an immutable capture of an interpreter's global
+// bindings, ready to be cloned into other interpreters.
+type GlobalSnapshot struct {
+	names []string
+	vals  []Value
+}
+
+// NewBareInterp creates an interpreter with an empty global scope — no
+// builtins. Pair with InstallSnapshot to stamp a prebuilt surface.
+func NewBareInterp() *Interp {
+	return &Interp{Global: NewEnv(nil), MaxSteps: 200000, rng: 0x9E3779B97F4A7C15}
+}
+
+// SnapshotGlobals captures the interpreter's current global bindings.
+// The snapshot holds the live values; take it only when the template's
+// surface is fully built and will not be mutated again.
+func (in *Interp) SnapshotGlobals() *GlobalSnapshot {
+	s := &GlobalSnapshot{}
+	for name, v := range in.Global.vars {
+		s.names = append(s.names, name)
+		s.vals = append(s.vals, v)
+	}
+	return s
+}
+
+// InstallSnapshot deep-clones the snapshot's bindings into the global
+// scope. Each call produces a fresh object graph isolated from the
+// template and from every other clone.
+func (in *Interp) InstallSnapshot(s *GlobalSnapshot) {
+	c := &cloner{objs: map[*Object]*Object{}, arrs: map[*Array]*Array{}}
+	for i, name := range s.names {
+		in.Global.Define(name, c.clone(s.vals[i]))
+	}
+}
+
+// cloner deep-copies a value graph, preserving aliasing (and surviving
+// cycles) via the seen maps.
+type cloner struct {
+	objs map[*Object]*Object
+	arrs map[*Array]*Array
+}
+
+func (c *cloner) clone(v Value) Value {
+	switch v.kind {
+	case KindObject:
+		return ObjectValue(c.cloneObject(v.obj))
+	case KindArray:
+		return Value{kind: KindArray, arr: c.cloneArray(v.arr)}
+	default:
+		// Scalars are values; natives and closures are shared immutably.
+		return v
+	}
+}
+
+func (c *cloner) cloneObject(o *Object) *Object {
+	if dup, ok := c.objs[o]; ok {
+		return dup
+	}
+	dup := &Object{
+		props: make(map[string]Value, len(o.props)),
+		order: append([]string(nil), o.order...),
+		Class: o.Class,
+		Call:  o.Call,
+	}
+	c.objs[o] = dup // register before recursing: cycles and aliases hit it
+	for k, pv := range o.props {
+		dup.props[k] = c.clone(pv)
+	}
+	return dup
+}
+
+func (c *cloner) cloneArray(a *Array) *Array {
+	if dup, ok := c.arrs[a]; ok {
+		return dup
+	}
+	dup := &Array{}
+	c.arrs[a] = dup
+	if a.Elems != nil {
+		dup.Elems = make([]Value, len(a.Elems))
+		for i, e := range a.Elems {
+			dup.Elems[i] = c.clone(e)
+		}
+	}
+	if a.Props != nil {
+		dup.Props = make(map[string]Value, len(a.Props))
+		for k, pv := range a.Props {
+			dup.Props[k] = c.clone(pv)
+		}
+	}
+	return dup
+}
+
+// builtinsSnap lazily captures the standard builtins from a throwaway
+// template, so NewInterp stamps a clone instead of rebuilding every
+// native on each call.
+var (
+	builtinsOnce sync.Once
+	builtinsSnap *GlobalSnapshot
+)
+
+func builtinsSnapshot() *GlobalSnapshot {
+	builtinsOnce.Do(func() {
+		tmpl := NewBareInterp()
+		tmpl.installBuiltins()
+		builtinsSnap = tmpl.SnapshotGlobals()
+	})
+	return builtinsSnap
+}

@@ -299,3 +299,46 @@ func TestObjectBracketAssignment(t *testing.T) {
 		t.Error("property assignment on number must fail")
 	}
 }
+
+// Non-element computed indices on an array (negative, fractional)
+// become property sets instead of being silently dropped.
+func TestArrayNonElementIndexAssignment(t *testing.T) {
+	in := NewInterp()
+	if err := in.Run(`var a = [5];
+	a[-1] = 'neg'; a[1.5] = 'frac';
+	var neg = a[-1]; var frac = a[1.5]; var len = a.length;`, "t"); err != nil {
+		t.Fatal(err)
+	}
+	neg, _ := in.Global.Get("neg")
+	frac, _ := in.Global.Get("frac")
+	length, _ := in.Global.Get("len")
+	if neg.ToString() != "neg" || frac.ToString() != "frac" || length.Num() != 1 {
+		t.Errorf("neg=%q frac=%q len=%v", neg.ToString(), frac.ToString(), length.ToString())
+	}
+}
+
+// Compound member/index assignment evaluates the target object and
+// the index expression exactly once.
+func TestCompoundMemberSingleEvaluation(t *testing.T) {
+	in := NewInterp()
+	if err := in.Run(`var baseCalls = 0, idxCalls = 0;
+	var o = { n: 1 };
+	function base() { baseCalls++; return o; }
+	function idx() { idxCalls++; return 0; }
+	base().n += 4;
+	var a = [10];
+	a[idx()] += 5;
+	var n = o.n; var el = a[0];`, "t"); err != nil {
+		t.Fatal(err)
+	}
+	get := func(name string) float64 {
+		v, _ := in.Global.Get(name)
+		return v.Num()
+	}
+	if get("baseCalls") != 1 || get("n") != 5 {
+		t.Errorf("base() calls=%v o.n=%v; want 1 and 5", get("baseCalls"), get("n"))
+	}
+	if get("idxCalls") != 1 || get("el") != 15 {
+		t.Errorf("idx() calls=%v a[0]=%v; want 1 and 15", get("idxCalls"), get("el"))
+	}
+}

@@ -49,7 +49,15 @@ type Object struct {
 }
 
 // Array is a JS array.
-type Array struct{ Elems []Value }
+type Array struct {
+	Elems []Value
+	// Props holds object-style properties set with non-element keys
+	// (negative or fractional indexes, arbitrary strings) — JS arrays are
+	// objects, and a[-1] = x is a property set, not an element write.
+	// Allocated lazily; JSON serialization ignores it, like
+	// JSON.stringify does for non-index array properties.
+	Props map[string]Value
+}
 
 // Closure is a user-defined function.
 type Closure struct {
@@ -63,6 +71,9 @@ type Closure struct {
 	// to determine the origin of a call").
 	ScriptURL string
 	Line      int
+	// compiled, when set, is the pre-lowered body: calls run through
+	// pooled frames and slot-resolved closures instead of the AST walk.
+	compiled *compiledFunc
 }
 
 // Native is a host function.

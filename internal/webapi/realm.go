@@ -2,6 +2,7 @@ package webapi
 
 import (
 	"fmt"
+	"sync"
 
 	"permodyssey/internal/permissions"
 	"permodyssey/internal/policy"
@@ -11,6 +12,13 @@ import (
 // Realm is one document's JavaScript realm: an interpreter with the
 // instrumented Web-API surface installed, bound to the document's
 // Permissions Policy.
+//
+// The surface itself — hundreds of natives across navigator, document,
+// and a dozen constructors — is built ONCE on a package-level template
+// and stamped into each realm as a deep clone (script.GlobalSnapshot).
+// Natives are shared across realms and recover their realm through
+// script.Interp.Host at call time; only the mutable object graph is
+// cloned, so NewRealm costs a copy instead of a rebuild.
 type Realm struct {
 	Doc *policy.Document
 	Rec *Recorder
@@ -25,6 +33,10 @@ type Realm struct {
 	// installs a shared ParseCache here so each distinct script body is
 	// parsed once per crawl instead of once per including frame.
 	ParseScript func(src string) (*script.Program, error)
+	// CompileScript, when non-nil, supplies pre-lowered programs
+	// (typically CompileCache.Compile) and takes precedence over
+	// ParseScript: scripts run through the compiled fast path.
+	CompileScript func(src string) (*script.Compiled, error)
 
 	handlers map[string][]script.Value
 }
@@ -34,13 +46,15 @@ func NewRealm(doc *policy.Document, frameURL string) *Realm {
 	r := &Realm{
 		Doc:      doc,
 		Rec:      &Recorder{},
-		In:       script.NewInterp(),
+		In:       script.NewBareInterp(),
 		FrameURL: frameURL,
 		Browser:  permissions.Chromium,
 		Version:  127, // the paper crawled with Chromium 127 (C13)
 		handlers: map[string][]script.Value{},
 	}
-	r.install()
+	r.In.InstallSnapshot(surfaceSnapshot())
+	r.In.Host = r
+	r.patchRealmState()
 	return r
 }
 
@@ -49,6 +63,13 @@ func NewRealm(doc *policy.Document, frameURL string) *Realm {
 func (r *Realm) RunScript(src, scriptURL string) error {
 	if scriptURL == "" {
 		scriptURL = r.FrameURL
+	}
+	if r.CompileScript != nil {
+		prog, err := r.CompileScript(src)
+		if err != nil {
+			return err
+		}
+		return r.In.RunCompiled(prog, scriptURL)
 	}
 	if r.ParseScript != nil {
 		prog, err := r.ParseScript(src)
@@ -123,14 +144,87 @@ func rejectedDOMException(name, msg string) script.Value {
 	return script.RejectedPromise(script.ObjectValue(e))
 }
 
-// nat is shorthand for a native function value.
+// nat is shorthand for a realm-independent native function value.
 func nat(name string, fn func(in *script.Interp, this script.Value, args []script.Value) (script.Value, error)) script.Value {
 	return script.NativeValue(name, fn)
 }
 
-// install wires the full API surface into the realm's global scope.
-func (r *Realm) install() {
+// hostRealm recovers the realm a native is executing in. Surface
+// natives are shared across realms (they live in the cloned snapshot),
+// so per-realm state — policy document, recorder, handlers — must come
+// from the interpreter, not from captured variables.
+func hostRealm(in *script.Interp) *Realm { return in.Host.(*Realm) }
+
+// rnat is shorthand for a realm-aware native function value.
+func rnat(name string, fn func(r *Realm, in *script.Interp, this script.Value, args []script.Value) (script.Value, error)) script.Value {
+	return script.NativeValue(name, func(in *script.Interp, this script.Value, args []script.Value) (script.Value, error) {
+		return fn(hostRealm(in), in, this, args)
+	})
+}
+
+// rnativeOf is rnat for constructor Call slots.
+func rnativeOf(name string, fn func(r *Realm, in *script.Interp, this script.Value, args []script.Value) (script.Value, error)) *script.Native {
+	return &script.Native{Name: name, Fn: func(in *script.Interp, this script.Value, args []script.Value) (script.Value, error) {
+		return fn(hostRealm(in), in, this, args)
+	}}
+}
+
+// addEventListenerV is the shared handler-registration native; it
+// appends into the calling realm's handlers map.
+var addEventListenerV = rnat("addEventListener", func(r *Realm, _ *script.Interp, _ script.Value, args []script.Value) (script.Value, error) {
+	if len(args) >= 2 && args[0].Kind() == script.KindString && args[1].IsCallable() {
+		name := args[0].Str()
+		r.handlers[name] = append(r.handlers[name], args[1])
+	}
+	return script.Undefined(), nil
+})
+
+var noopV = nat("noop", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+	return script.Undefined(), nil
+})
+
+// surfaceSnapshot lazily builds the Web-API surface on a template
+// interpreter and captures it for stamping into realms.
+var (
+	surfaceOnce sync.Once
+	surfaceSnap *script.GlobalSnapshot
+)
+
+func surfaceSnapshot() *script.GlobalSnapshot {
+	surfaceOnce.Do(func() {
+		tmpl := script.NewInterp()
+		installSurface(tmpl)
+		surfaceSnap = tmpl.SnapshotGlobals()
+	})
+	return surfaceSnap
+}
+
+// patchRealmState overwrites the per-realm bindings the template cannot
+// know: the frame's location, secure-context bit, and UA string.
+func (r *Realm) patchRealmState() {
 	g := r.In.Global
+	if nav, ok := g.Get("navigator"); ok && nav.Kind() == script.KindObject {
+		nav.Obj().Set("userAgent", script.String(fmt.Sprintf("Mozilla/5.0 (X11; Linux x86_64) Chrome/%d.0.0.0", r.Version)))
+	}
+	if loc, ok := g.Get("location"); ok && loc.Kind() == script.KindObject {
+		lo := loc.Obj()
+		lo.Set("href", script.String(r.FrameURL))
+		lo.Set("origin", script.String(r.Doc.Origin.String()))
+		lo.Set("hostname", script.String(r.Doc.Origin.Host))
+		lo.Set("protocol", script.String(r.Doc.Origin.Scheme+":"))
+	}
+	if win, ok := g.Get("window"); ok && win.Kind() == script.KindObject {
+		win.Obj().Set("isSecureContext", script.Bool(r.Doc.Origin.Scheme == "https"))
+	}
+}
+
+// installSurface wires the full API surface into a template
+// interpreter's global scope. Everything installed here must be
+// realm-independent: natives reach their realm via hostRealm, and
+// per-realm scalars (location fields, userAgent, isSecureContext) are
+// placeholders overwritten by patchRealmState after cloning.
+func installSurface(in *script.Interp) {
+	g := in.Global
 
 	nav := script.NewObject()
 	nav.Class = "Navigator"
@@ -141,48 +235,49 @@ func (r *Realm) install() {
 	g.Define("navigator", script.ObjectValue(nav))
 	g.Define("document", script.ObjectValue(doc))
 
-	r.installPermissionsAPI(nav)
-	r.installMedia(nav)
-	r.installGeolocation(nav)
-	r.installSimpleNavigatorAPIs(nav)
-	r.installDocumentAPIs(doc)
-	r.installPolicyAPIs(doc)
-	r.installConstructors(g)
+	installPermissionsAPI(nav)
+	installMedia(nav)
+	installGeolocation(nav)
+	installSimpleNavigatorAPIs(nav)
+	installDocumentAPIs(doc)
+	installPolicyAPIs(doc)
+	installConstructors(g)
 
 	// navigator identity (the crawler disabled navigator.webdriver, C8).
-	nav.Set("userAgent", script.String(fmt.Sprintf("Mozilla/5.0 (X11; Linux x86_64) Chrome/%d.0.0.0", r.Version)))
+	// userAgent is per-realm (Version-dependent); patched after cloning.
+	nav.Set("userAgent", script.String(""))
 	nav.Set("webdriver", script.Bool(false))
 	nav.Set("language", script.String("en-US"))
 
-	// location of the frame.
+	// location of the frame — fields patched per realm.
 	loc := script.NewObject()
 	loc.Class = "Location"
-	loc.Set("href", script.String(r.FrameURL))
-	loc.Set("origin", script.String(r.Doc.Origin.String()))
-	loc.Set("hostname", script.String(r.Doc.Origin.Host))
-	loc.Set("protocol", script.String(r.Doc.Origin.Scheme+":"))
+	loc.Set("href", script.String(""))
+	loc.Set("origin", script.String(""))
+	loc.Set("hostname", script.String(""))
+	loc.Set("protocol", script.String(""))
 
 	// window: event target plus the usual aliases.
 	win := script.NewObject()
 	win.Class = "Window"
-	win.Set("addEventListener", r.addEventListenerFn())
+	win.Set("addEventListener", addEventListenerV)
 	win.Set("removeEventListener", nat("removeEventListener", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
 		return script.Undefined(), nil
 	}))
 	win.Set("navigator", script.ObjectValue(nav))
 	win.Set("document", script.ObjectValue(doc))
 	win.Set("location", script.ObjectValue(loc))
-	win.Set("isSecureContext", script.Bool(r.Doc.Origin.Scheme == "https"))
+	win.Set("isSecureContext", script.Bool(false))
 
 	doc.Set("location", script.ObjectValue(loc))
-	doc.Set("addEventListener", r.addEventListenerFn())
+	doc.Set("addEventListener", addEventListenerV)
 	doc.Set("cookie", script.String(""))
 
 	g.Define("window", script.ObjectValue(win))
 	g.Define("self", script.ObjectValue(win))
 	g.Define("globalThis", script.ObjectValue(win))
 	g.Define("location", script.ObjectValue(loc))
-	g.Define("addEventListener", r.addEventListenerFn())
+	g.Define("addEventListener", addEventListenerV)
 	g.Define("fetch", nat("fetch", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
 		resp := script.NewObject()
 		resp.Class = "Response"
@@ -192,22 +287,12 @@ func (r *Realm) install() {
 	}))
 }
 
-func (r *Realm) addEventListenerFn() script.Value {
-	return nat("addEventListener", func(_ *script.Interp, _ script.Value, args []script.Value) (script.Value, error) {
-		if len(args) >= 2 && args[0].Kind() == script.KindString && args[1].IsCallable() {
-			name := args[0].Str()
-			r.handlers[name] = append(r.handlers[name], args[1])
-		}
-		return script.Undefined(), nil
-	})
-}
-
 // installPermissionsAPI wires navigator.permissions.query — the most
 // invoked general API in the study.
-func (r *Realm) installPermissionsAPI(nav *script.Object) {
+func installPermissionsAPI(nav *script.Object) {
 	perms := script.NewObject()
 	perms.Class = "Permissions"
-	perms.Set("query", nat("navigator.permissions.query", func(in *script.Interp, _ script.Value, args []script.Value) (script.Value, error) {
+	perms.Set("query", rnat("navigator.permissions.query", func(r *Realm, in *script.Interp, _ script.Value, args []script.Value) (script.Value, error) {
 		var names []string
 		if len(args) > 0 {
 			if p, ok := permissionFromQueryArg(args[0]); ok {
@@ -233,7 +318,7 @@ func (r *Realm) installPermissionsAPI(nav *script.Object) {
 			state = "denied"
 		}
 		status.Set("state", script.String(state))
-		status.Set("addEventListener", r.addEventListenerFn())
+		status.Set("addEventListener", addEventListenerV)
 		status.Set("onchange", script.Null())
 		return script.ResolvedPromise(script.ObjectValue(status)), nil
 	}))
@@ -241,10 +326,10 @@ func (r *Realm) installPermissionsAPI(nav *script.Object) {
 }
 
 // installMedia wires getUserMedia / getDisplayMedia / encrypted media.
-func (r *Realm) installMedia(nav *script.Object) {
+func installMedia(nav *script.Object) {
 	md := script.NewObject()
 	md.Class = "MediaDevices"
-	md.Set("getUserMedia", nat("navigator.mediaDevices.getUserMedia", func(_ *script.Interp, _ script.Value, args []script.Value) (script.Value, error) {
+	md.Set("getUserMedia", rnat("navigator.mediaDevices.getUserMedia", func(r *Realm, _ *script.Interp, _ script.Value, args []script.Value) (script.Value, error) {
 		var perms []string
 		if len(args) > 0 && args[0].Kind() == script.KindObject {
 			if v, ok := args[0].Obj().Get("audio"); ok && v.Truthy() {
@@ -262,30 +347,30 @@ func (r *Realm) installMedia(nav *script.Object) {
 		stream.Set("active", script.Bool(true))
 		return r.gatedPromise("navigator.mediaDevices.getUserMedia", perms, script.ObjectValue(stream)), nil
 	}))
-	md.Set("getDisplayMedia", nat("navigator.mediaDevices.getDisplayMedia", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+	md.Set("getDisplayMedia", rnat("navigator.mediaDevices.getDisplayMedia", func(r *Realm, _ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
 		stream := script.NewObject()
 		stream.Class = "MediaStream"
 		return r.gatedPromise("navigator.mediaDevices.getDisplayMedia", []string{"display-capture"}, script.ObjectValue(stream)), nil
 	}))
-	md.Set("selectAudioOutput", nat("navigator.mediaDevices.selectAudioOutput", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+	md.Set("selectAudioOutput", rnat("navigator.mediaDevices.selectAudioOutput", func(r *Realm, _ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
 		dev := script.NewObject()
 		dev.Class = "MediaDeviceInfo"
 		return r.gatedPromise("navigator.mediaDevices.selectAudioOutput", []string{"speaker-selection"}, script.ObjectValue(dev)), nil
 	}))
 	nav.Set("mediaDevices", script.ObjectValue(md))
 
-	nav.Set("requestMediaKeySystemAccess", nat("navigator.requestMediaKeySystemAccess", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+	nav.Set("requestMediaKeySystemAccess", rnat("navigator.requestMediaKeySystemAccess", func(r *Realm, _ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
 		access := script.NewObject()
 		access.Class = "MediaKeySystemAccess"
 		return r.gatedPromise("navigator.requestMediaKeySystemAccess", []string{"encrypted-media"}, script.ObjectValue(access)), nil
 	}))
 }
 
-func (r *Realm) installGeolocation(nav *script.Object) {
+func installGeolocation(nav *script.Object) {
 	geo := script.NewObject()
 	geo.Class = "Geolocation"
 	positionCall := func(api string) script.Value {
-		return nat(api, func(in *script.Interp, _ script.Value, args []script.Value) (script.Value, error) {
+		return rnat(api, func(r *Realm, in *script.Interp, _ script.Value, args []script.Value) (script.Value, error) {
 			blocked := !r.allowed("geolocation")
 			r.record(api, KindInvocation, []string{"geolocation"}, false, blocked, false)
 			if blocked {
@@ -321,39 +406,39 @@ func (r *Realm) installGeolocation(nav *script.Object) {
 }
 
 // installSimpleNavigatorAPIs wires the long tail of navigator.* calls.
-func (r *Realm) installSimpleNavigatorAPIs(nav *script.Object) {
+func installSimpleNavigatorAPIs(nav *script.Object) {
 	// battery (tracking-associated, Table 4 rank 2).
-	nav.Set("getBattery", nat("navigator.getBattery", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+	nav.Set("getBattery", rnat("navigator.getBattery", func(r *Realm, _ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
 		bm := script.NewObject()
 		bm.Class = "BatteryManager"
 		bm.Set("level", script.Number(0.87))
 		bm.Set("charging", script.Bool(true))
-		bm.Set("addEventListener", r.addEventListenerFn())
+		bm.Set("addEventListener", addEventListenerV)
 		return r.gatedPromise("navigator.getBattery", []string{"battery"}, script.ObjectValue(bm)), nil
 	}))
 
 	// clipboard.
 	cb := script.NewObject()
 	cb.Class = "Clipboard"
-	cb.Set("readText", nat("navigator.clipboard.readText", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+	cb.Set("readText", rnat("navigator.clipboard.readText", func(r *Realm, _ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
 		return r.gatedPromise("navigator.clipboard.readText", []string{"clipboard-read"}, script.String("")), nil
 	}))
-	cb.Set("read", nat("navigator.clipboard.read", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+	cb.Set("read", rnat("navigator.clipboard.read", func(r *Realm, _ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
 		return r.gatedPromise("navigator.clipboard.read", []string{"clipboard-read"}, script.ArrayValue()), nil
 	}))
-	cb.Set("writeText", nat("navigator.clipboard.writeText", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+	cb.Set("writeText", rnat("navigator.clipboard.writeText", func(r *Realm, _ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
 		return r.gatedPromise("navigator.clipboard.writeText", []string{"clipboard-write"}, script.Undefined()), nil
 	}))
-	cb.Set("write", nat("navigator.clipboard.write", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+	cb.Set("write", rnat("navigator.clipboard.write", func(r *Realm, _ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
 		return r.gatedPromise("navigator.clipboard.write", []string{"clipboard-write"}, script.Undefined()), nil
 	}))
 	nav.Set("clipboard", script.ObjectValue(cb))
 
 	// web share.
-	nav.Set("share", nat("navigator.share", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+	nav.Set("share", rnat("navigator.share", func(r *Realm, _ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
 		return r.gatedPromise("navigator.share", []string{"web-share"}, script.Undefined()), nil
 	}))
-	nav.Set("canShare", nat("navigator.canShare", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+	nav.Set("canShare", rnat("navigator.canShare", func(r *Realm, _ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
 		r.record("navigator.canShare", KindStatusCheck, []string{"web-share"}, false, !r.allowed("web-share"), false)
 		return script.Bool(r.allowed("web-share")), nil
 	}))
@@ -361,7 +446,7 @@ func (r *Realm) installSimpleNavigatorAPIs(nav *script.Object) {
 	// credentials.
 	creds := script.NewObject()
 	creds.Class = "CredentialsContainer"
-	creds.Set("get", nat("navigator.credentials.get", func(_ *script.Interp, _ script.Value, args []script.Value) (script.Value, error) {
+	creds.Set("get", rnat("navigator.credentials.get", func(r *Realm, _ *script.Interp, _ script.Value, args []script.Value) (script.Value, error) {
 		perm := "publickey-credentials-get"
 		if len(args) > 0 && args[0].Kind() == script.KindObject {
 			if _, ok := args[0].Obj().Get("identity"); ok {
@@ -374,7 +459,7 @@ func (r *Realm) installSimpleNavigatorAPIs(nav *script.Object) {
 		cred.Class = "Credential"
 		return r.gatedPromise("navigator.credentials.get", []string{perm}, script.ObjectValue(cred)), nil
 	}))
-	creds.Set("create", nat("navigator.credentials.create", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+	creds.Set("create", rnat("navigator.credentials.create", func(r *Realm, _ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
 		cred := script.NewObject()
 		cred.Class = "Credential"
 		return r.gatedPromise("navigator.credentials.create", []string{"publickey-credentials-create"}, script.ObjectValue(cred)), nil
@@ -384,25 +469,25 @@ func (r *Realm) installSimpleNavigatorAPIs(nav *script.Object) {
 	// keyboard.
 	kb := script.NewObject()
 	kb.Class = "Keyboard"
-	kb.Set("getLayoutMap", nat("navigator.keyboard.getLayoutMap", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+	kb.Set("getLayoutMap", rnat("navigator.keyboard.getLayoutMap", func(r *Realm, _ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
 		m := script.NewObject()
 		m.Class = "KeyboardLayoutMap"
 		return r.gatedPromise("navigator.keyboard.getLayoutMap", []string{"keyboard-map"}, script.ObjectValue(m)), nil
 	}))
-	kb.Set("lock", nat("navigator.keyboard.lock", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+	kb.Set("lock", rnat("navigator.keyboard.lock", func(r *Realm, _ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
 		return r.gatedPromise("navigator.keyboard.lock", []string{"keyboard-lock"}, script.Undefined()), nil
 	}))
 	nav.Set("keyboard", script.ObjectValue(kb))
 
 	// gamepad.
-	nav.Set("getGamepads", nat("navigator.getGamepads", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+	nav.Set("getGamepads", rnat("navigator.getGamepads", func(r *Realm, _ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
 		blocked := !r.allowed("gamepad")
 		r.record("navigator.getGamepads", KindInvocation, []string{"gamepad"}, false, blocked, false)
 		return script.ArrayValue(), nil
 	}))
 
 	// midi.
-	nav.Set("requestMIDIAccess", nat("navigator.requestMIDIAccess", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+	nav.Set("requestMIDIAccess", rnat("navigator.requestMIDIAccess", func(r *Realm, _ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
 		access := script.NewObject()
 		access.Class = "MIDIAccess"
 		return r.gatedPromise("navigator.requestMIDIAccess", []string{"midi"}, script.ObjectValue(access)), nil
@@ -412,7 +497,7 @@ func (r *Realm) installSimpleNavigatorAPIs(nav *script.Object) {
 	deviceAPI := func(ns, method, perm, class string) {
 		o := script.NewObject()
 		api := "navigator." + ns + "." + method
-		o.Set(method, nat(api, func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+		o.Set(method, rnat(api, func(r *Realm, _ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
 			dev := script.NewObject()
 			dev.Class = class
 			return r.gatedPromise(api, []string{perm}, script.ObjectValue(dev)), nil
@@ -426,7 +511,7 @@ func (r *Realm) installSimpleNavigatorAPIs(nav *script.Object) {
 
 	// wake lock.
 	wl := script.NewObject()
-	wl.Set("request", nat("navigator.wakeLock.request", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+	wl.Set("request", rnat("navigator.wakeLock.request", func(r *Realm, _ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
 		sentinel := script.NewObject()
 		sentinel.Class = "WakeLockSentinel"
 		return r.gatedPromise("navigator.wakeLock.request", []string{"screen-wake-lock"}, script.ObjectValue(sentinel)), nil
@@ -435,22 +520,22 @@ func (r *Realm) installSimpleNavigatorAPIs(nav *script.Object) {
 
 	// WebXR.
 	xr := script.NewObject()
-	xr.Set("requestSession", nat("navigator.xr.requestSession", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+	xr.Set("requestSession", rnat("navigator.xr.requestSession", func(r *Realm, _ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
 		sess := script.NewObject()
 		sess.Class = "XRSession"
 		return r.gatedPromise("navigator.xr.requestSession", []string{"xr-spatial-tracking"}, script.ObjectValue(sess)), nil
 	}))
-	xr.Set("isSessionSupported", nat("navigator.xr.isSessionSupported", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+	xr.Set("isSessionSupported", rnat("navigator.xr.isSessionSupported", func(r *Realm, _ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
 		r.record("navigator.xr.isSessionSupported", KindStatusCheck, []string{"xr-spatial-tracking"}, false, false, false)
 		return script.ResolvedPromise(script.Bool(false)), nil
 	}))
 	nav.Set("xr", script.ObjectValue(xr))
 
 	// Privacy Sandbox ad APIs.
-	nav.Set("runAdAuction", nat("navigator.runAdAuction", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+	nav.Set("runAdAuction", rnat("navigator.runAdAuction", func(r *Realm, _ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
 		return r.gatedPromise("navigator.runAdAuction", []string{"run-ad-auction"}, script.String("urn:uuid:auction-result")), nil
 	}))
-	nav.Set("joinAdInterestGroup", nat("navigator.joinAdInterestGroup", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+	nav.Set("joinAdInterestGroup", rnat("navigator.joinAdInterestGroup", func(r *Realm, _ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
 		return r.gatedPromise("navigator.joinAdInterestGroup", []string{"join-ad-interest-group"}, script.Undefined()), nil
 	}))
 
@@ -458,7 +543,7 @@ func (r *Realm) installSimpleNavigatorAPIs(nav *script.Object) {
 	uad := script.NewObject()
 	uad.Class = "NavigatorUAData"
 	uad.Set("mobile", script.Bool(false))
-	uad.Set("getHighEntropyValues", nat("navigator.userAgentData.getHighEntropyValues", func(_ *script.Interp, _ script.Value, args []script.Value) (script.Value, error) {
+	uad.Set("getHighEntropyValues", rnat("navigator.userAgentData.getHighEntropyValues", func(r *Realm, _ *script.Interp, _ script.Value, args []script.Value) (script.Value, error) {
 		var perms []string
 		if len(args) > 0 && args[0].Kind() == script.KindArray {
 			for _, h := range args[0].Arr().Elems {
@@ -477,58 +562,64 @@ func (r *Realm) installSimpleNavigatorAPIs(nav *script.Object) {
 	nav.Set("userAgentData", script.ObjectValue(uad))
 }
 
+// mkElement builds a host element supporting the element-level
+// permission surface (fullscreen, picture-in-picture, pointer lock,
+// autoplay). Elements are created fresh per call; their methods are
+// shared realm-aware natives.
+func mkElement(tag string) script.Value {
+	el := script.NewObject()
+	el.Class = "HTMLElement"
+	el.Set("tagName", script.String(tag))
+	el.Set("addEventListener", addEventListenerV)
+	el.Set("setAttribute", noopV)
+	el.Set("click", noopV)
+	el.Set("requestFullscreen", requestFullscreenV)
+	el.Set("requestPointerLock", requestPointerLockV)
+	el.Set("requestPictureInPicture", requestPictureInPictureV)
+	el.Set("play", playV)
+	return script.ObjectValue(el)
+}
+
+var (
+	requestFullscreenV = rnat("element.requestFullscreen", func(r *Realm, _ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+		return r.gatedPromise("element.requestFullscreen", []string{"fullscreen"}, script.Undefined()), nil
+	})
+	requestPointerLockV = rnat("element.requestPointerLock", func(r *Realm, _ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+		blocked := !r.allowed("pointer-lock")
+		r.record("element.requestPointerLock", KindInvocation, []string{"pointer-lock"}, false, blocked, false)
+		return script.Undefined(), nil
+	})
+	requestPictureInPictureV = rnat("element.requestPictureInPicture", func(r *Realm, _ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+		w := script.NewObject()
+		w.Class = "PictureInPictureWindow"
+		return r.gatedPromise("element.requestPictureInPicture", []string{"picture-in-picture"}, script.ObjectValue(w)), nil
+	})
+	playV = rnat("element.play", func(r *Realm, _ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+		return r.gatedPromise("element.play", []string{"autoplay"}, script.Undefined()), nil
+	})
+)
+
 // installDocumentAPIs wires document-level permission calls.
-func (r *Realm) installDocumentAPIs(doc *script.Object) {
-	doc.Set("browsingTopics", nat("document.browsingTopics", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+func installDocumentAPIs(doc *script.Object) {
+	doc.Set("browsingTopics", rnat("document.browsingTopics", func(r *Realm, _ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
 		topic := script.NewObject()
 		topic.Set("topic", script.Number(42))
 		return r.gatedPromise("document.browsingTopics", []string{"browsing-topics"}, script.ArrayValue(script.ObjectValue(topic))), nil
 	}))
-	doc.Set("interestCohort", nat("document.interestCohort", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+	doc.Set("interestCohort", rnat("document.interestCohort", func(r *Realm, _ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
 		return r.gatedPromise("document.interestCohort", []string{"interest-cohort"}, script.ObjectValue(script.NewObject())), nil
 	}))
-	doc.Set("requestStorageAccess", nat("document.requestStorageAccess", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+	doc.Set("requestStorageAccess", rnat("document.requestStorageAccess", func(r *Realm, _ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
 		return r.gatedPromise("document.requestStorageAccess", []string{"storage-access"}, script.Undefined()), nil
 	}))
-	doc.Set("hasStorageAccess", nat("document.hasStorageAccess", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+	doc.Set("hasStorageAccess", rnat("document.hasStorageAccess", func(r *Realm, _ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
 		r.record("document.hasStorageAccess", KindStatusCheck, []string{"storage-access"}, false, false, false)
 		return script.ResolvedPromise(script.Bool(r.Doc.IsTopLevel())), nil
 	}))
-	doc.Set("requestStorageAccessFor", nat("document.requestStorageAccessFor", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+	doc.Set("requestStorageAccessFor", rnat("document.requestStorageAccessFor", func(r *Realm, _ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
 		return r.gatedPromise("document.requestStorageAccessFor", []string{"top-level-storage-access"}, script.Undefined()), nil
 	}))
 
-	// Element factory: supports the element-level permission surface
-	// (fullscreen, picture-in-picture, pointer lock, autoplay).
-	mkElement := func(tag string) script.Value {
-		el := script.NewObject()
-		el.Class = "HTMLElement"
-		el.Set("tagName", script.String(tag))
-		el.Set("addEventListener", r.addEventListenerFn())
-		el.Set("setAttribute", nat("setAttribute", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
-			return script.Undefined(), nil
-		}))
-		el.Set("click", nat("click", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
-			return script.Undefined(), nil
-		}))
-		el.Set("requestFullscreen", nat("element.requestFullscreen", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
-			return r.gatedPromise("element.requestFullscreen", []string{"fullscreen"}, script.Undefined()), nil
-		}))
-		el.Set("requestPointerLock", nat("element.requestPointerLock", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
-			blocked := !r.allowed("pointer-lock")
-			r.record("element.requestPointerLock", KindInvocation, []string{"pointer-lock"}, false, blocked, false)
-			return script.Undefined(), nil
-		}))
-		el.Set("requestPictureInPicture", nat("element.requestPictureInPicture", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
-			w := script.NewObject()
-			w.Class = "PictureInPictureWindow"
-			return r.gatedPromise("element.requestPictureInPicture", []string{"picture-in-picture"}, script.ObjectValue(w)), nil
-		}))
-		el.Set("play", nat("element.play", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
-			return r.gatedPromise("element.play", []string{"autoplay"}, script.Undefined()), nil
-		}))
-		return script.ObjectValue(el)
-	}
 	doc.Set("createElement", nat("document.createElement", func(_ *script.Interp, _ script.Value, args []script.Value) (script.Value, error) {
 		tag := "div"
 		if len(args) > 0 {
@@ -547,19 +638,19 @@ func (r *Realm) installDocumentAPIs(doc *script.Object) {
 
 // installPolicyAPIs wires the General Permission APIs of the Permissions
 // Policy spec and the deprecated Feature Policy spec.
-func (r *Realm) installPolicyAPIs(doc *script.Object) {
+func installPolicyAPIs(doc *script.Object) {
 	mk := func(prefix string, deprecated bool) script.Value {
 		o := script.NewObject()
 		o.Class = "FeaturePolicy"
-		o.Set("allowedFeatures", nat(prefix+".allowedFeatures", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+		o.Set("allowedFeatures", rnat(prefix+".allowedFeatures", func(r *Realm, _ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
 			r.record(prefix+".allowedFeatures", KindStatusCheck, nil, true, false, deprecated)
 			return script.StringsValue(r.supportedAllowed()), nil
 		}))
-		o.Set("features", nat(prefix+".features", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+		o.Set("features", rnat(prefix+".features", func(r *Realm, _ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
 			r.record(prefix+".features", KindStatusCheck, nil, true, false, deprecated)
 			return script.StringsValue(permissions.SupportedPermissions(r.Browser, r.Version)), nil
 		}))
-		o.Set("allowsFeature", nat(prefix+".allowsFeature", func(_ *script.Interp, _ script.Value, args []script.Value) (script.Value, error) {
+		o.Set("allowsFeature", rnat(prefix+".allowsFeature", func(r *Realm, _ *script.Interp, _ script.Value, args []script.Value) (script.Value, error) {
 			if len(args) == 0 {
 				return script.Bool(false), nil
 			}
@@ -568,7 +659,7 @@ func (r *Realm) installPolicyAPIs(doc *script.Object) {
 			r.record(prefix+".allowsFeature", KindStatusCheck, []string{name}, false, !allowed, deprecated)
 			return script.Bool(allowed), nil
 		}))
-		o.Set("getAllowlistForFeature", nat(prefix+".getAllowlistForFeature", func(_ *script.Interp, _ script.Value, args []script.Value) (script.Value, error) {
+		o.Set("getAllowlistForFeature", rnat(prefix+".getAllowlistForFeature", func(r *Realm, _ *script.Interp, _ script.Value, args []script.Value) (script.Value, error) {
 			r.record(prefix+".getAllowlistForFeature", KindStatusCheck, nil, false, false, deprecated)
 			return script.ArrayValue(), nil
 		}))
@@ -595,13 +686,37 @@ func (r *Realm) supportedAllowed() []string {
 	return out
 }
 
+// pushSubscribeV backs pushManager.subscribe on every registration.
+var pushSubscribeV = rnat("pushManager.subscribe", func(r *Realm, _ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+	blocked := !r.Doc.IsTopLevel()
+	r.record("pushManager.subscribe", KindInvocation, []string{"push"}, false, blocked, false)
+	sub := script.NewObject()
+	sub.Class = "PushSubscription"
+	if blocked {
+		return rejectedDOMException("NotAllowedError", "push requires a top-level context"), nil
+	}
+	return script.ResolvedPromise(script.ObjectValue(sub)), nil
+})
+
+// newSWRegistration builds a fresh service-worker registration. Each
+// register() call gets its own — a template-captured singleton would be
+// shared (and mutable) across every realm cloned from the snapshot.
+func newSWRegistration() script.Value {
+	swReg := script.NewObject()
+	pushMgr := script.NewObject()
+	pushMgr.Class = "PushManager"
+	pushMgr.Set("subscribe", pushSubscribeV)
+	swReg.Set("pushManager", script.ObjectValue(pushMgr))
+	return script.ObjectValue(swReg)
+}
+
 // installConstructors wires `new`-style APIs: Notification, sensors,
 // PaymentRequest, IdleDetector, PressureObserver, direct sockets.
-func (r *Realm) installConstructors(g *script.Env) {
+func installConstructors(g *script.Env) {
 	// Notification: not policy-controlled; available only top-level.
 	notif := script.NewObject()
 	notif.Class = "NotificationConstructor"
-	notif.Call = nativeOf("Notification", func(_ *script.Interp, _ script.Value, args []script.Value) (script.Value, error) {
+	notif.Call = rnativeOf("Notification", func(r *Realm, _ *script.Interp, _ script.Value, args []script.Value) (script.Value, error) {
 		blocked := !r.Doc.IsTopLevel()
 		r.record("new Notification", KindInvocation, []string{"notifications"}, false, blocked, false)
 		n := script.NewObject()
@@ -612,7 +727,7 @@ func (r *Realm) installConstructors(g *script.Env) {
 		return script.ObjectValue(n), nil
 	})
 	notif.Set("permission", script.String("default"))
-	notif.Set("requestPermission", nat("Notification.requestPermission", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+	notif.Set("requestPermission", rnat("Notification.requestPermission", func(r *Realm, _ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
 		blocked := !r.Doc.IsTopLevel()
 		r.record("Notification.requestPermission", KindInvocation, []string{"notifications"}, false, blocked, false)
 		state := "default"
@@ -624,25 +739,11 @@ func (r *Realm) installConstructors(g *script.Env) {
 	g.Define("Notification", script.ObjectValue(notif))
 
 	// Push (via a minimal service-worker registration surface).
-	swReg := script.NewObject()
-	pushMgr := script.NewObject()
-	pushMgr.Class = "PushManager"
-	pushMgr.Set("subscribe", nat("pushManager.subscribe", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
-		blocked := !r.Doc.IsTopLevel()
-		r.record("pushManager.subscribe", KindInvocation, []string{"push"}, false, blocked, false)
-		sub := script.NewObject()
-		sub.Class = "PushSubscription"
-		if blocked {
-			return rejectedDOMException("NotAllowedError", "push requires a top-level context"), nil
-		}
-		return script.ResolvedPromise(script.ObjectValue(sub)), nil
-	}))
-	swReg.Set("pushManager", script.ObjectValue(pushMgr))
 	sw := script.NewObject()
 	sw.Set("register", nat("serviceWorker.register", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
-		return script.ResolvedPromise(script.ObjectValue(swReg)), nil
+		return script.ResolvedPromise(newSWRegistration()), nil
 	}))
-	sw.Set("ready", script.ResolvedPromise(script.ObjectValue(swReg)))
+	sw.Set("ready", script.ResolvedPromise(newSWRegistration()))
 	if nav, ok := g.Get("navigator"); ok && nav.Kind() == script.KindObject {
 		nav.Obj().Set("serviceWorker", script.ObjectValue(sw))
 	}
@@ -650,7 +751,7 @@ func (r *Realm) installConstructors(g *script.Env) {
 	// Sensor constructors.
 	sensorCtor := func(name, perm string) {
 		ctor := script.NewObject()
-		ctor.Call = nativeOf(name, func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+		ctor.Call = rnativeOf(name, func(r *Realm, _ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
 			blocked := !r.allowed(perm)
 			r.record("new "+name, KindInvocation, []string{perm}, false, blocked, false)
 			if blocked {
@@ -658,13 +759,9 @@ func (r *Realm) installConstructors(g *script.Env) {
 			}
 			s := script.NewObject()
 			s.Class = name
-			s.Set("start", nat("start", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
-				return script.Undefined(), nil
-			}))
-			s.Set("stop", nat("stop", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
-				return script.Undefined(), nil
-			}))
-			s.Set("addEventListener", r.addEventListenerFn())
+			s.Set("start", noopV)
+			s.Set("stop", noopV)
+			s.Set("addEventListener", addEventListenerV)
 			return script.ObjectValue(s), nil
 		})
 		g.Define(name, script.ObjectValue(ctor))
@@ -676,7 +773,7 @@ func (r *Realm) installConstructors(g *script.Env) {
 
 	// PaymentRequest.
 	pr := script.NewObject()
-	pr.Call = nativeOf("PaymentRequest", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+	pr.Call = rnativeOf("PaymentRequest", func(r *Realm, _ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
 		blocked := !r.allowed("payment")
 		r.record("new PaymentRequest", KindInvocation, []string{"payment"}, false, blocked, false)
 		if blocked {
@@ -684,12 +781,12 @@ func (r *Realm) installConstructors(g *script.Env) {
 		}
 		req := script.NewObject()
 		req.Class = "PaymentRequest"
-		req.Set("show", nat("PaymentRequest.show", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+		req.Set("show", rnat("PaymentRequest.show", func(r *Realm, _ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
 			resp := script.NewObject()
 			resp.Class = "PaymentResponse"
 			return r.gatedPromise("PaymentRequest.show", []string{"payment"}, script.ObjectValue(resp)), nil
 		}))
-		req.Set("canMakePayment", nat("PaymentRequest.canMakePayment", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+		req.Set("canMakePayment", rnat("PaymentRequest.canMakePayment", func(r *Realm, _ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
 			r.record("PaymentRequest.canMakePayment", KindStatusCheck, []string{"payment"}, false, false, false)
 			return script.ResolvedPromise(script.Bool(true)), nil
 		}))
@@ -699,7 +796,7 @@ func (r *Realm) installConstructors(g *script.Env) {
 
 	// IdleDetector with static requestPermission.
 	idle := script.NewObject()
-	idle.Call = nativeOf("IdleDetector", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+	idle.Call = rnativeOf("IdleDetector", func(r *Realm, _ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
 		blocked := !r.allowed("idle-detection")
 		r.record("new IdleDetector", KindInvocation, []string{"idle-detection"}, false, blocked, false)
 		d := script.NewObject()
@@ -707,10 +804,10 @@ func (r *Realm) installConstructors(g *script.Env) {
 		d.Set("start", nat("start", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
 			return script.ResolvedPromise(script.Undefined()), nil
 		}))
-		d.Set("addEventListener", r.addEventListenerFn())
+		d.Set("addEventListener", addEventListenerV)
 		return script.ObjectValue(d), nil
 	})
-	idle.Set("requestPermission", nat("IdleDetector.requestPermission", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+	idle.Set("requestPermission", rnat("IdleDetector.requestPermission", func(r *Realm, _ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
 		blocked := !r.allowed("idle-detection")
 		r.record("IdleDetector.requestPermission", KindInvocation, []string{"idle-detection"}, false, blocked, false)
 		return script.ResolvedPromise(script.String("granted")), nil
@@ -719,7 +816,7 @@ func (r *Realm) installConstructors(g *script.Env) {
 
 	// PressureObserver (compute-pressure).
 	po := script.NewObject()
-	po.Call = nativeOf("PressureObserver", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+	po.Call = rnativeOf("PressureObserver", func(r *Realm, _ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
 		blocked := !r.allowed("compute-pressure")
 		r.record("new PressureObserver", KindInvocation, []string{"compute-pressure"}, false, blocked, false)
 		o := script.NewObject()
@@ -734,7 +831,7 @@ func (r *Realm) installConstructors(g *script.Env) {
 	// Direct sockets.
 	sockCtor := func(name string) {
 		c := script.NewObject()
-		c.Call = nativeOf(name, func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+		c.Call = rnativeOf(name, func(r *Realm, _ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
 			blocked := !r.allowed("direct-sockets")
 			r.record("new "+name, KindInvocation, []string{"direct-sockets"}, false, blocked, false)
 			s := script.NewObject()
@@ -747,16 +844,12 @@ func (r *Realm) installConstructors(g *script.Env) {
 	sockCtor("UDPSocket")
 
 	// queryLocalFonts / getScreenDetails are window-level functions.
-	g.Define("queryLocalFonts", nat("queryLocalFonts", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+	g.Define("queryLocalFonts", rnat("queryLocalFonts", func(r *Realm, _ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
 		return r.gatedPromise("queryLocalFonts", []string{"local-fonts"}, script.ArrayValue()), nil
 	}))
-	g.Define("getScreenDetails", nat("getScreenDetails", func(_ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
+	g.Define("getScreenDetails", rnat("getScreenDetails", func(r *Realm, _ *script.Interp, _ script.Value, _ []script.Value) (script.Value, error) {
 		details := script.NewObject()
 		details.Class = "ScreenDetails"
 		return r.gatedPromise("getScreenDetails", []string{"window-management"}, script.ObjectValue(details)), nil
 	}))
-}
-
-func nativeOf(name string, fn func(in *script.Interp, this script.Value, args []script.Value) (script.Value, error)) *script.Native {
-	return &script.Native{Name: name, Fn: fn}
 }

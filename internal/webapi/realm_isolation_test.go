@@ -1,0 +1,214 @@
+package webapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"permodyssey/internal/script"
+)
+
+// TestRealmIsolation proves realms stamped from the shared surface
+// snapshot cannot observe each other's mutations: global writes, host
+// object writes, and handler registrations stay realm-local.
+func TestRealmIsolation(t *testing.T) {
+	a := topLevelRealm(t, "")
+	b := topLevelRealm(t, "")
+	if err := a.RunScript(`
+	window.tag = 'realm-a';
+	navigator.planted = 42;
+	document.body.planted = 'body-a';
+	location.planted = true;
+	addEventListener('click', function () {});
+	`, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RunScript(`
+	window.sawTag = typeof window.tag;
+	window.sawNav = typeof navigator.planted;
+	window.sawBody = typeof document.body.planted;
+	window.sawLoc = typeof location.planted;
+	`, ""); err != nil {
+		t.Fatal(err)
+	}
+	win, _ := b.In.Global.Get("window")
+	for _, key := range []string{"sawTag", "sawNav", "sawBody", "sawLoc"} {
+		if v, _ := win.Obj().Get(key); v.ToString() != "undefined" {
+			t.Errorf("realm B observed realm A's %s: %q", key, v.ToString())
+		}
+	}
+	if a.HandlerCount("click") != 1 || b.HandlerCount("click") != 0 {
+		t.Errorf("handlers leaked: a=%d b=%d", a.HandlerCount("click"), b.HandlerCount("click"))
+	}
+	// A third realm built after the mutations must come out pristine —
+	// the template itself was not written through.
+	c := topLevelRealm(t, "")
+	if err := c.RunScript(`window.sawTag = typeof window.tag;`, ""); err != nil {
+		t.Fatal(err)
+	}
+	winC, _ := c.In.Global.Get("window")
+	if v, _ := winC.Obj().Get("sawTag"); v.ToString() != "undefined" {
+		t.Error("template polluted: fresh realm observed an earlier realm's global write")
+	}
+}
+
+// TestRealmGlobalAliasing verifies the cloner preserved intra-snapshot
+// aliasing: window, self, and globalThis are one object; location is
+// shared between window, document, and the global binding.
+func TestRealmGlobalAliasing(t *testing.T) {
+	r := topLevelRealm(t, "")
+	if err := r.RunScript(`
+	window.aliases = (window === self) && (window === globalThis);
+	window.locShared = (window.location === location) && (document.location === location);
+	window.navShared = (window.navigator === navigator);
+	window.href = location.href;
+	`, ""); err != nil {
+		t.Fatal(err)
+	}
+	win, _ := r.In.Global.Get("window")
+	for _, key := range []string{"aliases", "locShared", "navShared"} {
+		if v, _ := win.Obj().Get(key); !v.Truthy() {
+			t.Errorf("%s = %s; want true", key, v.ToString())
+		}
+	}
+	if v, _ := win.Obj().Get("href"); v.ToString() != "https://example.org/" {
+		t.Errorf("location.href = %q; want the frame URL", v.ToString())
+	}
+}
+
+// TestRealmPerRealmState verifies the patched-in per-realm scalars and
+// the call-time Browser/Version reads survive the template split.
+func TestRealmPerRealmState(t *testing.T) {
+	top := topLevelRealm(t, "")
+	if err := top.RunScript(`
+	window.ua = navigator.userAgent;
+	window.secure = window.isSecureContext;
+	window.origin = location.origin;
+	`, ""); err != nil {
+		t.Fatal(err)
+	}
+	win, _ := top.In.Global.Get("window")
+	if v, _ := win.Obj().Get("ua"); v.ToString() != "Mozilla/5.0 (X11; Linux x86_64) Chrome/127.0.0.0" {
+		t.Errorf("userAgent = %q", v.ToString())
+	}
+	if v, _ := win.Obj().Get("secure"); !v.Truthy() {
+		t.Error("https frame must be a secure context")
+	}
+	if v, _ := win.Obj().Get("origin"); v.ToString() != "https://example.org" {
+		t.Errorf("origin = %q", v.ToString())
+	}
+
+	emb := embeddedRealm(t, "", "")
+	if err := emb.RunScript(`window.href = location.href;`, ""); err != nil {
+		t.Fatal(err)
+	}
+	winE, _ := emb.In.Global.Get("window")
+	if v, _ := winE.Obj().Get("href"); v.ToString() != "https://widget.example/embed" {
+		t.Errorf("embedded href = %q", v.ToString())
+	}
+}
+
+// TestServiceWorkerRegistrationsIndependent verifies register() hands
+// out a fresh registration per call instead of a snapshot-shared
+// singleton: a mutation through one realm's registration must not
+// appear in another realm, and subscribe() still gates on context.
+func TestServiceWorkerRegistrationsIndependent(t *testing.T) {
+	a := topLevelRealm(t, "")
+	b := topLevelRealm(t, "")
+	if err := a.RunScript(`
+	navigator.serviceWorker.register('/sw.js').then(function (reg) { reg.planted = 1; });
+	navigator.serviceWorker.ready.then(function (reg) { reg.planted = 2; });
+	`, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RunScript(`
+	window.saw = 'none';
+	navigator.serviceWorker.register('/sw.js').then(function (reg) {
+		window.saw = typeof reg.planted;
+		return reg.pushManager.subscribe();
+	});
+	navigator.serviceWorker.ready.then(function (reg) { window.sawReady = typeof reg.planted; });
+	`, ""); err != nil {
+		t.Fatal(err)
+	}
+	win, _ := b.In.Global.Get("window")
+	if v, _ := win.Obj().Get("saw"); v.ToString() != "undefined" {
+		t.Errorf("registration shared across realms: typeof planted = %q", v.ToString())
+	}
+	if v, _ := win.Obj().Get("sawReady"); v.ToString() != "undefined" {
+		t.Errorf("ready registration shared across realms: typeof planted = %q", v.ToString())
+	}
+	if invs := b.Rec.ByKind(KindInvocation); len(invs) != 1 || invs[0].API != "pushManager.subscribe" || invs[0].Blocked {
+		t.Errorf("subscribe via fresh registration: %+v", invs)
+	}
+}
+
+// probeCorpus exercises the instrumented surface broadly — promise
+// chains, callbacks, constructors, errors, handlers — so the compiled
+// and tree-walk paths are compared over realistic probe scripts.
+var probeCorpus = []string{
+	`navigator.permissions.query({name: 'camera'}).then(function (s) { window.state = s.state; });`,
+	`navigator.mediaDevices.getUserMedia({audio: true, video: true}).catch(function () {});`,
+	`for (var i = 0; i < 3; i++) { navigator.clipboard.writeText('x' + i); }
+	 document.featurePolicy.allowedFeatures();
+	 window.n = document.featurePolicy.features().length;`,
+	`var probe = function (names) {
+		for (var i = 0; i < names.length; i++) {
+			navigator.permissions.query({name: names[i]}).then(function (s) {
+				window.last = s.name + ':' + s.state;
+			});
+		}
+	};
+	probe(['geolocation', 'camera', 'notifications']);`,
+	`navigator.geolocation.getCurrentPosition(function (pos) { window.lat = pos.coords.latitude; });
+	 navigator.getBattery().then(function (b) { window.level = b.level; });`,
+	`try { var g = new Gyroscope(); g.start(); } catch (e) { window.err = 'caught'; }
+	 document.getElementById('btn').addEventListener('click', function () {
+		navigator.mediaDevices.getUserMedia({audio: true});
+	 });`,
+	`document.browsingTopics(); document.requestStorageAccess(); document.hasStorageAccess();
+	 navigator.serviceWorker.register('/sw.js').then(function (reg) { return reg.pushManager.subscribe(); });`,
+	`var el = document.createElement('video');
+	 el.play(); el.requestFullscreen(); el.requestPictureInPicture();
+	 new PaymentRequest([], {}).canMakePayment();`,
+}
+
+// TestCompiledRealmRecordsIdentical runs every probe through a
+// tree-walking realm and a compiling realm and requires byte-identical
+// recorded invocations — the zero-behavioral-diff acceptance gate.
+func TestCompiledRealmRecordsIdentical(t *testing.T) {
+	compileCache := script.NewCompileCache()
+	for i, src := range probeCorpus {
+		tree := topLevelRealm(t, "camera=(), geolocation=self")
+		compiled := topLevelRealm(t, "camera=(), geolocation=self")
+		compiled.CompileScript = compileCache.Compile
+
+		url := fmt.Sprintf("https://cdn.example/probe%d.js", i)
+		errTree := tree.RunScript(src, url)
+		errCompiled := compiled.RunScript(src, url)
+		if (errTree == nil) != (errCompiled == nil) {
+			t.Fatalf("probe %d: error mismatch: tree=%v compiled=%v", i, errTree, errCompiled)
+		}
+		if err := tree.FireEvent("click"); err != nil {
+			t.Fatalf("probe %d: %v", i, err)
+		}
+		if err := compiled.FireEvent("click"); err != nil {
+			t.Fatalf("probe %d: %v", i, err)
+		}
+
+		want, err := json.Marshal(tree.Rec.Invocations)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := json.Marshal(compiled.Rec.Invocations)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(want) != string(got) {
+			t.Errorf("probe %d: recorded invocations differ\ntree:     %s\ncompiled: %s", i, want, got)
+		}
+	}
+	if stats := compileCache.Stats(); stats.Misses == 0 {
+		t.Error("compile cache never compiled anything")
+	}
+}

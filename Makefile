@@ -2,7 +2,7 @@
 # GitHub Actions tier-1 gate; `make bench` produces a BENCH_*.json
 # perf artifact.
 
-.PHONY: ci test bench bench-sched bench-interp benchcmp soak replay fleet-soak kill-soak fmt build
+.PHONY: ci test bench bench-sched bench-interp benchcmp soak replay bundle-replay fleet-soak kill-soak fmt build
 
 ci:
 	./scripts/ci.sh
@@ -11,6 +11,13 @@ ci:
 # identical reports, zero network fetches.
 replay:
 	./scripts/replay.sh
+
+# Bundle-replay gate: chaos crawl sealed into a Web Execution Bundle;
+# permreport -from-bundle must reproduce the crawl-time report
+# byte-identically at >= 10x the crawl's speed, tampering must be
+# refused, and -diff-bundles over an era pair must be deterministic.
+bundle-replay:
+	./scripts/bundle_replay.sh
 
 # Fleet-soak gate: 4-process sharded chaos crawl over one shared
 # archive, merged, byte-identical to a single-process run.

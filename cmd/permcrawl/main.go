@@ -8,6 +8,7 @@
 //	permcrawl -sites 20000 -seed 1 -workers 32 -out crawl.jsonl
 //	permcrawl -sites 2000 -interact -out crawl-interactive.jsonl
 //	permcrawl -sites 2000 -follow-links 3 -out crawl-deep.jsonl
+//	permcrawl -sites 2000 -cache-dir archive -bundle crawl.bundle -out crawl.jsonl
 package main
 
 import (

@@ -9,6 +9,7 @@
 //
 //	permfleet -procs 4 -out crawl.jsonl -cache-dir archive -- -sites 2000 -seed 13 -chaos
 //	permfleet -procs 4 -out crawl.jsonl -merge-only   # re-merge after a worker failure
+//	permfleet -procs 4 -out crawl.jsonl -cache-dir archive -bundle crawl.bundle -- -sites 2000
 package main
 
 import (

@@ -7,6 +7,8 @@
 //	permreport -in crawl.jsonl -table 9   # a single table
 //	permreport -in crawl.jsonl -json      # machine-readable
 //	permreport -in crawl.jsonl -html      # self-contained HTML page
+//	permreport -from-bundle crawl.bundle  # verify a sealed bundle, re-analyze
+//	permreport -diff-bundles a.bundle b.bundle  # longitudinal drift report
 package main
 
 import (

@@ -1,7 +1,14 @@
-// Longitudinal compares header adoption across measurement eras,
-// reproducing the trajectory from Kaleli et al.'s 2020 Feature-Policy
-// study (few adopters, no Permissions-Policy header yet) through the
-// rename to the paper's 2024 numbers (7.9% of documents).
+// Longitudinal crawls the same seeded population under two synthweb
+// eras — 2020's Feature-Policy web (few adopters, no
+// Permissions-Policy yet) and the paper's 2024 web — seals each crawl
+// into a Web Execution Bundle, and diffs the bundles into a drift
+// report: header adoption moving after the rename, permissions newly
+// declared or dropped, delegation changes. It is the in-process shape
+// of:
+//
+//	permcrawl -era 2020 -cache-dir a20 -bundle era2020.bundle ...
+//	permcrawl -era 2024 -cache-dir a24 -bundle era2024.bundle ...
+//	permreport -diff-bundles era2020.bundle era2024.bundle
 //
 //	go run ./examples/longitudinal
 package main
@@ -9,41 +16,44 @@ package main
 import (
 	"context"
 	"fmt"
+	"io"
 	"os"
-	"time"
+	"path/filepath"
 
-	"permodyssey/internal/core"
-	"permodyssey/internal/synthweb"
+	"permodyssey/internal/cli"
 )
 
 func main() {
-	fmt.Println("Header adoption across eras (top-level documents)")
-	fmt.Printf("%-6s %22s %22s\n", "Era", "Permissions-Policy", "Feature-Policy")
-	for _, year := range []int{2020, 2022, 2024} {
-		opts := core.DefaultMeasurementOptions()
-		opts.Web = synthweb.EraConfig(year)
-		opts.Web.NumSites = 800
-		opts.Web.Seed = int64(year)
-		opts.Crawl.Workers = 24
-		opts.Crawl.PerSiteTimeout = 400 * time.Millisecond
-		opts.StallTime = 800 * time.Millisecond
-		m, err := core.Run(context.Background(), opts)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "longitudinal:", err)
-			os.Exit(1)
-		}
-		ad := m.Analysis.Figure2Adoption()
-		fmt.Printf("%-6d %17.2f%% %21.2f%%\n", year, ad.PPTopLevelPct,
-			100*float64(ad.FPDocuments)/float64(max(1, ad.Documents)))
+	work, err := os.MkdirTemp("", "longitudinal-")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "longitudinal:", err)
+		os.Exit(1)
 	}
-	fmt.Println("\nShape: Feature-Policy's small 2020 footprint gives way to")
+	defer os.RemoveAll(work)
+
+	// One population skeleton (same sites, same seed), two header
+	// climates: any drift between the bundles is era drift, not
+	// population noise.
+	seal := func(era string) string {
+		path := filepath.Join(work, "era"+era+".bundle")
+		args := []string{
+			"-sites", "800", "-seed", "41", "-workers", "24",
+			"-timeout", "2s", "-retries", "0", "-era", era,
+			"-out", filepath.Join(work, "era"+era+".jsonl"),
+			"-cache-dir", filepath.Join(work, "archive-"+era),
+			"-bundle", path,
+		}
+		if code := cli.Crawl(context.Background(), args, io.Discard, os.Stderr); code != 0 {
+			os.Exit(code)
+		}
+		return path
+	}
+	before, after := seal("2020"), seal("2024")
+
+	if code := cli.Report([]string{"-diff-bundles", before, after}, os.Stdout, os.Stderr); code != 0 {
+		os.Exit(code)
+	}
+	fmt.Println("Shape: Feature-Policy's small 2020 footprint gives way to")
 	fmt.Println("Permissions-Policy adoption after the rename — while the deprecated")
 	fmt.Println("API names live on in scripts (§6.2).")
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"permodyssey/internal/store"
+)
+
+// TestDriftReport: diffing an empty snapshot against a populated one
+// surfaces every permission as new, reversing the diff marks them
+// gone, and the rendered report is deterministic.
+func TestDriftReport(t *testing.T) {
+	empty := New(&store.Dataset{}).ReportData(0)
+	full := New(handDataset()).ReportData(0)
+
+	d := Diff(empty, full, "2020", "2024")
+	if d.LabelA != "2020" || d.LabelB != "2024" {
+		t.Fatalf("labels = %q, %q", d.LabelA, d.LabelB)
+	}
+	if len(d.Usage) == 0 {
+		t.Fatal("no usage drift rows for a populated after-snapshot")
+	}
+	for _, row := range d.Usage {
+		if row.Status != "new" {
+			t.Errorf("usage row %+v: want status new (before was empty)", row)
+		}
+		if row.Delta != row.After-row.Before {
+			t.Errorf("usage row %+v: delta mismatch", row)
+		}
+	}
+	if got := d.Population[0]; got.Before != 0 || got.After != full.Websites || got.Delta != full.Websites {
+		t.Errorf("websites drift = %+v, want 0 → %d", got, full.Websites)
+	}
+
+	back := Diff(full, empty, "2024", "2020")
+	for _, row := range back.Usage {
+		if row.Status != "gone" {
+			t.Errorf("reversed usage row %+v: want status gone", row)
+		}
+	}
+
+	// Deterministic render: same inputs, same bytes.
+	if a, b := Diff(empty, full, "a", "b").String(), Diff(empty, full, "a", "b").String(); a != b {
+		t.Error("drift report render is not deterministic")
+	}
+	out := d.String()
+	for _, want := range []string{
+		"Longitudinal drift report: 2020 → 2024",
+		"Figure 2 drift",
+		"Table 4 drift",
+		"Table 8 drift",
+		"Table 9 drift",
+		"Delegation drift",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered drift report missing %q", want)
+		}
+	}
+}
+
+// TestDriftSelf: a snapshot diffed against itself is all zero deltas
+// with no new/gone rows.
+func TestDriftSelf(t *testing.T) {
+	rd := New(handDataset()).ReportData(0)
+	d := Diff(rd, rd, "x", "x")
+	for _, rows := range [][]DriftRow{d.Population, d.Adoption, d.Usage, d.Delegation, d.Delegated, d.Headers} {
+		for _, row := range rows {
+			if row.Delta != 0 || row.Status != "" {
+				t.Errorf("self-diff row %+v: want zero delta, no status", row)
+			}
+		}
+	}
+}
+
+// TestEmptyDatasetCleanZeroRows pins the empty/all-failed report
+// behavior the bundle replay path depends on: a dataset with zero
+// analyzable records must render clean zero rows — no NaN, no Inf —
+// across the text, JSON, and HTML reports, and every percentage in
+// ReportData must be finite.
+func TestEmptyDatasetCleanZeroRows(t *testing.T) {
+	allFailed := &store.Dataset{}
+	for i := 0; i < 5; i++ {
+		allFailed.Add(store.SiteRecord{Rank: i, URL: "https://down.test/", Failure: store.FailureTimeout, Error: "deadline"})
+	}
+	for name, ds := range map[string]*store.Dataset{
+		"empty":      {},
+		"all-failed": allFailed,
+	} {
+		t.Run(name, func(t *testing.T) {
+			a := New(ds)
+			if a.Websites() != 0 {
+				t.Fatalf("Websites = %d, want 0", a.Websites())
+			}
+			text := a.FullReport()
+			html := a.HTML(10)
+			js, err := a.JSON(10)
+			if err != nil {
+				t.Fatalf("JSON: %v", err)
+			}
+			for label, out := range map[string]string{"text": text, "html": html, "json": string(js)} {
+				for _, bad := range []string{"NaN", "+Inf", "-Inf", "null%"} {
+					if strings.Contains(out, bad) {
+						t.Errorf("%s report contains %q on a zero-website dataset", label, bad)
+					}
+				}
+			}
+			rd := a.ReportData(0)
+			for name, v := range map[string]float64{
+				"adoption pp pct":  rd.Adoption.PPDocumentsPct,
+				"adoption emb pct": rd.Adoption.PPEmbeddedPct,
+				"avg permissions":  rd.HeaderStats.AvgPermissions,
+			} {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Errorf("%s = %v, want finite", name, v)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,140 @@
+package bundle
+
+import (
+	"archive/tar"
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// pack writes dir as a deterministic gzipped tarball at path: entries
+// sorted by slash path (listFiles order, plus bundle.json first),
+// regular files only, mtimes pinned to the epoch, uid/gid zeroed, and
+// a USTAR header format so no extension record smuggles a timestamp
+// back in. Packing the same sealed directory twice yields identical
+// bytes.
+func pack(path, dir string) error {
+	files, err := listFiles(dir)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(files)+1)
+	names = append(names, ManifestName)
+	for _, f := range files {
+		names = append(names, f.Path)
+	}
+	out, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("bundle: %w", err)
+	}
+	bw := bufferedWriteCloser{bufio.NewWriter(out), out}
+	gz := gzip.NewWriter(bw) // gzip header carries no mtime unless one is set
+	tw := tar.NewWriter(gz)
+	for _, name := range names {
+		if err := packOne(tw, dir, name); err != nil {
+			tw.Close()
+			gz.Close()
+			bw.Close()
+			os.Remove(path)
+			return err
+		}
+	}
+	err = tw.Close()
+	if err2 := gz.Close(); err == nil {
+		err = err2
+	}
+	if err2 := bw.Close(); err == nil {
+		err = err2
+	}
+	if err != nil {
+		os.Remove(path)
+		return fmt.Errorf("bundle: packing: %w", err)
+	}
+	return nil
+}
+
+func packOne(tw *tar.Writer, dir, name string) error {
+	full := filepath.Join(dir, filepath.FromSlash(name))
+	fi, err := os.Stat(full)
+	if err != nil {
+		return fmt.Errorf("bundle: packing: %w", err)
+	}
+	hdr := &tar.Header{
+		Name:    name,
+		Mode:    0o644,
+		Size:    fi.Size(),
+		ModTime: time.Unix(0, 0),
+		Format:  tar.FormatUSTAR,
+	}
+	if err := tw.WriteHeader(hdr); err != nil {
+		return fmt.Errorf("bundle: packing %s: %w", name, err)
+	}
+	f, err := os.Open(full)
+	if err != nil {
+		return fmt.Errorf("bundle: packing %s: %w", name, err)
+	}
+	_, err = io.Copy(tw, f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("bundle: packing %s: %w", name, err)
+	}
+	return nil
+}
+
+// unpack extracts a bundle tarball into dst, refusing entry names that
+// would escape it (absolute paths, ".." traversal) — a bundle from
+// elsewhere is untrusted input until Verify passes, and even then must
+// never write outside its extraction root.
+func unpack(path, dst string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("bundle: %w", err)
+	}
+	defer f.Close()
+	gz, err := gzip.NewReader(bufio.NewReader(f))
+	if err != nil {
+		return fmt.Errorf("bundle: reading %s: %w", path, err)
+	}
+	defer gz.Close()
+	tr := tar.NewReader(gz)
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("bundle: reading %s: %w", path, err)
+		}
+		name := filepath.ToSlash(hdr.Name)
+		if name == "" || strings.HasPrefix(name, "/") || strings.Contains(name, "..") {
+			return fmt.Errorf("bundle: tarball entry %q escapes the extraction root", hdr.Name)
+		}
+		switch hdr.Typeflag {
+		case tar.TypeDir:
+			continue // directories materialize from file paths
+		case tar.TypeReg:
+		default:
+			return fmt.Errorf("bundle: tarball entry %q has unsupported type %c", hdr.Name, hdr.Typeflag)
+		}
+		full := filepath.Join(dst, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			return fmt.Errorf("bundle: %w", err)
+		}
+		out, err := os.Create(full)
+		if err != nil {
+			return fmt.Errorf("bundle: %w", err)
+		}
+		if _, err := io.Copy(out, tr); err != nil {
+			out.Close()
+			return fmt.Errorf("bundle: extracting %s: %w", name, err)
+		}
+		if err := out.Close(); err != nil {
+			return fmt.Errorf("bundle: %w", err)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package cli
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"permodyssey/internal/analysis"
+	"permodyssey/internal/bundle"
+	"permodyssey/internal/core"
+	"permodyssey/internal/diskcache"
+	"permodyssey/internal/fleet"
+)
+
+// openVerified opens a bundle and refuses to return it until its
+// digest (and signature, when a key is given) checks out — analysis
+// must never run over tampered evidence.
+func openVerified(path, key string, stderr io.Writer) (*bundle.Bundle, error) {
+	b, err := bundle.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := b.Verify(key); err != nil {
+		b.Close()
+		return nil, err
+	}
+	fmt.Fprintf(stderr, "bundle %s verified: %d files, digest %s, %s %s, %d records\n",
+		path, len(b.Manifest.Files), short(b.Manifest.Digest), b.Manifest.Tool, b.Manifest.ToolVersion, b.Manifest.Records)
+	return b, nil
+}
+
+func short(digest string) string {
+	if len(digest) > 12 {
+		return digest[:12]
+	}
+	return digest
+}
+
+// sealCrawlBundle compacts the archive's manifest shards into the one
+// deterministic manifest a bundle requires, then seals everything at
+// path. Used by permcrawl after a finished crawl and by permfleet
+// after a merged one (which has already run the archive merge — the
+// rerun is an idempotent compaction).
+func sealCrawlBundle(path, cacheDir, datasetPath, report, tool string, cfg bundle.Config, records int, mr *fleet.MergeReport, key string, stderr io.Writer) error {
+	if _, err := diskcache.MergeShards(cacheDir); err != nil {
+		return fmt.Errorf("compacting archive: %w", err)
+	}
+	m, err := bundle.Seal(path, bundle.Spec{
+		DatasetPath: datasetPath,
+		ArchiveDir:  cacheDir,
+		Report:      report,
+		Tool:        tool,
+		ToolVersion: core.ToolVersion,
+		Config:      cfg,
+		Records:     records,
+		FleetMerge:  mr,
+		Key:         key,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "bundle sealed at %s: %d files, digest %s\n", path, len(m.Files), short(m.Digest))
+	return nil
+}
+
+// diffBundlesCmd is permreport -diff-bundles: verify both bundles,
+// re-run analysis on each sealed dataset, and render the longitudinal
+// drift between them. Tables are computed unbounded so new/vanished
+// permissions are real drift, never top-N truncation.
+func diffBundlesCmd(beforePath, afterPath, key string, asJSON bool, stdout, stderr io.Writer) int {
+	load := func(path string) (analysis.ReportData, string, error) {
+		b, err := openVerified(path, key, stderr)
+		if err != nil {
+			return analysis.ReportData{}, "", err
+		}
+		defer b.Close()
+		ds, err := b.Dataset()
+		if err != nil {
+			return analysis.ReportData{}, "", err
+		}
+		label := filepath.Base(path)
+		if era := b.Manifest.Config.Era; era != 0 {
+			label = fmt.Sprintf("%s [era %d]", label, era)
+		}
+		return analysis.New(ds).ReportData(0), label, nil
+	}
+	before, labelA, err := load(beforePath)
+	if err != nil {
+		fmt.Fprintln(stderr, "permreport:", err)
+		return 1
+	}
+	after, labelB, err := load(afterPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "permreport:", err)
+		return 1
+	}
+	drift := analysis.Diff(before, after, labelA, labelB)
+	if asJSON {
+		out, err := json.MarshalIndent(drift, "", "  ")
+		if err != nil {
+			fmt.Fprintln(stderr, "permreport:", err)
+			return 1
+		}
+		stdout.Write(out)
+		fmt.Fprintln(stdout)
+		return 0
+	}
+	fmt.Fprintln(stdout, drift)
+	return 0
+}
+
+// scanCrawlConfig best-effort extracts the population knobs a bundle
+// records from a raw permcrawl argument list (the fleet's passthrough
+// args). Unknown flags are ignored; values mirror permcrawl's
+// defaults. Both "-flag v" and "-flag=v" spellings are handled.
+func scanCrawlConfig(args []string) bundle.Config {
+	cfg := bundle.Config{Sites: 5000, Seed: 1, Flags: args}
+	value := func(i int) (string, bool) {
+		if eq := strings.IndexByte(args[i], '='); eq >= 0 {
+			return args[i][eq+1:], true
+		}
+		if i+1 < len(args) {
+			return args[i+1], true
+		}
+		return "", false
+	}
+	for i := 0; i < len(args); i++ {
+		name := strings.TrimLeft(args[i], "-")
+		if eq := strings.IndexByte(name, '='); eq >= 0 {
+			name = name[:eq]
+		}
+		switch name {
+		case "sites":
+			if v, ok := value(i); ok {
+				if n, err := strconv.Atoi(v); err == nil {
+					cfg.Sites = n
+				}
+			}
+		case "seed":
+			if v, ok := value(i); ok {
+				if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+					cfg.Seed = n
+				}
+			}
+		case "era":
+			if v, ok := value(i); ok {
+				if n, err := strconv.Atoi(v); err == nil {
+					cfg.Era = n
+				}
+			}
+		case "chaos":
+			cfg.Chaos = true
+		case "chaos-faults":
+			if v, ok := value(i); ok {
+				cfg.ChaosFaults = v
+			}
+		}
+	}
+	return cfg
+}

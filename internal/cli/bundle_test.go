@@ -1,0 +1,208 @@
+package cli
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"permodyssey/internal/bundle"
+)
+
+// TestCrawlBundleReplay is the CLI shape of the bundle-replay CI job:
+// a crawl sealed with -bundle, then permreport -from-bundle verifying
+// the digest and reproducing the crawl-time report byte for byte —
+// analysis only, no browser, network, or interpreter.
+func TestCrawlBundleReplay(t *testing.T) {
+	dir := t.TempDir()
+	cache := filepath.Join(dir, "archive")
+	bdir := filepath.Join(dir, "crawl.bundle")
+	crawlTo(t, filepath.Join(dir, "out.jsonl"),
+		"-cache-dir", cache, "-bundle", bdir, "-bundle-key", "s3cret")
+
+	sealed, err := os.ReadFile(filepath.Join(bdir, bundle.ReportName))
+	if err != nil {
+		t.Fatalf("sealed report: %v", err)
+	}
+	out, errOut, code := run(t, reportFn, "-from-bundle", bdir, "-bundle-key", "s3cret")
+	if code != 0 {
+		t.Fatalf("-from-bundle: code=%d stderr=%q", code, errOut)
+	}
+	if out != string(sealed) {
+		t.Error("-from-bundle report differs from the sealed crawl-time report")
+	}
+	if !strings.Contains(errOut, "verified") {
+		t.Errorf("stderr missing verification provenance: %q", errOut)
+	}
+
+	// The wrong key must refuse to analyze.
+	if _, _, code := run(t, reportFn, "-from-bundle", bdir, "-bundle-key", "wrong"); code != 1 {
+		t.Errorf("wrong key: code=%d, want 1", code)
+	}
+
+	// Tampered evidence must refuse to analyze.
+	ds := filepath.Join(bdir, bundle.DatasetName)
+	raw, err := os.ReadFile(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x01
+	if err := os.WriteFile(ds, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, errOut, code = run(t, reportFn, "-from-bundle", bdir)
+	if code != 1 {
+		t.Errorf("tampered bundle: code=%d, want 1", code)
+	}
+	if !strings.Contains(errOut, "verification failed") {
+		t.Errorf("tampered bundle stderr: %q", errOut)
+	}
+}
+
+// TestCrawlBundleFlagValidation: the sealing flag combinations that
+// cannot produce a complete bundle exit with usage errors up front.
+func TestCrawlBundleFlagValidation(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := Crawl(context.Background(), []string{"-bundle", "b"}, &stdout, &stderr); code != 2 {
+		t.Errorf("-bundle without -cache-dir: code=%d, want 2", code)
+	}
+	if code := Crawl(context.Background(), []string{
+		"-bundle", "b", "-cache-dir", "c", "-shard", "0/2",
+	}, &stdout, &stderr); code != 2 {
+		t.Errorf("-bundle with -shard: code=%d, want 2", code)
+	}
+	if code := Fleet(context.Background(), []string{"-bundle", "b"}, &stdout, &stderr); code != 2 {
+		t.Errorf("fleet -bundle without -cache-dir: code=%d, want 2", code)
+	}
+	if _, _, code := run(t, reportFn, "-diff-bundles", "only-one"); code != 2 {
+		t.Errorf("-diff-bundles with one path: code=%d, want 2", code)
+	}
+}
+
+// TestFleetBundleSeal: the permfleet sealing path — shard crawls into
+// a shared archive, merge, seal — produces a bundle whose replay is
+// byte-identical to the merged report and whose manifest records the
+// fleet's provenance.
+func TestFleetBundleSeal(t *testing.T) {
+	dir := t.TempDir()
+	cache := filepath.Join(dir, "archive")
+	merged := filepath.Join(dir, "merged.jsonl")
+	btar := filepath.Join(dir, "fleet.bundle.tar.gz")
+	crawlTo(t, merged+".shard0", "-shard", "0/2", "-cache-dir", cache)
+	crawlTo(t, merged+".shard1", "-shard", "1/2", "-cache-dir", cache)
+
+	var stdout, stderr bytes.Buffer
+	code := Fleet(context.Background(), []string{
+		"-procs", "2", "-out", merged, "-merge-only", "-cache-dir", cache,
+		"-bundle", btar, "--", "-sites", "40", "-seed", "21",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("fleet: code=%d stderr=%q", code, stderr.String())
+	}
+
+	b, err := bundle.Open(btar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if b.Manifest.Tool != "permfleet" {
+		t.Errorf("Tool = %q, want permfleet", b.Manifest.Tool)
+	}
+	if b.Manifest.FleetMerge == nil || b.Manifest.FleetMerge.Records != 40 {
+		t.Errorf("FleetMerge = %+v, want 40 merged records", b.Manifest.FleetMerge)
+	}
+	if b.Manifest.Config.Sites != 40 || b.Manifest.Config.Seed != 21 {
+		t.Errorf("Config = %+v, want sites 40 seed 21", b.Manifest.Config)
+	}
+	sealed, err := b.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, errOut, rcode := run(t, reportFn, "-from-bundle", btar)
+	if rcode != 0 {
+		t.Fatalf("-from-bundle: code=%d stderr=%q", rcode, errOut)
+	}
+	if out != sealed {
+		t.Error("fleet bundle replay differs from the sealed merged report")
+	}
+}
+
+// TestDiffBundlesDeterministic crawls the same seed under two
+// synthweb eras, seals both, and checks the longitudinal drift report
+// is labeled with the eras and byte-identical across runs.
+func TestDiffBundlesDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	seal := func(era string) string {
+		path := filepath.Join(dir, "era"+era+".bundle")
+		crawlTo(t, filepath.Join(dir, "era"+era+".jsonl"),
+			"-era", era, "-cache-dir", filepath.Join(dir, "archive"+era), "-bundle", path)
+		return path
+	}
+	before, after := seal("2020"), seal("2024")
+
+	diff := func() string {
+		out, errOut, code := run(t, reportFn, "-diff-bundles", before, after)
+		if code != 0 {
+			t.Fatalf("-diff-bundles: code=%d stderr=%q", code, errOut)
+		}
+		return out
+	}
+	first := diff()
+	if first != diff() {
+		t.Error("-diff-bundles is not deterministic across runs")
+	}
+	for _, want := range []string{"[era 2020]", "[era 2024]", "Longitudinal drift report", "Table 4 drift"} {
+		if !strings.Contains(first, want) {
+			t.Errorf("drift report missing %q", want)
+		}
+	}
+
+	// The JSON form parses and carries the same sections.
+	out, errOut, code := run(t, reportFn, "-diff-bundles", "-json", before, after)
+	if code != 0 {
+		t.Fatalf("-diff-bundles -json: code=%d stderr=%q", code, errOut)
+	}
+	var drift struct {
+		Population []json.RawMessage `json:"population"`
+		Adoption   []json.RawMessage `json:"adoption"`
+	}
+	if err := json.Unmarshal([]byte(out), &drift); err != nil {
+		t.Fatalf("drift JSON: %v", err)
+	}
+	if len(drift.Population) == 0 || len(drift.Adoption) == 0 {
+		t.Error("drift JSON missing population/adoption sections")
+	}
+}
+
+// TestReportEmptyDatasetWarns pins the empty-dataset contract: clean
+// zero-row tables on stdout, an explicit warning on stderr, and a
+// nonzero exit so pipelines cannot mistake a report over nothing for
+// a healthy run.
+func TestReportEmptyDatasetWarns(t *testing.T) {
+	empty := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, errOut, code := run(t, reportFn, "-in", empty)
+	if code != 1 {
+		t.Errorf("empty dataset: code=%d, want 1", code)
+	}
+	if !strings.Contains(errOut, "no analyzable records") {
+		t.Errorf("stderr missing warning: %q", errOut)
+	}
+	if !strings.Contains(out, "Table 4") {
+		t.Error("empty dataset should still render zero-row tables")
+	}
+	for _, bad := range []string{"NaN", "+Inf", "-Inf"} {
+		if strings.Contains(out, bad) {
+			t.Errorf("empty dataset report contains %q", bad)
+		}
+	}
+	// The JSON form exits nonzero too.
+	if _, _, code := run(t, reportFn, "-in", empty, "-json"); code != 1 {
+		t.Errorf("empty dataset -json: code=%d, want 1", code)
+	}
+}

@@ -198,11 +198,18 @@ func Support(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// Report is the permreport command.
+// Report is the permreport command. Analysis is the only thing it
+// ever runs: whether the dataset comes from -in or from a sealed
+// bundle (-from-bundle, verified first), no browser, network, or
+// script interpreter is involved — the Web Execution Bundles replay
+// model.
 func Report(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("permreport", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	in := fs.String("in", "crawl.jsonl", "dataset path (JSONL from permcrawl)")
+	fromBundle := fs.String("from-bundle", "", "analyze a sealed crawl bundle (directory or .tar.gz) instead of -in: verify its digest, then re-run analysis only")
+	diffBundles := fs.Bool("diff-bundles", false, "longitudinal mode: diff two sealed bundles given as positional arguments into a drift report")
+	key := fs.String("bundle-key", "", "HMAC key for verifying signed bundles")
 	table := fs.String("table", "", "single table: 3,4,5,6,7,8,9,10,fig2,failures,directives")
 	topN := fs.Int("n", 10, "rows per ranking table")
 	asJSON := fs.Bool("json", false, "emit the full report as JSON")
@@ -210,16 +217,51 @@ func Report(args []string, stdout, stderr io.Writer) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	ds, err := store.LoadFile(*in)
-	if err != nil {
-		fmt.Fprintln(stderr, "permreport:", err)
-		return 1
+	if *diffBundles {
+		if fs.NArg() != 2 {
+			fmt.Fprintln(stderr, "permreport: -diff-bundles wants exactly two bundle paths (before after)")
+			return 2
+		}
+		return diffBundlesCmd(fs.Arg(0), fs.Arg(1), *key, *asJSON, stdout, stderr)
+	}
+	var ds *store.Dataset
+	var src string
+	if *fromBundle != "" {
+		b, err := openVerified(*fromBundle, *key, stderr)
+		if err != nil {
+			fmt.Fprintln(stderr, "permreport:", err)
+			return 1
+		}
+		defer b.Close()
+		ds, err = b.Dataset()
+		if err != nil {
+			fmt.Fprintln(stderr, "permreport:", err)
+			return 1
+		}
+		src = *fromBundle
+	} else {
+		var err error
+		ds, err = store.LoadFile(*in)
+		if err != nil {
+			fmt.Fprintln(stderr, "permreport:", err)
+			return 1
+		}
+		src = *in
 	}
 	a := analysis.New(ds)
+	// An empty or fully-failed dataset renders clean zero rows, but a
+	// report over nothing is almost never what the caller wanted: warn
+	// (on stderr, keeping stdout byte-comparable) and exit nonzero.
+	exit := 0
+	if a.Websites() == 0 {
+		fmt.Fprintf(stderr, "permreport: warning: %s has no analyzable records (%d records, all failed or partial); tables are zero rows\n",
+			src, a.TotalRecords())
+		exit = 1
+	}
 	switch {
 	case *asHTML:
 		fmt.Fprint(stdout, a.HTML(*topN))
-		return 0
+		return exit
 	case *asJSON:
 		out, err := a.JSON(*topN)
 		if err != nil {
@@ -228,7 +270,7 @@ func Report(args []string, stdout, stderr io.Writer) int {
 		}
 		stdout.Write(out)
 		fmt.Fprintln(stdout)
-		return 0
+		return exit
 	}
 	switch *table {
 	case "":
@@ -267,7 +309,7 @@ func Report(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "permreport: unknown table %q\n", *table)
 		return 2
 	}
-	return 0
+	return exit
 }
 
 // PoC is the localscheme-poc command.

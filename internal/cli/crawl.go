@@ -10,6 +10,7 @@ import (
 	"os"
 	"time"
 
+	"permodyssey/internal/bundle"
 	"permodyssey/internal/core"
 	"permodyssey/internal/crawler"
 	"permodyssey/internal/policy"
@@ -53,6 +54,9 @@ func Crawl(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	statsJSON := fs.String("stats-json", "", "write the run's cache/crawl/archive counters as indented JSON to this file")
 	shardSpec := fs.String("shard", "", "fleet mode: crawl only ranks ≡ i (mod n), given as \"i/n\"; with -cache-dir the archive manifest is written to a per-shard file so n processes can share one archive (see permfleet)")
 	heartbeat := fs.String("heartbeat", "", "touch this file on every completed visit — the liveness signal a supervising permfleet watchdog watches")
+	era := fs.Int("era", 0, "crawl a population calibrated to this measurement year (2020, 2022, or 2024+; 0 = the paper's present-day defaults) for longitudinal comparisons")
+	bundlePath := fs.String("bundle", "", "after a finished crawl, seal config, dataset, report, and the -cache-dir archive into a Web Execution Bundle at this path (directory or .tar.gz)")
+	bundleKey := fs.String("bundle-key", "", "HMAC-sign the bundle digest with this key")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -64,6 +68,14 @@ func Crawl(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "permcrawl: -cache-dir is incompatible with -no-cache")
 		return 2
 	}
+	if *bundlePath != "" && *cacheDir == "" {
+		fmt.Fprintln(stderr, "permcrawl: -bundle requires -cache-dir (a bundle seals the resource archive)")
+		return 2
+	}
+	if *bundlePath != "" && *shardSpec != "" {
+		fmt.Fprintln(stderr, "permcrawl: -bundle cannot seal one shard of a fleet crawl; use permfleet -bundle after the merge")
+		return 2
+	}
 	shard, shards, err := ParseShardSpec(*shardSpec)
 	if err != nil {
 		fmt.Fprintln(stderr, "permcrawl:", err)
@@ -71,6 +83,11 @@ func Crawl(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 
 	opts := core.DefaultMeasurementOptions()
+	if *era != 0 {
+		// Era calibration replaces the population config wholesale, so it
+		// must land before the explicit knobs below override it.
+		opts.Web = synthweb.EraConfig(*era)
+	}
 	opts.Web.NumSites = *sites
 	opts.Web.Seed = *seed
 	opts.Crawl.Workers = *workers
@@ -225,6 +242,15 @@ func Crawl(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "permcrawl: interrupted; %d records checkpointed in %s (rerun with -resume to finish)\n",
 			len(m.Dataset.Records), *out)
 		return 3
+	}
+	// Seal only a finished crawl: an interrupted one returned above, and
+	// a bundle of half a dataset would replay as the wrong measurement.
+	if *bundlePath != "" {
+		cfg := bundle.Config{Sites: *sites, Seed: *seed, Era: *era, Chaos: *chaos, ChaosFaults: *chaosFaults, Flags: args}
+		if err := sealCrawlBundle(*bundlePath, *cacheDir, *out, m.Report()+"\n", "permcrawl", cfg, len(m.Dataset.Records), nil, *bundleKey, stderr); err != nil {
+			fmt.Fprintln(stderr, "permcrawl: sealing bundle:", err)
+			return 1
+		}
 	}
 	if *report {
 		fmt.Fprintln(stdout, m.Report())

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"permodyssey/internal/analysis"
 	"permodyssey/internal/diskcache"
 	"permodyssey/internal/fleet"
 )
@@ -77,6 +78,8 @@ func Fleet(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	expect := fs.Int("expect-records", -1, "fail unless the merged dataset has exactly N records (-1 = no check)")
 	maxRestarts := fs.Int("max-restarts", 3, "restart budget per shard: relaunch a crashed or watchdog-killed worker with -resume up to N times before giving up")
 	watchdog := fs.Duration("watchdog", 2*time.Minute, "SIGKILL and restart a worker whose heartbeat file reports no completed visit for this long (0 disables the watchdog)")
+	bundlePath := fs.String("bundle", "", "after a successful merge, seal config, merged dataset, report, and the merged -cache-dir archive into a Web Execution Bundle at this path (directory or .tar.gz)")
+	bundleKey := fs.String("bundle-key", "", "HMAC-sign the bundle digest with this key")
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "usage: permfleet [driver flags] -- [permcrawl flags]")
 		fs.PrintDefaults()
@@ -90,6 +93,10 @@ func Fleet(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	if *maxRestarts < 0 {
 		fmt.Fprintln(stderr, "permfleet: -max-restarts must be >= 0")
+		return 2
+	}
+	if *bundlePath != "" && *cacheDir == "" {
+		fmt.Fprintln(stderr, "permfleet: -bundle requires -cache-dir (a bundle seals the resource archive)")
 		return 2
 	}
 	shardPath := func(i int) string { return fmt.Sprintf("%s.shard%d", *out, i) }
@@ -207,6 +214,17 @@ func Fleet(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 
 	aggregateStats(*out, *procs, statsPath, outcomes, stderr)
 
+	// Seal after everything above held: the dataset merged, the archive
+	// merged with zero missing objects, and the record count expected.
+	if *bundlePath != "" {
+		cfg := scanCrawlConfig(fs.Args())
+		report := analysis.New(merged).FullReport() + "\n"
+		if err := sealCrawlBundle(*bundlePath, *cacheDir, *out, report, "permfleet", cfg, len(merged.Records), &rep, *bundleKey, stderr); err != nil {
+			fmt.Fprintln(stderr, "permfleet: sealing bundle:", err)
+			return 1
+		}
+	}
+
 	if !*keepShards {
 		for i, p := range shardPaths {
 			removeReporting(stderr, p)
@@ -245,41 +263,54 @@ func mergePartialShards(out string, procs int, shardPath func(int) string, stder
 // aggregateStats folds the per-shard -stats-json files into one
 // <out>.stats.json: the raw per-shard objects, the summed totals
 // (fleet.SumStats), and the supervisor's restart ledger. A shard whose
-// stats file is missing (an older run's leftovers merged with
-// -merge-only, say) is reported and skipped rather than fatal.
+// stats file is missing or unreadable (an older run's leftovers merged
+// with -merge-only after the first merge cleaned them up, say) makes
+// the degradation explicit instead of silent: the written file always
+// lists "missing_shards", totals that cover only a subset say so on
+// stderr, and when every stats file is gone the aggregate is still
+// rewritten — totals omitted entirely — so a stale <out>.stats.json
+// from a previous run can never masquerade as this run's numbers.
 func aggregateStats(out string, procs int, statsPath func(int) string, outcomes []shardOutcome, stderr io.Writer) {
 	shards := make([]map[string]any, procs)
 	var present []map[string]any
+	missing := []int{}
 	for i := 0; i < procs; i++ {
 		raw, err := os.ReadFile(statsPath(i))
 		if err != nil {
-			fmt.Fprintf(stderr, "permfleet: no stats for shard %d (%v); totals will omit it\n", i, err)
+			fmt.Fprintf(stderr, "permfleet: no stats for shard %d (%v)\n", i, err)
+			missing = append(missing, i)
 			continue
 		}
 		var m map[string]any
 		if err := json.Unmarshal(raw, &m); err != nil {
 			fmt.Fprintf(stderr, "permfleet: unreadable stats for shard %d: %v\n", i, err)
+			missing = append(missing, i)
 			continue
 		}
 		shards[i] = m
 		present = append(present, m)
-	}
-	if len(present) == 0 {
-		return
 	}
 	restarts := make([]int, procs)
 	kills := make([]int, procs)
 	for i, oc := range outcomes {
 		restarts[i], kills[i] = oc.restarts, oc.watchdogKills
 	}
-	totals := fleet.SumStats(present)
 	agg := map[string]any{
-		"shards": shards,
-		"totals": totals,
+		"shards":         shards,
+		"missing_shards": missing,
 		"supervisor": map[string]any{
 			"restarts":       restarts,
 			"watchdog_kills": kills,
 		},
+	}
+	var totals map[string]any
+	if len(present) > 0 {
+		totals = fleet.SumStats(present)
+		agg["totals"] = totals
+	}
+	if len(missing) > 0 {
+		fmt.Fprintf(stderr, "permfleet: stats incomplete: shards %v have no stats file; totals cover %d of %d shards\n",
+			missing, len(present), procs)
 	}
 	buf, err := json.MarshalIndent(agg, "", "  ")
 	if err == nil {
@@ -287,6 +318,10 @@ func aggregateStats(out string, procs int, statsPath func(int) string, outcomes 
 	}
 	if err != nil {
 		fmt.Fprintln(stderr, "permfleet: writing aggregated stats:", err)
+		return
+	}
+	if len(present) == 0 {
+		fmt.Fprintf(stderr, "permfleet: no shard stats found; %s records the gap (no totals)\n", out+".stats.json")
 		return
 	}
 	visited, resumed := crawlTotals(totals)

@@ -3,6 +3,7 @@ package cli
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -188,5 +189,91 @@ func moduleRoot(t *testing.T) string {
 			t.Fatal("go.mod not found above test working directory")
 		}
 		dir = parent
+	}
+}
+
+// TestAggregateStatsExplicitDegradation: when per-shard stats files
+// are gone (a -merge-only rerun after the first merge cleaned them
+// up), the aggregate must record the gap — missing_shards listed, no
+// totals — and must overwrite any stale <out>.stats.json from a
+// previous run rather than leaving old totals masquerading as fresh.
+func TestAggregateStatsExplicitDegradation(t *testing.T) {
+	dir := t.TempDir()
+	merged := filepath.Join(dir, "merged.jsonl")
+	crawlTo(t, merged+".shard0", "-shard", "0/2")
+	crawlTo(t, merged+".shard1", "-shard", "1/2")
+
+	// A stale aggregate from an imaginary earlier run.
+	stale := merged + ".stats.json"
+	if err := os.WriteFile(stale, []byte(`{"totals":{"Crawl":{"Visited":9999}}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var stdout, stderr bytes.Buffer
+	code := Fleet(context.Background(), []string{
+		"-procs", "2", "-out", merged, "-merge-only",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("fleet -merge-only: code=%d stderr=%q", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "no shard stats found") {
+		t.Errorf("stderr missing degradation notice: %q", stderr.String())
+	}
+
+	raw, err := os.ReadFile(stale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var agg map[string]any
+	if err := json.Unmarshal(raw, &agg); err != nil {
+		t.Fatal(err)
+	}
+	if _, hasTotals := agg["totals"]; hasTotals {
+		t.Error("aggregate with zero shard stats must not carry totals")
+	}
+	missing, _ := agg["missing_shards"].([]any)
+	if len(missing) != 2 {
+		t.Errorf("missing_shards = %v, want both shards listed", agg["missing_shards"])
+	}
+	if strings.Contains(string(raw), "9999") {
+		t.Error("stale totals survived the rewrite")
+	}
+}
+
+// TestAggregateStatsPartial: one shard's stats file present, one
+// missing — totals cover the subset and say so.
+func TestAggregateStatsPartial(t *testing.T) {
+	dir := t.TempDir()
+	merged := filepath.Join(dir, "merged.jsonl")
+	crawlTo(t, merged+".shard0", "-shard", "0/2", "-stats-json", merged+".shard0.stats.json")
+	crawlTo(t, merged+".shard1", "-shard", "1/2")
+
+	var stdout, stderr bytes.Buffer
+	code := Fleet(context.Background(), []string{
+		"-procs", "2", "-out", merged, "-merge-only", "-keep-shards",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("fleet -merge-only: code=%d stderr=%q", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "stats incomplete: shards [1]") {
+		t.Errorf("stderr missing partial-coverage notice: %q", stderr.String())
+	}
+
+	raw, err := os.ReadFile(merged + ".stats.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var agg struct {
+		Missing []int          `json:"missing_shards"`
+		Totals  map[string]any `json:"totals"`
+	}
+	if err := json.Unmarshal(raw, &agg); err != nil {
+		t.Fatal(err)
+	}
+	if len(agg.Missing) != 1 || agg.Missing[0] != 1 {
+		t.Errorf("missing_shards = %v, want [1]", agg.Missing)
+	}
+	if agg.Totals == nil {
+		t.Error("partial coverage should still sum the shards that reported")
 	}
 }

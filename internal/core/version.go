@@ -1,0 +1,8 @@
+package core
+
+// ToolVersion identifies this build of the measurement pipeline in
+// provenance records — sealed crawl bundles (internal/bundle) embed it
+// next to the dataset schema version so a replayed analysis knows
+// which pipeline produced the evidence it is re-reading. Bump on any
+// change that can alter crawl or analysis output.
+const ToolVersion = "0.8.0"

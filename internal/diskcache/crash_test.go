@@ -135,13 +135,16 @@ func TestUntaggedTempAgeGate(t *testing.T) {
 // deterministically.
 func TestMergeShardsCrashConsistency(t *testing.T) {
 	dir := t.TempDir()
+	// Both workers open before either stores — the fleet shape — so the
+	// duplicate lands at the same store generation in both shards and
+	// reconciliation falls through to shard priority.
 	a := mustOpen(t, dir, Options{Shard: "0"})
+	b := mustOpen(t, dir, Options{Shard: "1"})
 	a.Store("https://both.test/", resp("from shard 0"))
 	a.Store("https://only0.test/", resp("only in 0"))
-	a.Close()
-	b := mustOpen(t, dir, Options{Shard: "1"})
 	b.Store("https://both.test/", resp("from shard 1"))
 	b.Store("https://only1.test/", resp("only in 1"))
+	a.Close()
 	b.Close()
 	plantKillDebris(t, dir, "1")
 	// A corrupt (non-JSON, newline-terminated) line in shard 0, as if

@@ -85,15 +85,25 @@ type entry struct {
 	BodyTruncated bool        `json:"body_truncated,omitempty"`
 	FailureClass  string      `json:"failure_class,omitempty"`
 	FailureMsg    string      `json:"failure_msg,omitempty"`
+	// Gen is the URL's store generation, strictly increasing across
+	// re-stores of the same URL even across runs (each Open seeds the
+	// counter from the highest generation any shard recorded). It makes
+	// supersession durable: when a later run re-archives a URL — a
+	// healed failure, or a success that has since gone bad — merge
+	// reconciliation keeps the newest generation instead of guessing
+	// from the outcome kind. Entries from pre-generation manifests
+	// carry Gen 0 and lose to any re-store.
+	Gen uint64 `json:"gen,omitempty"`
 }
 
 // success reports whether the entry archives a response (as opposed to
 // a classified failure).
 func (e entry) success() bool { return e.Hash != "" }
 
-// indexed is an entry plus its overwrite generation, bumped on every
-// re-store of the same URL so a Load that judged a stale read corrupt
-// cannot delete an object a concurrent Store just renamed into place.
+// indexed is an entry plus its overwrite generation (mirroring
+// entry.Gen), bumped on every re-store of the same URL so a Load that
+// judged a stale read corrupt cannot delete an object a concurrent
+// Store just renamed into place.
 type indexed struct {
 	entry
 	gen uint64
@@ -137,8 +147,9 @@ type Archive struct {
 
 	mu       sync.Mutex
 	index    map[string]*indexed
-	manifest *os.File // append handle; nil when offline or closed
-	lockPath string   // held shard lock; "" when offline or closed
+	gens     map[string]uint64 // per-URL generation high-water mark, across all shards read
+	manifest *os.File          // append handle; nil when offline or closed
+	lockPath string            // held shard lock; "" when offline or closed
 
 	hits, writes, corrupt, bytesStored atomic.Uint64
 	orphansSwept                       atomic.Uint64
@@ -166,6 +177,7 @@ func Open(dir string, opts Options) (*Archive, error) {
 		offline:  opts.Offline,
 		classify: opts.Classify,
 		index:    map[string]*indexed{},
+		gens:     map[string]uint64{},
 	}
 	if err := os.MkdirAll(filepath.Join(dir, objectsDir), 0o755); err != nil {
 		return nil, fmt.Errorf("diskcache: %w", err)
@@ -268,11 +280,19 @@ func shardLess(a, b string) bool {
 
 // reconcile decides whether challenger c from shard cs replaces
 // incumbent e from shard es when both archived the same URL. The rules
-// are deterministic regardless of read order: a success beats an
-// archived failure (the fleet member that got the page wins over the
-// one that caught the site mid-fault); between two successes or two
+// are deterministic regardless of read order: a newer store generation
+// wins outright — a URL re-archived by a later run supersedes the
+// older outcome even when the old one was a success and the new one a
+// failure (success → refail must not resurrect the stale success).
+// Within one generation (the common fleet case: two shards of the same
+// run racing on a shared subresource host) a success beats an archived
+// failure — the fleet member that got the page wins over the one that
+// caught the site mid-fault — and between two successes or two
 // failures the lower shard id wins.
 func reconcile(e entry, es string, c entry, cs string) bool {
+	if e.Gen != c.Gen {
+		return c.Gen > e.Gen
+	}
 	if e.success() != c.success() {
 		return c.success()
 	}
@@ -298,8 +318,14 @@ func (a *Archive) loadShards() (own map[string]entry, clean bool, err error) {
 			own, clean = m, ls.clean()
 		}
 		for url, e := range m {
+			// Track the highest generation any shard recorded — even for
+			// entries that lose reconciliation — so this process's own
+			// re-stores always append a strictly newer generation.
+			if e.Gen > a.gens[url] {
+				a.gens[url] = e.Gen
+			}
 			if cur, ok := a.index[url]; !ok || reconcile(cur.entry, source[url], e, shard) {
-				a.index[url] = &indexed{entry: e}
+				a.index[url] = &indexed{entry: e, gen: e.Gen}
 				source[url] = shard
 			}
 		}
@@ -649,10 +675,15 @@ func (a *Archive) writeObjectLocked(hash, body string) error {
 	return nil
 }
 
-// appendLocked writes one manifest line and updates the index. Each
-// line is a single Write call, so a crash mid-append corrupts at most
-// the tail — which Open drops. Callers hold a.mu.
+// appendLocked stamps e with the URL's next store generation, writes
+// one manifest line, and updates the index. The generation comes from
+// the high-water mark rather than the live index entry so that a
+// corrupt-object deletion (Load's recovery path) can never reset the
+// counter and let a stale shard line win a later merge. Each line is a
+// single Write call, so a crash mid-append corrupts at most the tail —
+// which Open drops. Callers hold a.mu.
 func (a *Archive) appendLocked(e entry) {
+	e.Gen = a.gens[e.URL] + 1
 	line, err := json.Marshal(e)
 	if err != nil {
 		return
@@ -662,10 +693,11 @@ func (a *Archive) appendLocked(e entry) {
 			return
 		}
 	}
+	a.gens[e.URL] = e.Gen
 	if ix := a.index[e.URL]; ix != nil {
-		ix.entry, ix.gen = e, ix.gen+1
+		ix.entry, ix.gen = e, e.Gen
 	} else {
-		a.index[e.URL] = &indexed{entry: e, gen: 1}
+		a.index[e.URL] = &indexed{entry: e, gen: e.Gen}
 	}
 	a.writes.Add(1)
 }
@@ -725,10 +757,13 @@ type MergeStats struct {
 	Lines int
 	URLs  int
 	// Reconciled counts URLs archived by more than one shard;
-	// SuccessesPreferred the subset where a success displaced an
-	// archived failure.
-	Reconciled         int
-	SuccessesPreferred int
+	// SuccessesPreferred the subset where a same-generation success
+	// displaced an archived failure; GenerationsAdvanced the subset
+	// resolved by store generation — a later run's re-store (success or
+	// failure) superseding an older generation's outcome.
+	Reconciled          int
+	SuccessesPreferred  int
+	GenerationsAdvanced int
 	// MissingObjects counts merged success entries whose object file is
 	// absent or size-mismatched — the data-loss signal a merge gate
 	// fails on. (Online replay would degrade these to re-fetches; a
@@ -748,8 +783,9 @@ type MergeStats struct {
 // MergeShards compacts every manifest shard in dir into the single
 // unsharded manifest a one-process crawl would have written: one line
 // per URL, sorted by URL, duplicates reconciled by the same
-// deterministic rules Open applies (success over archived failure,
-// then lowest shard id). Shard files are removed after the merged
+// deterministic rules Open applies (newest store generation first,
+// then success over archived failure, then lowest shard id). Shard
+// files are removed after the merged
 // manifest lands atomically. Every shard's lock must be free —
 // merging under a live crawler would lose its writes — so MergeShards
 // fails fast (ErrLocked) if any shard is still held by a live
@@ -808,11 +844,15 @@ func MergeShards(dir string) (MergeStats, error) {
 			}
 			ms.Reconciled++
 			if reconcile(cur, source[url], e, shard) {
-				if e.success() && !cur.success() {
+				if e.Gen != cur.Gen {
+					ms.GenerationsAdvanced++
+				} else if e.success() && !cur.success() {
 					ms.SuccessesPreferred++
 				}
 				merged[url] = e
 				source[url] = shard
+			} else if cur.Gen != e.Gen {
+				ms.GenerationsAdvanced++
 			} else if cur.success() && !e.success() {
 				ms.SuccessesPreferred++
 			}

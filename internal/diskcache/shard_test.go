@@ -140,6 +140,58 @@ func TestReconcileSuccessOverFailure(t *testing.T) {
 	check("after merge", mustOpen(t, dir, Options{}))
 }
 
+// TestReconcileNewerGenerationWins is the regression test for the
+// success-then-refail sequence: run 1 archives a URL as a success; a
+// later run re-fetches it (say the object went corrupt, or the
+// population drifted) and archives a failure. The failure carries a
+// newer store generation, and reconciliation — pre-merge Open, offline
+// Open, and MergeShards compaction — must keep it. The old rule
+// ("success always beats failure") resurrected the stale success.
+func TestReconcileNewerGenerationWins(t *testing.T) {
+	dir := t.TempDir()
+	run1 := mustOpen(t, dir, Options{})
+	run1.Store("https://wasgood.test/", resp("stale success"))
+	run1.Close()
+
+	// Run 2 opens against the existing manifest (seeding its generation
+	// counter past run 1's) and archives the refail in its own shard.
+	run2 := mustOpen(t, dir, Options{Shard: "0", Classify: classifyAll})
+	run2.StoreFailure("https://wasgood.test/", errors.New("gone now"))
+	run2.Close()
+
+	checkFailed := func(label string, ar *Archive) {
+		t.Helper()
+		var rf *browser.ReplayedFailure
+		if got, err := ar.Load("https://wasgood.test/"); !errors.As(err, &rf) {
+			t.Errorf("%s: Load = %v, %v; want the newer failure to win", label, got, err)
+		}
+	}
+	pre := mustOpen(t, dir, Options{Offline: true})
+	checkFailed("pre-merge offline open", pre)
+
+	ms, err := MergeShards(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.Reconciled != 1 || ms.GenerationsAdvanced != 1 || ms.SuccessesPreferred != 0 {
+		t.Errorf("merge stats = %+v, want 1 reconciled, 1 generation advanced, 0 successes preferred", ms)
+	}
+	checkFailed("after merge", mustOpen(t, dir, Options{Offline: true}))
+
+	// The healing direction across runs: a third run re-archives the
+	// success at a yet-newer generation, which supersedes the failure.
+	run3 := mustOpen(t, dir, Options{Shard: "1"})
+	run3.Store("https://wasgood.test/", resp("healed"))
+	run3.Close()
+	if _, err := MergeShards(dir); err != nil {
+		t.Fatal(err)
+	}
+	healed := mustOpen(t, dir, Options{Offline: true})
+	if got, err := healed.Load("https://wasgood.test/"); err != nil || got == nil || got.Body != "healed" {
+		t.Errorf("after heal: Load = %v, %v; want the re-archived success", got, err)
+	}
+}
+
 // TestReconcileDivergentDigests: two shards archived the same URL with
 // different bodies (the site changed under the fleet mid-crawl). The
 // reconciliation must be deterministic — lowest shard id wins — and

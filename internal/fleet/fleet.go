@@ -19,22 +19,24 @@ import (
 	"permodyssey/internal/store"
 )
 
-// MergeReport describes what a merge reconciled.
+// MergeReport describes what a merge reconciled. The JSON form is
+// embedded in sealed crawl bundles (internal/bundle) so a replayed
+// fleet crawl carries its reconciliation provenance.
 type MergeReport struct {
 	// ShardRecords is the record count read from each input shard, in
 	// input order.
-	ShardRecords []int
+	ShardRecords []int `json:"shard_records"`
 	// Records is the merged dataset's size.
-	Records int
+	Records int `json:"records"`
 	// Duplicates counts ranks present in more than one shard (each
 	// extra copy counts once); SuccessesPreferred the subset resolved
 	// in favor of a successful record over a failed one.
-	Duplicates         int
-	SuccessesPreferred int
+	Duplicates         int `json:"duplicates"`
+	SuccessesPreferred int `json:"successes_preferred"`
 	// CanceledDropped counts canceled records discarded (interrupted
 	// workers; their ranks need a re-crawl unless another shard covered
 	// them).
-	CanceledDropped int
+	CanceledDropped int `json:"canceled_dropped"`
 }
 
 func (r MergeReport) String() string {

@@ -15,6 +15,13 @@ import (
 	"permodyssey/internal/browser"
 )
 
+// SchemaVersion identifies the SiteRecord JSONL wire format. Sealed
+// crawl bundles (internal/bundle) record it so a future reader can
+// refuse — or migrate — a dataset whose schema it no longer
+// understands. Bump it when a field changes shape or meaning, not when
+// one is added compatibly.
+const SchemaVersion = 1
+
 // FailureClass is the crawl-failure taxonomy of §4.
 type FailureClass string
 

@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Bundle-replay gate: a chaos crawl sealed into a Web Execution
+# Bundle, then replayed with `permreport -from-bundle` — analysis
+# only, no browser, network, or interpreter. The gate holds four
+# promises from the bundle design:
+#
+#   1. replay is byte-identical to the crawl-time report,
+#   2. replay is >= 10x faster than the crawl that produced it,
+#   3. a tampered bundle refuses to analyze (digest verification),
+#   4. `-diff-bundles` over an era pair is deterministic.
+#
+# CI runs this as the bundle-replay job; `make bundle-replay` runs it
+# locally.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SITES="${PERMODYSSEY_BUNDLE_SITES:-500}"
+# PERMODYSSEY_BUNDLE_WORK pins the workdir (CI uploads it as a failure
+# artifact); unset, a temp dir is used and cleaned up.
+if [ -n "${PERMODYSSEY_BUNDLE_WORK:-}" ]; then
+    work="$PERMODYSSEY_BUNDLE_WORK"
+    mkdir -p "$work"
+else
+    work="$(mktemp -d)"
+    trap 'rm -rf "$work"' EXIT
+fi
+
+go build -o "$work/permcrawl" ./cmd/permcrawl
+go build -o "$work/permreport" ./cmd/permreport
+
+now_ms() { echo $(($(date +%s%N) / 1000000)); }
+
+echo "== chaos crawl ($SITES sites, sealing a bundle) =="
+t0="$(now_ms)"
+"$work/permcrawl" -sites "$SITES" -seed 7 -workers 32 -timeout 2s \
+    -retries 0 -chaos -out "$work/crawl.jsonl" \
+    -cache-dir "$work/archive" -bundle "$work/crawl.bundle"
+crawl_ms=$(($(now_ms) - t0))
+
+echo "== replay (analysis only) =="
+t0="$(now_ms)"
+"$work/permreport" -from-bundle "$work/crawl.bundle" >"$work/replay-report.txt"
+replay_ms=$(($(now_ms) - t0))
+
+if ! cmp -s "$work/crawl.bundle/report.txt" "$work/replay-report.txt"; then
+    echo "bundle gate: replay differs from the sealed crawl-time report" >&2
+    diff -u "$work/crawl.bundle/report.txt" "$work/replay-report.txt" >&2 || true
+    exit 1
+fi
+echo "replay byte-identical (crawl ${crawl_ms}ms, replay ${replay_ms}ms)"
+
+if [ "$crawl_ms" -lt $((10 * (replay_ms > 0 ? replay_ms : 1))) ]; then
+    echo "bundle gate: replay not >= 10x faster than the crawl (crawl ${crawl_ms}ms, replay ${replay_ms}ms)" >&2
+    exit 1
+fi
+
+echo "== tamper detection =="
+# Overwrite one byte of the sealed dataset with a NUL (never present
+# in JSONL text); verification must fail closed.
+printf '\x00' | dd of="$work/crawl.bundle/dataset.jsonl" \
+    bs=1 seek=10 count=1 conv=notrunc status=none
+if "$work/permreport" -from-bundle "$work/crawl.bundle" \
+    >/dev/null 2>"$work/tamper.err"; then
+    echo "bundle gate: tampered bundle was accepted" >&2
+    exit 1
+fi
+if ! grep -q "verification failed" "$work/tamper.err"; then
+    echo "bundle gate: tampered bundle failed without a verification message:" >&2
+    cat "$work/tamper.err" >&2
+    exit 1
+fi
+echo "tampered bundle refused"
+
+echo "== era-pair diff determinism =="
+for era in 2020 2024; do
+    "$work/permcrawl" -sites 200 -seed 11 -workers 32 -timeout 2s \
+        -retries 0 -era "$era" -out "$work/era$era.jsonl" \
+        -cache-dir "$work/archive-$era" -bundle "$work/era$era.bundle"
+done
+"$work/permreport" -diff-bundles "$work/era2020.bundle" "$work/era2024.bundle" \
+    >"$work/drift-1.txt" 2>/dev/null
+"$work/permreport" -diff-bundles "$work/era2020.bundle" "$work/era2024.bundle" \
+    >"$work/drift-2.txt" 2>/dev/null
+if ! cmp -s "$work/drift-1.txt" "$work/drift-2.txt"; then
+    echo "bundle gate: -diff-bundles is not deterministic" >&2
+    diff -u "$work/drift-1.txt" "$work/drift-2.txt" >&2 || true
+    exit 1
+fi
+echo "era drift deterministic ($(wc -l <"$work/drift-1.txt") report lines)"
+
+echo "bundle gate: replay byte-identical at $((crawl_ms / (replay_ms > 0 ? replay_ms : 1)))x, tamper refused, era diff deterministic"

@@ -2,7 +2,7 @@
 # GitHub Actions tier-1 gate; `make bench` produces a BENCH_*.json
 # perf artifact.
 
-.PHONY: ci test bench bench-sched bench-interp benchcmp soak replay bundle-replay fleet-soak kill-soak fmt build
+.PHONY: ci test bench bench-sched bench-interp bench-parse benchcmp soak replay bundle-replay fleet-soak kill-soak fmt build
 
 ci:
 	./scripts/ci.sh
@@ -46,6 +46,12 @@ bench-sched:
 # workload.
 bench-interp:
 	./scripts/bench_interp.sh
+
+# DOM parse throughput gate: cold arena parses vs cache-served repeats
+# over a Zipf corpus; fails unless warm is >= 2x cold and a warm hit
+# stays under the allocation ceiling.
+bench-parse:
+	./scripts/bench_parse.sh
 
 # make benchcmp BASE=BENCH_old.json CUR=BENCH_local.json
 benchcmp:

@@ -9,8 +9,10 @@ package permodyssey
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"os"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -20,6 +22,7 @@ import (
 	"permodyssey/internal/browser"
 	"permodyssey/internal/core"
 	"permodyssey/internal/crawler"
+	"permodyssey/internal/html"
 	"permodyssey/internal/origin"
 	"permodyssey/internal/permissions"
 	"permodyssey/internal/policy"
@@ -610,6 +613,152 @@ func BenchmarkInterpretLoopTree(b *testing.B)       { interpBench(b, interpLoop,
 func BenchmarkInterpretLoopCompiled(b *testing.B)   { interpBench(b, interpLoop, true) }
 func BenchmarkInterpretWidgetTree(b *testing.B)     { interpBench(b, interpWidget, false) }
 func BenchmarkInterpretWidgetCompiled(b *testing.B) { interpBench(b, interpWidget, true) }
+
+// ---- DOM: parse throughput, cache warm-up, extraction walks ----
+
+// genPage builds a deterministic synthetic document of roughly `blocks`
+// content blocks, shaped like the synthetic web's pages: text runs,
+// permission-bearing iframes, inline and external scripts, links,
+// entity references, and the occasional tag soup.
+func genPage(r *rand.Rand, blocks int) string {
+	var sb strings.Builder
+	sb.WriteString("<!doctype html><html><head><title>bench &amp; page</title></head><body>\n")
+	for i := 0; i < blocks; i++ {
+		switch r.Intn(6) {
+		case 0:
+			fmt.Fprintf(&sb, `<div class="row r%d"><p>block %d text with &quot;entities&quot; and more words to scan</p></div>`, i, i)
+		case 1:
+			fmt.Fprintf(&sb, `<iframe src="https://widget.example/embed/%d" allow="camera %d; microphone *" loading="lazy"></iframe>`, r.Intn(50), i)
+		case 2:
+			fmt.Fprintf(&sb, `<script src="https://cdn.example/lib%d.js"></script>`, r.Intn(20))
+		case 3:
+			fmt.Fprintf(&sb, `<script>var q%d = init(%d); if (q%d < %d) { track("<span>"); }</script>`, i, i, i, r.Intn(100))
+		case 4:
+			fmt.Fprintf(&sb, `<a href="/page/%d">internal</a><a href="https://other.example/%d">external</a>`, i, r.Intn(30))
+		case 5:
+			fmt.Fprintf(&sb, `<div><span>unclosed %d<b>soup`, i)
+		}
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("</body></html>\n")
+	return sb.String()
+}
+
+// parseCorpus generates n distinct documents of the given size.
+func parseCorpus(n, blocks int, seed int64) []string {
+	r := rand.New(rand.NewSource(seed))
+	docs := make([]string, n)
+	for i := range docs {
+		docs[i] = genPage(r, blocks)
+	}
+	return docs
+}
+
+// parseBenchCold parses every document from scratch each iteration —
+// the pre-cache cost of a fetch.
+func parseBenchCold(b *testing.B, docs []string) {
+	var bytes int64
+	for _, d := range docs {
+		bytes += int64(len(d))
+	}
+	b.SetBytes(bytes / int64(len(docs)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pd := html.ParseDoc(docs[i%len(docs)])
+		pd.Release()
+	}
+}
+
+// parseBenchWarm serves every document from a primed ParseCache — the
+// cost of re-encountering a shared widget document mid-crawl.
+func parseBenchWarm(b *testing.B, docs []string) {
+	c := html.NewParseCache(0, 0)
+	var bytes int64
+	for _, d := range docs {
+		bytes += int64(len(d))
+		c.Parse(d).Release()
+	}
+	b.SetBytes(bytes / int64(len(docs)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pd := c.Parse(docs[i%len(docs)])
+		pd.Release()
+	}
+}
+
+func BenchmarkParseHTMLSmallCold(b *testing.B) { parseBenchCold(b, parseCorpus(16, 12, benchSeed)) }
+func BenchmarkParseHTMLSmallWarm(b *testing.B) { parseBenchWarm(b, parseCorpus(16, 12, benchSeed)) }
+func BenchmarkParseHTMLLargeCold(b *testing.B) { parseBenchCold(b, parseCorpus(4, 800, benchSeed)) }
+func BenchmarkParseHTMLLargeWarm(b *testing.B) { parseBenchWarm(b, parseCorpus(4, 800, benchSeed)) }
+
+// zipfDocs draws a Zipf-distributed access sequence over a corpus of 64
+// distinct documents — the crawl's real body-popularity shape, where a
+// few shared widget documents dominate fetches.
+func zipfSequence(n int) ([]string, []int) {
+	docs := parseCorpus(64, 40, benchSeed+7)
+	r := rand.New(rand.NewSource(benchSeed + 8))
+	z := rand.NewZipf(r, 1.3, 1, uint64(len(docs)-1))
+	seq := make([]int, n)
+	for i := range seq {
+		seq[i] = int(z.Uint64())
+	}
+	return docs, seq
+}
+
+// BenchmarkParseHTMLZipfCold re-parses every access; ZipfWarm serves
+// repeats from the cache. The bench-parse CI gate holds their ratio
+// above the floor: if the cache stops delivering, the gate fails.
+func BenchmarkParseHTMLZipfCold(b *testing.B) {
+	docs, seq := zipfSequence(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pd := html.ParseDoc(docs[seq[i%len(seq)]])
+		pd.Release()
+	}
+}
+
+func BenchmarkParseHTMLZipfWarm(b *testing.B) {
+	docs, seq := zipfSequence(4096)
+	c := html.NewParseCache(0, 0)
+	for _, d := range docs {
+		c.Parse(d).Release()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pd := c.Parse(docs[seq[i%len(seq)]])
+		pd.Release()
+	}
+}
+
+// BenchmarkExtractThreeWalk vs SingleWalk: the old Parse + three
+// FindAll-walk extraction against the single-pass ParseDoc that records
+// iframes, scripts, and links during tree construction.
+func BenchmarkExtractThreeWalk(b *testing.B) {
+	docs := parseCorpus(16, 40, benchSeed+9)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree := html.Parse(docs[i%len(docs)])
+		_ = html.Iframes(tree)
+		_ = html.Scripts(tree)
+		_ = html.Links(tree)
+	}
+}
+
+func BenchmarkExtractSingleWalk(b *testing.B) {
+	docs := parseCorpus(16, 40, benchSeed+9)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pd := html.ParseDoc(docs[i%len(docs)])
+		_, _, _ = pd.Iframes, pd.Scripts, pd.Links
+		pd.Release()
+	}
+}
 
 // ---- Crawl-at-scale: host-aware scheduler under chaos ----
 

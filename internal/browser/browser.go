@@ -47,6 +47,13 @@ type Options struct {
 	// scan by script content, so identical widget scripts are scanned
 	// once per crawl instead of once per including frame.
 	StaticCache *static.Cache
+	// DocCache, when non-nil, memoizes HTML parsing by document content:
+	// a body fetched for N frames across the crawl is tokenized and
+	// built once, and every frame shares the immutable parsed document
+	// (tree plus the single-walk iframe/script/link extractions). When
+	// nil, each document still parses through the arena-backed
+	// ParseDoc fast path, just without cross-frame sharing.
+	DocCache *html.ParseCache
 }
 
 // DefaultOptions mirror the paper's crawler configuration.
@@ -244,9 +251,20 @@ func (b *Browser) declaredPolicy(fr *FrameResult) policy.Policy {
 // child frames. slot is the index of this frame in result.Frames.
 func (b *Browser) processDocument(ctx context.Context, result *PageResult, slot int,
 	fr *FrameResult, doc *policy.Document, body string) {
-	tree := html.Parse(body)
+	// One parse per document content: the cache shares the immutable
+	// parsed document across every frame (and every site) embedding the
+	// same body; without it the arena-backed parse is still single-walk
+	// and recycled on release. The browser only reads the extractions —
+	// the shared tree must never be mutated.
+	var pd *html.ParsedDoc
+	if b.Opts.DocCache != nil {
+		pd = b.Opts.DocCache.Parse(body)
+	} else {
+		pd = html.ParseDoc(body)
+	}
+	defer pd.Release()
 	if fr.TopLevel {
-		for _, href := range html.Links(tree) {
+		for _, href := range pd.Links {
 			if resolved := resolveURL(fr.FinalURL, href); resolved != "" {
 				result.Links = append(result.Links, resolved)
 			}
@@ -261,7 +279,7 @@ func (b *Browser) processDocument(ctx context.Context, result *PageResult, slot 
 	}
 
 	// Collect and run scripts: dynamic analysis.
-	for _, s := range html.Scripts(tree) {
+	for _, s := range pd.Scripts {
 		src, urlStr := s.Body, ""
 		if !s.Inline {
 			urlStr = resolveURL(fr.FinalURL, s.Src)
@@ -307,7 +325,7 @@ func (b *Browser) processDocument(ctx context.Context, result *PageResult, slot 
 	if fr.Depth >= b.Opts.MaxFrameDepth {
 		return
 	}
-	for _, el := range html.Iframes(tree) {
+	for _, el := range pd.Iframes {
 		if len(result.Frames) >= b.Opts.MaxFramesPerPage {
 			result.Truncated = true
 			return

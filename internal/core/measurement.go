@@ -18,6 +18,7 @@ import (
 	"permodyssey/internal/browser"
 	"permodyssey/internal/crawler"
 	"permodyssey/internal/diskcache"
+	"permodyssey/internal/html"
 	"permodyssey/internal/script"
 	"permodyssey/internal/static"
 	"permodyssey/internal/store"
@@ -50,12 +51,21 @@ type MeasurementOptions struct {
 	// program through pooled scope frames. Observationally transparent
 	// (TestCrawlCompileEquivalence).
 	DisableCompile bool
+	// DisableDOMCache turns off the shared parsed-document (DOM) cache:
+	// every frame then parses its own arena-backed document instead of
+	// sharing one immutable parse per distinct body. On by default when
+	// caching is enabled — the Zipf-popular third-party documents
+	// embedded by thousands of sites tokenize once per crawl.
+	// Observationally transparent (TestCrawlDOMCacheEquivalence).
+	DisableDOMCache bool
 	// CacheEntries caps each cache (fetch responses, parsed programs,
-	// static findings) at this many entries, evicted LRU. 0 = unbounded.
+	// parsed documents, static findings) at this many entries, evicted
+	// LRU. 0 = unbounded.
 	CacheEntries int
-	// CacheBytes caps the fetch cache's total cached body bytes, evicted
-	// LRU alongside the entry cap; a single body larger than the budget
-	// is served but never retained. 0 = unbounded.
+	// CacheBytes caps the fetch cache's total cached body bytes and,
+	// independently, the DOM cache's summed parsed-source bytes, each
+	// evicted LRU alongside the entry cap; a single body larger than the
+	// budget is served but never retained. 0 = unbounded.
 	CacheBytes int64
 	// Breaker enables the per-host circuit breaker between the fetch
 	// cache and the network when Threshold > 0: a host that fails
@@ -105,6 +115,7 @@ type CrawlStats struct {
 	Fetch   browser.CacheStats
 	Parse   script.ParseStats
 	Compile script.CompileStats
+	DOM     html.ParseStats
 	Static  static.CacheStats
 	Crawl   crawler.Stats
 	Breaker crawler.BreakerStats
@@ -182,6 +193,7 @@ type crawlStack struct {
 	breaker      *crawler.BreakerFetcher
 	scriptCache  *script.ParseCache
 	compileCache *script.CompileCache
+	domCache     *html.ParseCache
 	staticCache  *static.Cache
 	archive      *diskcache.Archive
 }
@@ -283,6 +295,13 @@ func newCrawlStack(srv *synthweb.Server, opts MeasurementOptions) (*crawlStack, 
 			st.compileCache = script.NewBoundedCompileCache(opts.CacheEntries, st.scriptCache.Parse)
 			opts.BrowserOpts.CompileCache = st.compileCache
 		}
+		if !opts.DisableDOMCache {
+			// The DOM cache mirrors the script pipeline's layering on the
+			// HTML side: one immutable parsed document per distinct body,
+			// shared by every frame that embeds it.
+			st.domCache = html.NewParseCache(opts.CacheEntries, opts.CacheBytes)
+			opts.BrowserOpts.DocCache = st.domCache
+		}
 	}
 	b := browser.New(fetcher, opts.BrowserOpts)
 	st.crawler = crawler.New(b, opts.Crawl)
@@ -308,6 +327,9 @@ func (st *crawlStack) stats() CrawlStats {
 	if st.compileCache != nil {
 		s.Compile = st.compileCache.Stats()
 	}
+	if st.domCache != nil {
+		s.DOM = st.domCache.Stats()
+	}
 	if st.breaker != nil {
 		s.Breaker = st.breaker.Breaker.Stats()
 	}
@@ -329,6 +351,11 @@ func (s CrawlStats) Summary() string {
 	if s.Compile != (script.CompileStats{}) {
 		line += fmt.Sprintf("; compile cache: %d hits, %d misses, %d coalesced, %d evictions, %d entries",
 			s.Compile.Hits, s.Compile.Misses, s.Compile.Coalesced, s.Compile.Evictions, s.Compile.Entries)
+	}
+	if s.DOM != (html.ParseStats{}) {
+		line += fmt.Sprintf("; dom cache: %d hits, %d misses, %d coalesced, %d evictions, %d entries (%s)",
+			s.DOM.Hits, s.DOM.Misses, s.DOM.Coalesced, s.DOM.Evictions, s.DOM.Entries,
+			byteSize(s.DOM.CachedBytes))
 	}
 	if s.Breaker != (crawler.BreakerStats{}) {
 		line += fmt.Sprintf("; breaker: %d trips, %d half-open probes, %d closes, %d reopens, %d short-circuits, %d open hosts",

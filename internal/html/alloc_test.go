@@ -1,0 +1,56 @@
+package html
+
+import "testing"
+
+// Allocation pins for the hot paths. These are ceilings, not exact
+// counts — a small regression margin is built in so innocent compiler
+// changes don't flake, while an accidental per-node or per-token heap
+// allocation (the regressions this PR removes) blows well past them.
+func TestHotPathAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc pins need a quiet heap")
+	}
+	src := `<div class="row"><iframe src="/f" allow="camera"></iframe><script src="/s.js"></script><a href="/l">x</a><p>text &amp; more</p></div>`
+
+	// Warm cache hit: one alloc (the []byte copy feeding sha256). A tree
+	// rebuild would cost dozens.
+	c := NewParseCache(0, 0)
+	c.Parse(src).Release()
+	if got := testing.AllocsPerRun(500, func() {
+		c.Parse(src).Release()
+	}); got > 3 {
+		t.Errorf("warm ParseCache.Parse: %.1f allocs/op, want <= 3", got)
+	}
+
+	// Cold arena parse of a ~140-byte document: a handful of slab/header
+	// allocations, amortized to near zero once pools warm up. Measured at
+	// 11; pin with margin. The old per-node path cost 30+.
+	if got := testing.AllocsPerRun(500, func() {
+		ParseDoc(src).Release()
+	}); got > 20 {
+		t.Errorf("cold ParseDoc: %.1f allocs/op, want <= 20", got)
+	}
+
+	// Entity decoding must return the input substring unchanged when
+	// there is no '&' — zero allocations.
+	if got := testing.AllocsPerRun(500, func() {
+		_ = DecodeEntities("no references here at all")
+	}); got != 0 {
+		t.Errorf("DecodeEntities without '&': %.1f allocs/op, want 0", got)
+	}
+
+	// Interning an uppercase common name hits the stack-buffer fast path.
+	if got := testing.AllocsPerRun(500, func() {
+		_ = internLower("IFRAME")
+		_ = internLower("allow")
+	}); got != 0 {
+		t.Errorf("internLower on common names: %.1f allocs/op, want 0", got)
+	}
+
+	// The raw-text close-tag scan allocates nothing.
+	if got := testing.AllocsPerRun(500, func() {
+		_ = indexFold("aaaa</scrip</script>bbb", "</script")
+	}); got != 0 {
+		t.Errorf("indexFold: %.1f allocs/op, want 0", got)
+	}
+}

@@ -57,11 +57,39 @@ var voidElements = map[string]bool{
 
 // Parse builds a tolerant DOM tree from src. It never fails: malformed
 // markup degrades to a best-effort tree, matching how the crawler must
-// survive the web's tag soup.
+// survive the web's tag soup. The returned tree is heap-allocated and
+// GC-owned; the crawl hot path uses ParseDoc (arena-backed, cacheable)
+// instead.
 func Parse(src string) *Node {
-	doc := &Node{Type: DocumentNode}
-	stack := []*Node{doc}
-	z := NewTokenizer(src)
+	return parseInto(src, nil, nil)
+}
+
+// docExtract collects the measurement's three extractions during tree
+// construction, replacing the three full-tree FindAll walks the wrapper
+// functions perform.
+type docExtract struct {
+	iframes []*Node
+	scripts []*Node
+	links   []string
+}
+
+// parseInto is the single tree-construction pass shared by Parse and
+// ParseDoc: nodes come from the arena (nil = heap), and when ex is
+// non-nil the iframe/script/link extractions are recorded as elements
+// are created — document order for free, no re-walks.
+func parseInto(src string, a *arena, ex *docExtract) *Node {
+	doc := a.newNode()
+	doc.Type = DocumentNode
+	stackp := stackPool.Get().(*[]*Node)
+	stack := (*stackp)[:0]
+	stack = append(stack, doc)
+	defer func() {
+		clear(stack[:cap(stack)])
+		*stackp = stack[:0]
+		stackPool.Put(stackp)
+	}()
+	z := acquireTokenizer(src)
+	defer releaseTokenizer(z)
 	for {
 		tok := z.Next()
 		switch tok.Type {
@@ -72,16 +100,34 @@ func Parse(src string) *Node {
 				continue
 			}
 			top := stack[len(stack)-1]
-			top.Children = append(top.Children, &Node{Type: TextNode, Text: tok.Text, Parent: top})
+			n := a.newNode()
+			n.Type, n.Text, n.Parent = TextNode, tok.Text, top
+			a.appendChild(top, n)
 		case CommentToken:
 			top := stack[len(stack)-1]
-			top.Children = append(top.Children, &Node{Type: CommentNode, Text: tok.Text, Parent: top})
+			n := a.newNode()
+			n.Type, n.Text, n.Parent = CommentNode, tok.Text, top
+			a.appendChild(top, n)
 		case DoctypeToken:
 			// Ignored: tree shape is what matters.
 		case StartTagToken, SelfClosingTagToken:
 			top := stack[len(stack)-1]
-			el := &Node{Type: ElementNode, Tag: tok.Tag, Attrs: tok.Attrs, Parent: top}
-			top.Children = append(top.Children, el)
+			el := a.newNode()
+			el.Type, el.Tag, el.Parent = ElementNode, tok.Tag, top
+			el.Attrs = a.copyAttrs(tok.Attrs)
+			a.appendChild(top, el)
+			if ex != nil {
+				switch el.Tag {
+				case "iframe":
+					ex.iframes = append(ex.iframes, el)
+				case "script":
+					ex.scripts = append(ex.scripts, el)
+				case "a":
+					if href, ok := el.Attr("href"); ok && strings.TrimSpace(href) != "" {
+						ex.links = append(ex.links, strings.TrimSpace(href))
+					}
+				}
+			}
 			if tok.Type == StartTagToken && !voidElements[tok.Tag] {
 				stack = append(stack, el)
 			}
@@ -138,6 +184,13 @@ func (n *Node) First(tag string) *Node {
 
 // InnerText concatenates the text beneath the node.
 func (n *Node) InnerText() string {
+	// Fast path: one text child (every raw-text element — script, style,
+	// title — parses to this shape) needs no builder copy.
+	if len(n.Children) == 1 {
+		if c := n.Children[0]; c.Type == TextNode && len(c.Children) == 0 {
+			return c.Text
+		}
+	}
 	var b strings.Builder
 	n.Walk(func(node *Node) bool {
 		if node.Type == TextNode {
@@ -175,24 +228,33 @@ type Iframe struct {
 // which the crawler must scroll to in order to trigger loading (§3.2).
 func (f Iframe) Lazy() bool { return strings.EqualFold(f.Loading, "lazy") }
 
-// Iframes extracts all iframe elements from the document.
+// iframeOf extracts the paper's attribute list from one iframe element —
+// the shared record builder of the Iframes wrapper and the single-walk
+// ParseDoc extraction.
+func iframeOf(el *Node) Iframe {
+	f := Iframe{
+		Src:     el.AttrOr("src", ""),
+		Allow:   el.AttrOr("allow", ""),
+		Sandbox: el.AttrOr("sandbox", ""),
+		Srcdoc:  el.AttrOr("srcdoc", ""),
+		Loading: el.AttrOr("loading", ""),
+		ID:      el.AttrOr("id", ""),
+		Name:    el.AttrOr("name", ""),
+		Class:   el.AttrOr("class", ""),
+	}
+	f.HasAllow = el.HasAttr("allow")
+	f.HasSrcdoc = el.HasAttr("srcdoc")
+	f.HasSandbox = el.HasAttr("sandbox")
+	return f
+}
+
+// Iframes extracts all iframe elements from the document. (Thin wrapper
+// over the shared extraction; ParseDoc collects the same records in a
+// single pass during parsing.)
 func Iframes(doc *Node) []Iframe {
 	var out []Iframe
 	for _, el := range doc.FindAll("iframe") {
-		f := Iframe{
-			Src:     el.AttrOr("src", ""),
-			Allow:   el.AttrOr("allow", ""),
-			Sandbox: el.AttrOr("sandbox", ""),
-			Srcdoc:  el.AttrOr("srcdoc", ""),
-			Loading: el.AttrOr("loading", ""),
-			ID:      el.AttrOr("id", ""),
-			Name:    el.AttrOr("name", ""),
-			Class:   el.AttrOr("class", ""),
-		}
-		f.HasAllow = el.HasAttr("allow")
-		f.HasSrcdoc = el.HasAttr("srcdoc")
-		f.HasSandbox = el.HasAttr("sandbox")
-		out = append(out, f)
+		out = append(out, iframeOf(el))
 	}
 	return out
 }
@@ -216,17 +278,22 @@ type Script struct {
 	Inline bool
 }
 
+// scriptOf extracts one script element — the shared record builder of
+// the Scripts wrapper and the single-walk ParseDoc extraction.
+func scriptOf(el *Node) Script {
+	if src, ok := el.Attr("src"); ok && strings.TrimSpace(src) != "" {
+		return Script{Src: strings.TrimSpace(src)}
+	}
+	return Script{Body: el.InnerText(), Inline: true}
+}
+
 // Scripts extracts all classic scripts from the document. The tokenizer
 // treats <script> as raw text, so inline bodies survive intact even when
 // they contain '<'.
 func Scripts(doc *Node) []Script {
 	var out []Script
 	for _, el := range doc.FindAll("script") {
-		if src, ok := el.Attr("src"); ok && strings.TrimSpace(src) != "" {
-			out = append(out, Script{Src: strings.TrimSpace(src)})
-			continue
-		}
-		out = append(out, Script{Body: el.InnerText(), Inline: true})
+		out = append(out, scriptOf(el))
 	}
 	return out
 }

@@ -12,6 +12,7 @@ package html
 
 import (
 	"strings"
+	"sync"
 )
 
 // TokenType discriminates tokens.
@@ -65,11 +66,40 @@ type Tokenizer struct {
 	// rawTag, when set, makes the tokenizer consume everything until the
 	// matching </rawTag> as a single text token.
 	rawTag string
+	// scratch accumulates attributes of the tag being lexed. In reuse
+	// mode (the pooled parse path) the emitted Token aliases it — valid
+	// only until the next call to Next — and the tree builder copies it
+	// into arena storage; otherwise each token gets an exact-size copy.
+	scratch    []Attr
+	reuseAttrs bool
 }
 
 // NewTokenizer tokenizes src.
 func NewTokenizer(src string) *Tokenizer {
 	return &Tokenizer{src: src}
+}
+
+// tokenizerPool recycles Tokenizer structs (and their attribute scratch
+// buffers) across parses — the per-parse state is three words plus a
+// slice that would otherwise be reallocated for every document.
+var tokenizerPool = sync.Pool{New: func() any { return &Tokenizer{} }}
+
+// acquireTokenizer returns a pooled tokenizer in attribute-reuse mode;
+// callers own it until releaseTokenizer.
+func acquireTokenizer(src string) *Tokenizer {
+	z := tokenizerPool.Get().(*Tokenizer)
+	z.src, z.pos, z.rawTag = src, 0, ""
+	z.reuseAttrs = true
+	return z
+}
+
+// releaseTokenizer drops the tokenizer's references to the source (so a
+// pooled tokenizer cannot pin a multi-megabyte body) and returns it.
+func releaseTokenizer(z *Tokenizer) {
+	z.src, z.rawTag = "", ""
+	clear(z.scratch[:cap(z.scratch)])
+	z.scratch = z.scratch[:0]
+	tokenizerPool.Put(z)
 }
 
 // Next returns the next token; EOFToken at the end of input.
@@ -110,16 +140,44 @@ func (z *Tokenizer) rawText() Token {
 	return Token{Type: TextToken, Text: text, Tag: tag}
 }
 
-// indexFold is a case-insensitive strings.Index for ASCII needles.
+// indexFold is a case-insensitive strings.Index for ASCII needles. The
+// scan skips between first-byte candidates with strings.IndexByte (both
+// cases) instead of running EqualFold at every offset, so a megabyte
+// raw-text body full of near-miss prefixes costs one memchr sweep, not
+// an O(n·m) fold comparison per byte.
 func indexFold(haystack, needle string) int {
 	n := len(needle)
 	if n == 0 {
 		return 0
 	}
-	for i := 0; i+n <= len(haystack); i++ {
+	lo, up := needle[0], needle[0]
+	switch {
+	case lo >= 'a' && lo <= 'z':
+		up = lo - ('a' - 'A')
+	case lo >= 'A' && lo <= 'Z':
+		lo = up + ('a' - 'A')
+	}
+	for i := 0; i+n <= len(haystack); {
+		if c := haystack[i]; c != lo && c != up {
+			rest := haystack[i+1:]
+			j := strings.IndexByte(rest, lo)
+			if up != lo {
+				if k := strings.IndexByte(rest, up); k >= 0 && (j < 0 || k < j) {
+					j = k
+				}
+			}
+			if j < 0 {
+				return -1
+			}
+			i += 1 + j
+			if i+n > len(haystack) {
+				return -1
+			}
+		}
 		if strings.EqualFold(haystack[i:i+n], needle) {
 			return i
 		}
+		i++
 	}
 	return -1
 }
@@ -189,7 +247,7 @@ func (z *Tokenizer) endTag() Token {
 	for z.pos < len(z.src) && isTagNameChar(z.src[z.pos]) {
 		z.pos++
 	}
-	tag := strings.ToLower(z.src[start:z.pos])
+	tag := internLower(z.src[start:z.pos])
 	// Skip to '>'.
 	for z.pos < len(z.src) && z.src[z.pos] != '>' {
 		z.pos++
@@ -206,7 +264,8 @@ func (z *Tokenizer) startTag() Token {
 	for z.pos < len(z.src) && isTagNameChar(z.src[z.pos]) {
 		z.pos++
 	}
-	tok := Token{Type: StartTagToken, Tag: strings.ToLower(z.src[start:z.pos])}
+	tok := Token{Type: StartTagToken, Tag: internLower(z.src[start:z.pos])}
+	z.scratch = z.scratch[:0]
 	for {
 		for z.pos < len(z.src) && isSpace(z.src[z.pos]) {
 			z.pos++
@@ -232,7 +291,14 @@ func (z *Tokenizer) startTag() Token {
 		if !ok {
 			break
 		}
-		tok.Attrs = append(tok.Attrs, Attr{Key: key, Value: val})
+		z.scratch = append(z.scratch, Attr{Key: key, Value: val})
+	}
+	if len(z.scratch) > 0 {
+		if z.reuseAttrs {
+			tok.Attrs = z.scratch
+		} else {
+			tok.Attrs = append([]Attr(nil), z.scratch...)
+		}
 	}
 	if tok.Type == StartTagToken && rawTextTags[tok.Tag] {
 		z.rawTag = tok.Tag
@@ -254,7 +320,7 @@ func (z *Tokenizer) attribute() (key, val string, ok bool) {
 		z.pos++
 		return "", "", false
 	}
-	key = strings.ToLower(z.src[start:z.pos])
+	key = internLower(z.src[start:z.pos])
 	for z.pos < len(z.src) && isSpace(z.src[z.pos]) {
 		z.pos++
 	}
@@ -286,16 +352,96 @@ func (z *Tokenizer) attribute() (key, val string, ok bool) {
 		}
 		val = z.src[vstart:z.pos]
 	}
-	return key, DecodeEntities(val), true
+	// Fast path: a value without '&' is returned as the input substring,
+	// no decode pass and no allocation.
+	if strings.IndexByte(val, '&') >= 0 {
+		val = DecodeEntities(val)
+	}
+	return key, val, true
+}
+
+// internNames are the tag and attribute names that dominate real (and
+// synthetic) markup. Interning them fixes two costs on the hot path:
+// the strings.ToLower allocation for uppercase spellings, and — because
+// the canonical string is package-owned — a cached DOM never pins its
+// multi-megabyte source body through a tag-name substring.
+var internNames = []string{
+	// Tags.
+	"html", "head", "body", "div", "span", "p", "a", "img", "script",
+	"style", "iframe", "link", "meta", "title", "br", "hr", "ul", "ol",
+	"li", "table", "tr", "td", "th", "form", "input", "button", "h1",
+	"h2", "h3", "h4", "h5", "h6", "header", "footer", "nav", "section",
+	"article", "main", "em", "strong", "b", "i", "u", "small", "label",
+	"select", "option", "textarea", "video", "audio", "source", "canvas",
+	"noscript", "svg", "picture", "figure",
+	// Attributes.
+	"id", "class", "src", "href", "allow", "sandbox", "srcdoc",
+	"loading", "name", "type", "rel", "alt", "width", "height", "value",
+	"placeholder", "content", "charset", "lang", "target", "title",
+	"data-src", "crossorigin", "referrerpolicy", "allowfullscreen",
+	"http-equiv", "role", "media", "integrity", "async", "defer",
+}
+
+// maxInternLen bounds the stack buffer internLower lowers into; every
+// internNames entry fits.
+const maxInternLen = 16
+
+var internTable = func() map[string]string {
+	m := make(map[string]string, len(internNames))
+	for _, s := range internNames {
+		if len(s) > maxInternLen {
+			panic("html: intern name longer than maxInternLen: " + s)
+		}
+		m[s] = s
+	}
+	return m
+}()
+
+// internLower lower-cases an ASCII tag or attribute name without
+// allocating: already-lowercase common names map to their interned
+// canonical string, already-lowercase uncommon names return the input
+// substring unchanged, and only an uppercase uncommon (or non-ASCII)
+// name pays the strings.ToLower allocation.
+func internLower(s string) string {
+	if len(s) == 0 {
+		return s
+	}
+	if len(s) > maxInternLen {
+		return strings.ToLower(s)
+	}
+	var buf [maxInternLen]byte
+	hasUpper := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 0x80 {
+			// Non-ASCII names keep the full Unicode lowering semantics.
+			return strings.ToLower(s)
+		}
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+			hasUpper = true
+		}
+		buf[i] = c
+	}
+	// The map lookup on string(buf[:len(s)]) does not allocate: the Go
+	// compiler recognizes the conversion-for-lookup pattern.
+	if canon, ok := internTable[string(buf[:len(s)])]; ok {
+		return canon
+	}
+	if !hasUpper {
+		return s
+	}
+	return strings.ToLower(s)
 }
 
 // entities is the minimal named-entity table the measurement needs.
 var entities = map[string]string{
 	"amp": "&", "lt": "<", "gt": ">", "quot": `"`, "apos": "'",
-	"nbsp": " ", "copy": "©", "mdash": "—", "hellip": "…",
+	"nbsp": " ", "copy": "©", "mdash": "—", "hellip": "…",
 }
 
-// DecodeEntities decodes named and numeric character references.
+// DecodeEntities decodes named and numeric character references. Input
+// without '&' is returned unchanged (the same substring, no copy).
 func DecodeEntities(s string) string {
 	amp := strings.IndexByte(s, '&')
 	if amp < 0 {
@@ -311,7 +457,14 @@ func DecodeEntities(s string) string {
 			continue
 		}
 		semi := strings.IndexByte(s[i:], ';')
-		if semi < 0 || semi > 12 {
+		// Named entities are short; numeric references get a wider window
+		// so long digit runs still decode (they clamp to U+FFFD below)
+		// rather than passing through raw.
+		window := 12
+		if i+1 < len(s) && s[i+1] == '#' {
+			window = 32
+		}
+		if semi < 0 || semi > window {
 			b.WriteByte(c)
 			i++
 			continue
@@ -356,9 +509,18 @@ func decodeEntity(name string) (string, bool) {
 				return "", false
 			}
 			n = n*rune(base) + v
+			// Clamp past the Unicode range so long digit runs cannot
+			// overflow the rune; the reference still consumes and decodes
+			// (to U+FFFD, below).
 			if n > 0x10ffff {
-				return "", false
+				n = 0x110000
 			}
+		}
+		// Spec-mandated replacements (HTML §13.2.5.80): NUL, values
+		// outside the Unicode range, and surrogate code points all decode
+		// to U+FFFD — never a NUL byte or a raw passthrough.
+		if n == 0 || n > 0x10ffff || (n >= 0xd800 && n <= 0xdfff) {
+			return "�", true
 		}
 		return string(n), true
 	}
